@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a scale
+that keeps ``pytest benchmarks/ --benchmark-only`` in the minutes range;
+``python -m repro.experiments <name> --full`` runs paper-scale parameters.
+
+Results (the rows/series the paper reports) are printed to the benchmark
+log and written under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered rows to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}")
+
+    return _record

@@ -1,0 +1,41 @@
+"""Benchmark: DESIGN.md §5 ablation 1 — per-connect resolution vs caching.
+
+The paper's runtime re-resolves names and re-queries discovery at every
+``connect`` — that is what makes Figure 4's dynamic switchover work, at
+the cost of one control round trip per connection.  This ablation
+quantifies both sides: caching saves the round trip (cheaper setup) but
+keeps sending post-switch connections to the stale remote instance.
+"""
+
+import pytest
+
+from repro.experiments import run_caching_ablation
+from repro.metrics import format_table
+
+
+def test_caching_tradeoff(benchmark, record_result):
+    rows = benchmark.pedantic(run_caching_ablation, rounds=1, iterations=1)
+    record_result(
+        "ablation_caching",
+        format_table(
+            rows,
+            columns=[
+                "mode",
+                "mean_setup_us",
+                "discovery_rtts",
+                "stale_connections",
+                "n",
+            ],
+        ),
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    # Caching is cheaper per connect...
+    assert (
+        by_mode["cached"]["mean_setup_us"]
+        < by_mode["per-connect"]["mean_setup_us"]
+    )
+    assert by_mode["cached"]["discovery_rtts"] == 1
+    # ...but misses the local instance entirely (stale placement),
+    # while per-connect resolution never goes stale.
+    assert by_mode["per-connect"]["stale_connections"] == 0
+    assert by_mode["cached"]["stale_connections"] > 0

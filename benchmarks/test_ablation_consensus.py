@@ -1,0 +1,31 @@
+"""Benchmark: §3.2 consensus — the value of in-network ordering.
+
+The paper's NOPaxos/Speculative-Paxos motivation: ordered multicast from
+the network shortens the consensus fast path.  Same replicas, same client
+code; the only difference is one discovery registration (the switch
+sequencer program).
+"""
+
+import pytest
+
+from repro.experiments import run_consensus_comparison
+from repro.metrics import format_table
+
+
+def test_switch_sequencer_beats_host_sequencer(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_consensus_comparison(operations=200),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "ablation_consensus",
+        format_table(rows, columns=["sequencer", "impl", "mean_us", "p95_us", "n"]),
+    )
+    by_seq = {row["sequencer"]: row for row in rows}
+    host = by_seq["host-sequencer"]
+    switch = by_seq["switch-sequencer"]
+    assert switch["impl"] == "McastSwitchSequencer"
+    assert host["impl"] == "McastSequencerFallback"
+    # The host sequencer adds a full extra network traversal per op.
+    assert switch["mean_us"] < host["mean_us"] * 0.8

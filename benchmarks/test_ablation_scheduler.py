@@ -1,0 +1,23 @@
+"""Benchmark: §6 scheduling claim — contended offloads need multi-resource
+scheduling.
+
+"If two programs can benefit from offloading functionality to a P4 switch,
+but the switch only has capacity for one, the Bertha runtime must choose
+between these two applications.  Note that Chunnel priorities alone are
+insufficient to accomplish this goal."
+"""
+
+import pytest
+
+from repro.experiments import run_scheduler_ablation
+
+
+def test_scheduler_fairness(benchmark, record_result):
+    result = benchmark.pedantic(run_scheduler_ablation, rounds=1, iterations=1)
+    record_result("ablation_scheduler", result.render())
+    by_name = {row["scheduler"]: row for row in result.rows()}
+    # First-fit starves the late tenant; priorities don't help; DRF does.
+    assert by_name["first-fit"]["tenants_served"] == 1
+    assert by_name["priority"]["tenants_served"] == 1
+    assert by_name["drf"]["tenants_served"] == 2
+    assert by_name["drf"]["max_min_gap"] < by_name["first-fit"]["max_min_gap"]

@@ -1,0 +1,26 @@
+"""Benchmark: §3.2 serialization story — new implementations without
+rebuilding the application.
+
+The same application, same DAG; registering an accelerated serializer with
+the discovery service (plus an operator policy that prefers it) changes
+the negotiated implementation and the end-to-end latency.
+"""
+
+import pytest
+
+from repro.experiments import run_serialization_comparison
+from repro.metrics import format_table
+
+
+def test_serialization_adoption(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: run_serialization_comparison(requests=150, value_size=8192),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "ablation_serialization",
+        format_table(rows, columns=["implementation", "mean_rtt_us", "n"]),
+    )
+    by_impl = {row["implementation"]: row["mean_rtt_us"] for row in rows}
+    assert by_impl["fpga"] < by_impl["sw"]

@@ -1,0 +1,56 @@
+"""Benchmark: Figure 3 — container networking via the local fast path.
+
+Paper: client + server containers on one host; per-request latency
+boxplots across request sizes and 10000 connections; the Bertha client
+(negotiated pipes) matches the hardcoded-IPC app and beats inter-container
+TCP, despite paying two extra control round trips at connect time.
+"""
+
+import pytest
+
+from repro.experiments import Fig3Config, run_fig3
+
+CONFIG = Fig3Config(connections=150, sizes=[64, 1024, 10240, 102400])
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(CONFIG)
+
+
+def test_fig3_container_networking(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(Fig3Config(connections=40, sizes=[64, 10240])),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig3_container", result.render())
+    # Shape: bertha ≈ pipes, both ≪ tcp.
+    for size in result.config.sizes:
+        assert result.rtts[("bertha", size)].p50 == pytest.approx(
+            result.rtts[("pipes", size)].p50, rel=0.10
+        )
+        assert result.rtts[("tcp", size)].p50 > 2 * result.rtts[("bertha", size)].p50
+
+
+def test_fig3_full_size_sweep(record_result, fig3_result):
+    """The four-size sweep the paper plots (one panel per size)."""
+    record_result("fig3_container_full", fig3_result.render())
+    for size in CONFIG.sizes:
+        bertha = fig3_result.rtts[("bertha", size)]
+        pipes = fig3_result.rtts[("pipes", size)]
+        assert bertha.p50 == pytest.approx(pipes.p50, rel=0.10)
+        assert bertha.p95 >= bertha.p5  # non-degenerate distribution
+
+
+def test_fig3_setup_vs_steady_state(fig3_result):
+    """Setup pays the negotiation; steady state does not (§5)."""
+    size = CONFIG.sizes[0]
+    assert (
+        fig3_result.setups[("bertha", size)].p50
+        > fig3_result.setups[("tcp", size)].p50
+    )
+    assert (
+        fig3_result.rtts[("bertha", size)].p50
+        < fig3_result.rtts[("tcp", size)].p50
+    )

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 4 — dynamic name resolution.
+
+Paper: the client resolves the service name at every connect; when a local
+instance starts at t = 4 s, later connections use it (pipe IPC) and latency
+steps down — with no client change or reconfiguration.
+"""
+
+import pytest
+
+from repro.experiments import Fig4Config, run_fig4
+
+CONFIG = Fig4Config(duration=10.0, connect_interval=0.25, local_start_time=4.0)
+
+
+def test_fig4_dynamic_resolution(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig4(CONFIG), rounds=1, iterations=1
+    )
+    record_result("fig4_dynamic", result.render())
+    assert result.before is not None and result.after is not None
+    # The step: post-switch latency is a small fraction of pre-switch.
+    assert result.after.p50 < result.before.p50 / 2
+    # The switch happens within two connect intervals of the local start.
+    assert (
+        CONFIG.local_start_time
+        <= result.switch_time
+        <= CONFIG.local_start_time + 2 * CONFIG.connect_interval
+    )
+    # Transport flips from the network stack to pipes.
+    transports = [t for _time, t in result.transports]
+    assert transports[0] == "udp" and transports[-1] == "pipe"

@@ -1,0 +1,64 @@
+"""Benchmark: Figure 5 — sharding placements under YCSB-A load.
+
+Paper: sharded KV store (3 shards), 2 clients, YCSB workload A with
+uniform keys; p95 latency in four negotiated configurations.  Shape: at
+high load, client-push < mixed ≲ server-accelerated (XDP) ≪ server
+fallback; the fallback saturates first, the XDP path next, client push
+last (worker-limited).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Fig5Config, SCENARIOS, run_fig5, run_fig5_scenario
+from repro.metrics import percentile
+
+CONFIG = Fig5Config(
+    requests_per_point=4000,
+    offered_loads=(100_000, 200_000, 300_000, 500_000, 700_000),
+)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(CONFIG)
+
+
+def test_fig5_sharding_sweep(benchmark, record_result, fig5_result):
+    benchmark.pedantic(
+        lambda: run_fig5_scenario(
+            "client_push", 200_000, Fig5Config(requests_per_point=1000)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig5_sharding", fig5_result.render())
+
+    def p95(scenario, load):
+        return fig5_result.p95[(scenario, load)]
+
+    # Saturation order: fallback first, then XDP, client push last.
+    assert p95("server_fallback", 300_000) > 5 * p95("server_accel", 300_000)
+    assert p95("server_accel", 700_000) > 2 * p95("client_push", 700_000)
+    # Mixed sits between client push and server accelerated.
+    assert (
+        p95("client_push", 500_000)
+        <= p95("mixed", 500_000)
+        <= 1.1 * p95("server_accel", 500_000)
+    )
+
+
+def test_fig5_correctness_not_sacrificed(fig5_result):
+    """Even the worst configuration still answers every request at loads
+    it can sustain (the paper: fallback has 'poor performance, but still
+    provides correctness')."""
+    key = ("server_fallback", 100_000)
+    assert fig5_result.completed[key] == fig5_result.offered[key]
+
+
+def test_fig5_negotiated_implementations(fig5_result):
+    impls = fig5_result.chosen_impls
+    assert set(impls["client_push"]) == {"ShardClientFallback"}
+    assert set(impls["server_accel"]) == {"ShardXdp"}
+    assert set(impls["mixed"]) == {"ShardClientFallback", "ShardXdp"}
+    assert set(impls["server_fallback"]) == {"ShardServerFallback"}

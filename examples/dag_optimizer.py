@@ -1,0 +1,67 @@
+"""DAG optimization (§6): reorder and merge against a SmartNIC.
+
+The application writes ``encrypt |> http2 |> tcp``.  The SmartNIC can
+offload encryption and TCP — but as written, the data would bounce
+NIC→CPU→NIC around the host-resident framing stage, tripling PCIe traffic.
+The runtime's optimizer reorders the commuting stages, and — when the NIC
+exposes a fused TLS engine instead — merges encrypt+tcp into tls.
+
+Run:  python examples/dag_optimizer.py
+"""
+
+from repro.chunnels import Encrypt, Http2, Tcp
+from repro.core import DagOptimizer, count_device_crossings, wrap
+from repro.sim import Environment, PcieBus
+
+MESSAGES = 10_000
+MESSAGE_SIZE = 1500
+
+
+def pcie_bytes_for(chain_types, offloadable):
+    """PCIe bytes a fixed message stream moves under this placement."""
+    env = Environment()
+    bus = PcieBus(env)
+    crossings = count_device_crossings(chain_types, offloadable)
+    for _message in range(MESSAGES):
+        for _crossing in range(crossings):
+            bus.transfer(MESSAGE_SIZE)
+    return crossings, bus.bytes_moved
+
+
+def show(label, dag, offloadable):
+    types = [s.type_name for s in dag.specs_in_order()]
+    crossings, moved = pcie_bytes_for(types, offloadable)
+    print(f"  {label:34s} {' |> '.join(types):32s} "
+          f"crossings={crossings}  PCIe={moved / 1e6:7.1f} MB")
+    return moved
+
+
+def main():
+    optimizer = DagOptimizer()
+    original = wrap(Encrypt() >> Http2() >> Tcp())
+
+    print("SmartNIC offloads {encrypt, tcp}; http2 framing stays on host:\n")
+    offloads = {"encrypt", "tcp"}
+    baseline = show("as written", original, offloads)
+    reordered = optimizer.optimize(
+        original, offloadable=offloads,
+        available_types={"encrypt", "http2", "tcp"},
+    )
+    optimized = show("after reorder", reordered.dag, offloads)
+    print(f"\n  -> reordering saves {baseline / optimized:.1f}x PCIe traffic "
+          f"(the paper's 3x)\n")
+    for step in reordered.steps:
+        print(f"     optimizer step: [{step.kind}] {step.detail}")
+
+    print("\nSmartNIC offers only a fused TLS engine:\n")
+    offloads = {"tls"}
+    merged = optimizer.optimize(original, offloadable={"encrypt", "tcp", "tls"})
+    show("after reorder + merge", merged.dag, offloads)
+    for step in merged.steps:
+        print(f"     optimizer step: [{step.kind}] {step.detail}")
+    print("\n  -> without the merge, the TLS engine would be unusable: no")
+    print("     pipeline stage matches it; after merging, one does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Interoperating with non-Bertha peers (§4.1's deferred question).
+
+A fleet rarely upgrades atomically: some services speak Bertha, some are
+legacy plain-socket daemons.  ``connect_raw`` lets a Bertha application
+talk to a legacy datagram peer with *zero* control-plane traffic — and
+still run every Chunnel it can operate unilaterally (client-push sharding,
+rate limiting), while Chunnels that need peer cooperation (reliability,
+serialization) are rejected up front with a clear error.
+
+Run:  python examples/legacy_interop.py
+"""
+
+from repro.chunnels import (
+    HashBytes,
+    RateLimit,
+    RateLimitFallback,
+    Reliable,
+    ReliableFallback,
+    Shard,
+    ShardClientFallback,
+)
+from repro.core import Runtime, wrap
+from repro.errors import NoImplementationError
+from repro.sim import Address, Network, UdpSocket
+
+
+def legacy_echo(net, host, port):
+    """A plain UDP daemon that has never heard of Bertha."""
+    sock = UdpSocket(net.hosts[host], port)
+
+    def loop(env):
+        while True:
+            dgram = yield sock.recv()
+            sock.send(b"legacy:" + bytes(dgram.payload), dgram.src,
+                      size=dgram.size + 7)
+
+    net.env.process(loop(net.env))
+
+
+def main():
+    net = Network()
+    net.add_host("modern")
+    net.add_host("legacy-1")
+    net.add_host("legacy-2")
+    net.add_switch("tor")
+    for host in ("modern", "legacy-1", "legacy-2"):
+        net.add_link(host, "tor", latency=5e-6)
+    legacy_echo(net, "legacy-1", 9001)
+    legacy_echo(net, "legacy-2", 9001)
+
+    runtime = Runtime(net.hosts["modern"])  # no discovery service at all
+    runtime.register_chunnel(ShardClientFallback)
+    runtime.register_chunnel(RateLimitFallback)
+    runtime.register_chunnel(ReliableFallback)
+
+    def client(env):
+        yield env.timeout(1e-4)
+
+        # 1. Bare interop: no negotiation, no discovery, no chunnels.
+        conn = runtime.new("bare").connect_raw(Address("legacy-1", 9001))
+        start = env.now
+        conn.send(b"hello", size=5)
+        reply = yield conn.recv()
+        print(f"bare connect_raw:    {reply.payload!r}  "
+              f"(RTT {(env.now - start) * 1e6:.1f} us, 0 control RTTs)")
+        conn.close()
+
+        # 2. Client-side chunnels still work: shard across two legacy
+        #    daemons, paced to 1 MB/s — all computed at this client.
+        dag = wrap(
+            Shard(
+                choices=[Address("legacy-1", 9001), Address("legacy-2", 9001)],
+                shard_fn=HashBytes(0, 4),
+            )
+            >> RateLimit(bytes_per_second=1e6, burst_bytes=2000)
+        )
+        conn = runtime.new("sharded").connect_raw(Address("legacy-1", 9001))
+        conn.close()
+        conn = runtime.new("sharded", dag).connect_raw(Address("legacy-1", 9001))
+        hit = set()
+        for index in range(8):
+            conn.send(b"%04d" % index, size=600)
+            reply = yield conn.recv()
+            hit.add(reply.src.host)
+        print(f"client-side chunnels: sharded across {sorted(hit)} with pacing")
+        conn.close()
+
+        # 3. Peer-cooperating chunnels are rejected eagerly, not at runtime.
+        try:
+            runtime.new("nope", wrap(Reliable())).connect_raw(
+                Address("legacy-1", 9001)
+            )
+        except NoImplementationError as error:
+            print(f"reliability rejected: {error}")
+
+    net.env.process(client(net.env))
+    net.env.run(until=1.0)
+
+
+if __name__ == "__main__":
+    main()

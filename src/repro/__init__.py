@@ -1,0 +1,49 @@
+"""repro — a Python reproduction of Bertha (HotNets '20).
+
+Bertha is a network API in which applications declare communication
+functionality as a DAG of composable *Chunnels*; the runtime discovers,
+negotiates, and binds the best available implementation of each Chunnel —
+host software, kernel fast path, SmartNIC, or programmable switch — when a
+connection is established.
+
+Public surface:
+
+* :mod:`repro.core` — the Bertha API: Chunnel specs, DAGs, endpoints,
+  negotiation, policies, the DAG optimizer and the offload scheduler.
+* :mod:`repro.chunnels` — the Chunnel library (reliability, serialization,
+  sharding, ordered multicast, local fast path, …) with fallback and
+  offloaded implementations.
+* :mod:`repro.discovery` — the discovery service Chunnel implementations
+  register with.
+* :mod:`repro.sim` — the deterministic simulated substrate (hosts, NICs,
+  switches, links) everything runs on.
+* :mod:`repro.apps`, :mod:`repro.workloads`, :mod:`repro.baselines` — the
+  applications, workload generators, and non-Bertha baselines used by the
+  paper's experiments.
+"""
+
+from . import (
+    apps,
+    baselines,
+    chunnels,
+    core,
+    discovery,
+    errors,
+    metrics,
+    sim,
+    workloads,
+)
+from .version import __version__
+
+__all__ = [
+    "apps",
+    "baselines",
+    "chunnels",
+    "core",
+    "discovery",
+    "errors",
+    "metrics",
+    "sim",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Applications built on the Bertha API: the paper's evaluation workloads."""
+
+from .kvstore import (
+    KV_SHARD_FN,
+    KvClient,
+    KvCodec,
+    KvServer,
+    ShardWorker,
+    kv_request,
+    kv_response,
+)
+from .rpc import EchoServer, PingResult, ping_connection, ping_session
+from .rsm import QuorumError, RsmClient, RsmReplica
+
+__all__ = [
+    "EchoServer",
+    "KV_SHARD_FN",
+    "KvClient",
+    "KvCodec",
+    "KvServer",
+    "PingResult",
+    "QuorumError",
+    "RsmClient",
+    "RsmReplica",
+    "ShardWorker",
+    "kv_request",
+    "kv_response",
+    "ping_connection",
+    "ping_session",
+]

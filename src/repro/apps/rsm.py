@@ -1,0 +1,186 @@
+"""Replicated state machine over ordered multicast (§3.2, Listing 2).
+
+The paper's consensus example: with the network providing ordered
+multicast (Speculative Paxos / NOPaxos style), replicas can apply client
+operations in network order and reply directly; the client accepts a result
+once a quorum of replicas agrees on the sequence number.  Gap recovery —
+what NOPaxos does when the ``mcast_gap`` marker appears — is stubbed to
+counting (a full view-change protocol is out of the paper's scope and
+ours).
+
+The state machine is a dictionary with compare-and-swap, enough to exercise
+"replies must agree" semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..chunnels.multicast import GAP_HEADER, SEQ_HEADER, OrderedMcast
+from ..chunnels.serialize import Serialize
+from ..core.dag import wrap
+from ..core.runtime import Runtime
+from ..errors import BerthaError
+from ..sim.datagram import Address
+from ..sim.eventloop import Interrupt
+
+__all__ = ["RsmReplica", "RsmClient", "QuorumError"]
+
+
+class QuorumError(BerthaError):
+    """The client could not assemble a quorum of matching replies."""
+
+
+class RsmReplica:
+    """One replica: apply multicast-ordered operations; reply directly."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        port: int,
+        group: str,
+        members: list[str],
+        apply_cost: float = 1.0e-6,
+    ):
+        self.runtime = runtime
+        self.group = group
+        self.name = runtime.entity.name
+        self.apply_cost = apply_cost
+        self.state: dict[str, object] = {}
+        self.applied = 0
+        self.gaps_seen = 0
+        dag = wrap(Serialize() >> OrderedMcast(group=group, members=members))
+        self.endpoint = runtime.new(f"rsm-{group}", dag)
+        self.listener = self.endpoint.listen(port=port)
+        self._acceptor = runtime.env.process(
+            self._accept_loop(), name=f"rsm:{self.name}.accept"
+        )
+
+    @property
+    def address(self) -> Address:
+        return self.listener.address
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn = yield self.listener.accept()
+            except Interrupt:
+                return
+            self.runtime.env.process(
+                self._serve(conn), name=f"rsm:{self.name}.conn"
+            )
+
+    def _serve(self, conn):
+        env = self.runtime.env
+        while not conn.closed:
+            msg = yield conn.recv()
+            if msg.headers.get(GAP_HEADER):
+                self.gaps_seen += 1
+            yield env.timeout(self.apply_cost)
+            result = self._apply(msg.payload)
+            self.applied += 1
+            conn.send(
+                {
+                    "replica": self.name,
+                    "seq": msg.headers.get(SEQ_HEADER),
+                    "request_id": msg.payload.get("request_id"),
+                    "result": result,
+                },
+                dst=msg.src,
+            )
+
+    def _apply(self, op: dict) -> object:
+        kind = op.get("op")
+        if kind == "put":
+            self.state[op["key"]] = op["value"]
+            return "ok"
+        if kind == "get":
+            return self.state.get(op["key"])
+        if kind == "cas":
+            current = self.state.get(op["key"])
+            if current == op["expect"]:
+                self.state[op["key"]] = op["value"]
+                return "ok"
+            return f"conflict:{current!r}"
+        return "error:unknown-op"
+
+    def close(self) -> None:
+        self.listener.close()
+
+
+class RsmClient:
+    """Submit operations to the whole group; wait for a quorum."""
+
+    def __init__(self, runtime: Runtime, group: str, name: str = "rsm-client"):
+        self.runtime = runtime
+        self.group = group
+        dag = wrap(Serialize() >> OrderedMcast(group=group))
+        self.endpoint = runtime.new(name, dag)
+        self.conn = None
+        self._request_ids = itertools.count(1)
+        self.mismatches = 0
+
+    def connect(self, replica_addresses: list[Address]):
+        """Generator: negotiate with every group member (Listing 2)."""
+        conn = yield from self.endpoint.connect(list(replica_addresses))
+        self.conn = conn
+        return conn
+
+    def submit(
+        self,
+        op: dict,
+        quorum: Optional[int] = None,
+        timeout: float = 5e-3,
+    ):
+        """Generator → result once ``quorum`` replicas agree on the order.
+
+        Raises :class:`QuorumError` on timeout or ordering disagreement
+        (the trigger for a real protocol's recovery path).
+        """
+        if self.conn is None:
+            raise QuorumError("connect() first")
+        group_size = len(self.conn.peers)
+        needed = quorum if quorum is not None else group_size // 2 + 1
+        request_id = next(self._request_ids)
+        env = self.runtime.env
+        deadline = env.now + timeout
+        self.conn.send({**op, "request_id": request_id})
+        replies: dict[str, dict] = {}
+        while env.now < deadline:
+            receive = self.conn.recv()
+            timer = env.timeout(max(deadline - env.now, 0))
+            yield env.any_of([receive, timer])
+            if not receive.processed:
+                if not receive.triggered:
+                    receive.succeed(None)  # cancel the mailbox getter
+                break
+            reply = receive.value.payload
+            if not isinstance(reply, dict) or reply.get("request_id") != request_id:
+                continue  # stale reply from an earlier, timed-out request
+            replies[reply["replica"]] = reply
+            agreeing = self._largest_agreement(replies)
+            if len(agreeing) >= needed:
+                return agreeing[0]["result"]
+        raise QuorumError(
+            f"no quorum for request {request_id} "
+            f"({len(replies)}/{group_size} replies, need {needed} agreeing)"
+        )
+
+    def _largest_agreement(self, replies: dict[str, dict]) -> list[dict]:
+        """The largest subset of replies agreeing on (seq, result)."""
+        groups: dict[tuple, list[dict]] = {}
+        for reply in replies.values():
+            key = (reply.get("seq"), repr(reply.get("result")))
+            groups.setdefault(key, []).append(reply)
+        if not groups:
+            return []
+        best = max(groups.values(), key=len)
+        if len(best) < len(replies):
+            self.mismatches += 1
+        return best
+
+    def close(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None

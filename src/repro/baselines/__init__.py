@@ -1,0 +1,19 @@
+"""Non-Bertha baselines the paper compares against."""
+
+from .hardcoded import (
+    pipe_echo_server,
+    pipe_ping_session,
+    tcp_echo_server,
+    tcp_ping_session,
+    udp_echo_server,
+    udp_ping_session,
+)
+
+__all__ = [
+    "pipe_echo_server",
+    "pipe_ping_session",
+    "tcp_echo_server",
+    "tcp_ping_session",
+    "udp_echo_server",
+    "udp_ping_session",
+]

@@ -1,0 +1,123 @@
+"""Non-Bertha baselines for Figure 3: hardcoded transports.
+
+The paper's Figure 3 compares the Bertha client (which *negotiates* its
+transport) against two applications that hardcode theirs:
+
+* a "specialized implementation that hardcodes the use of IPCs" (UNIX
+  pipes) — the best case, but it only works when the peer is local and it
+  bakes the placement decision into the code;
+* an ordinary inter-container TCP application — placement-independent, but
+  it pays the duplicated network-stack traversal on every message.
+
+Each baseline is a ping server plus a session function mirroring
+:func:`repro.apps.rpc.ping_session`'s measurement protocol (connection
+setup timed separately from per-request RTTs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..apps.rpc import PingResult
+from ..sim.datagram import Address, Datagram
+from ..sim.eventloop import Interrupt
+from ..sim.host import NetEntity
+from ..sim.transport import PipeSocket, TcpLoopbackSocket, UdpSocket
+
+__all__ = [
+    "pipe_echo_server",
+    "tcp_echo_server",
+    "udp_echo_server",
+    "pipe_ping_session",
+    "tcp_ping_session",
+    "udp_ping_session",
+]
+
+
+def _echo_loop(socket) -> Iterator:
+    """Echo every datagram back to its source."""
+    while True:
+        try:
+            dgram: Datagram = yield socket.recv()
+        except Interrupt:
+            return
+        socket.send(dgram.payload, dgram.src, size=dgram.size)
+
+
+def pipe_echo_server(entity: NetEntity, port: int):
+    """Start a pipe echo server; returns (socket, process)."""
+    socket = PipeSocket(entity, port)
+    process = entity.env.process(_echo_loop(socket), name=f"pipe-echo:{port}")
+    return socket, process
+
+
+def tcp_echo_server(entity: NetEntity, port: int):
+    """Start a loopback-TCP echo server; returns (socket, process)."""
+    socket = TcpLoopbackSocket(entity, port, listening=True)
+    process = entity.env.process(_echo_loop(socket), name=f"tcp-echo:{port}")
+    return socket, process
+
+
+def udp_echo_server(entity: NetEntity, port: int):
+    """Start a UDP echo server; returns (socket, process)."""
+    socket = UdpSocket(entity, port)
+    process = entity.env.process(_echo_loop(socket), name=f"udp-echo:{port}")
+    return socket, process
+
+
+def _ping_loop(env, socket, server: Address, size: int, count: int):
+    payload = bytes(size)
+    rtts: list[float] = []
+    for _ in range(count):
+        start = env.now
+        socket.send(payload, server, size=size)
+        yield socket.recv()
+        rtts.append(env.now - start)
+    return rtts
+
+
+def pipe_ping_session(
+    entity: NetEntity, server: Address, size: int = 64, count: int = 3
+):
+    """Generator → :class:`PingResult` over a hardcoded pipe."""
+    env = entity.env
+    start = env.now
+    socket = PipeSocket(entity)
+    # Pipes have no handshake: "setup" is just socket creation.
+    setup_time = env.now - start
+    rtts = yield from _ping_loop(env, socket, server, size, count)
+    socket.close()
+    return PingResult(
+        setup_time=setup_time, rtts=rtts, transport="pipe", server_entity=server.host
+    )
+
+
+def tcp_ping_session(
+    entity: NetEntity, server: Address, size: int = 64, count: int = 3
+):
+    """Generator → :class:`PingResult` over hardcoded loopback TCP."""
+    env = entity.env
+    start = env.now
+    socket = TcpLoopbackSocket(entity)
+    yield from socket.handshake(server)
+    setup_time = env.now - start
+    rtts = yield from _ping_loop(env, socket, server, size, count)
+    socket.close()
+    return PingResult(
+        setup_time=setup_time, rtts=rtts, transport="tcp", server_entity=server.host
+    )
+
+
+def udp_ping_session(
+    entity: NetEntity, server: Address, size: int = 64, count: int = 3
+):
+    """Generator → :class:`PingResult` over hardcoded UDP."""
+    env = entity.env
+    start = env.now
+    socket = UdpSocket(entity)
+    setup_time = env.now - start
+    rtts = yield from _ping_loop(env, socket, server, size, count)
+    socket.close()
+    return PingResult(
+        setup_time=setup_time, rtts=rtts, transport="udp", server_entity=server.host
+    )

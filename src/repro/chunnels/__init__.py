@@ -1,0 +1,159 @@
+"""The Chunnel library: specs and implementations for every Chunnel type.
+
+Importing this package populates the process-wide implementation catalog
+(:data:`repro.core.catalog`) and the optimizer's algebraic-traits table
+(:data:`repro.core.default_traits`).  Applications then register the
+fallbacks they link against (Listing 5) with their runtime, and operators
+register offloaded variants with the discovery service.
+
+Chunnel types provided (paper section in parentheses):
+
+=================  =====================================================
+``local_or_remote``  pipe IPC on a shared host, datagrams otherwise (§3.2)
+``serialize``        objects ↔ bytes, negotiable codec (§3.2)
+``reliable``         ack/retransmit delivery (Listing 5)
+``ordered``          per-source in-order delivery
+``tcp``              coarse reliability+ordering (§2 minimality)
+``encrypt``          symmetric payload encryption (§6 example)
+``http2``            content-agnostic framing (§6 example)
+``tls``              fused encrypt+tcp (§6 merge target)
+``compress``         zlib payload compression
+``shard``            key-affine request steering (Listing 4, Figure 5)
+``ordered_mcast``    sequencer-ordered group delivery (Listing 2)
+``anycast``          best-instance selection (§3.2)
+``loadbalance``      backend spreading, client or proxy side (§3.2)
+``batch``            send coalescing
+``ratelimit``        token-bucket send pacing (PicNIC-class shaping)
+=================  =====================================================
+"""
+
+from ..core.optimizer import default_traits
+from .anycast import Anycast, AnycastDns, AnycastIp, nearest_instance
+from .batching import Batch, BatchFallback
+from .compress import Compress, CompressFallback
+from .encrypt import Encrypt, EncryptFallback, EncryptSmartNic, keystream_cipher
+from .http2 import FRAME_HEADER_SIZE, Http2, Http2Fallback
+from .local_fastpath import LocalOrRemote, LocalOrRemoteFallback
+from .loadbalance import LoadBalance, LoadBalanceClient, LoadBalanceProxy
+from .multicast import (
+    GAP_HEADER,
+    GROUP_HEADER,
+    SEQ_HEADER,
+    GroupSequencer,
+    McastSequencerFallback,
+    McastSwitchSequencer,
+    OrderedMcast,
+    SequencerProgram,
+    sequencer_service_name,
+)
+from .ordering import Ordered, OrderedFallback
+from .ratelimit import RateLimit, RateLimitFallback, RateLimitNicPacer
+from .reliability import Reliable, ReliableFallback, ReliableToe
+from .serialize import (
+    BincodeCodec,
+    Codec,
+    JsonCodec,
+    Serialize,
+    SerializeAccelerated,
+    SerializeFallback,
+    get_codec,
+    register_codec,
+)
+from .sharding import (
+    REPLY_TO_HEADER,
+    HashBytes,
+    HashKeyField,
+    Shard,
+    ShardClientFallback,
+    ShardFunction,
+    ShardServerFallback,
+    ShardSwitch,
+    ShardXdp,
+    XdpShardProgram,
+)
+from .tcp import Tcp, TcpFallback, TcpToe
+from .tls import Tls, TlsFallback, TlsSmartNic
+
+__all__ = [
+    "Anycast",
+    "AnycastDns",
+    "AnycastIp",
+    "Batch",
+    "BatchFallback",
+    "BincodeCodec",
+    "Codec",
+    "Compress",
+    "CompressFallback",
+    "Encrypt",
+    "EncryptFallback",
+    "EncryptSmartNic",
+    "FRAME_HEADER_SIZE",
+    "GAP_HEADER",
+    "GROUP_HEADER",
+    "GroupSequencer",
+    "HashBytes",
+    "HashKeyField",
+    "Http2",
+    "Http2Fallback",
+    "JsonCodec",
+    "LoadBalance",
+    "LoadBalanceClient",
+    "LoadBalanceProxy",
+    "LocalOrRemote",
+    "LocalOrRemoteFallback",
+    "McastSequencerFallback",
+    "McastSwitchSequencer",
+    "Ordered",
+    "OrderedFallback",
+    "OrderedMcast",
+    "REPLY_TO_HEADER",
+    "RateLimit",
+    "RateLimitFallback",
+    "RateLimitNicPacer",
+    "Reliable",
+    "ReliableFallback",
+    "ReliableToe",
+    "SEQ_HEADER",
+    "SequencerProgram",
+    "Serialize",
+    "SerializeAccelerated",
+    "SerializeFallback",
+    "Shard",
+    "ShardClientFallback",
+    "ShardFunction",
+    "ShardServerFallback",
+    "ShardSwitch",
+    "ShardXdp",
+    "Tcp",
+    "TcpFallback",
+    "TcpToe",
+    "Tls",
+    "TlsFallback",
+    "TlsSmartNic",
+    "XdpShardProgram",
+    "get_codec",
+    "keystream_cipher",
+    "nearest_instance",
+    "register_codec",
+    "sequencer_service_name",
+]
+
+
+def _register_traits() -> None:
+    """Teach the optimizer the Chunnel algebra (§6's transformations)."""
+    # Framing is content-agnostic: it commutes with payload transforms.
+    default_traits.register_commutes("encrypt", "http2")
+    default_traits.register_commutes("batch", "http2")
+    # Redundant-duplicate elimination targets.
+    default_traits.register_idempotent("ordered")
+    default_traits.register_idempotent("reliable")
+    # The §6 merge: encrypt |> tcp fuses into tls.
+    default_traits.register_merge("encrypt", "tcp", "tls")
+    # §6 specialization: over an already-reliable in-order transport
+    # (pipes), these Chunnels add nothing but cost.
+    default_traits.register_subsumed_by_reliable_transport("reliable")
+    default_traits.register_subsumed_by_reliable_transport("ordered")
+    default_traits.register_subsumed_by_reliable_transport("tcp")
+
+
+_register_traits()

@@ -1,0 +1,124 @@
+"""The anycast Chunnel (§3.2 "Anycast").
+
+Route each connection to "the best" instance of a replicated service.  The
+paper's observation: IP anycast picks the topologically-nearest instance
+but suffers routing instability, so many deployments fall back to DNS-based
+selection; which is right depends on where the application is deployed —
+so make it a Chunnel and let the connection bind whichever mechanism is
+available.
+
+Both implementations act at *instance selection* time (the per-connection
+name resolution step):
+
+* ``AnycastIp`` — nearest instance by network path latency (what IP
+  anycast approximates);
+* ``AnycastDns`` — DNS-style selection: deterministic rotation over the
+  healthy instance list.
+
+The spec's ``select_instance`` hook applies whichever strategy the
+connection negotiated last time the application connected; before the first
+negotiation it uses the nearest-instance strategy, matching anycast's
+connection-establishment semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..core.chunnel import ChunnelImpl, ChunnelSpec, ImplMeta, register_spec
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..sim.datagram import Address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.host import NetEntity
+    from ..sim.network import Network
+
+__all__ = ["Anycast", "AnycastIp", "AnycastDns", "nearest_instance"]
+
+_rotation = itertools.count()
+
+
+def nearest_instance(
+    instances: list[Address], entity: "NetEntity", network: "Network"
+) -> Optional[Address]:
+    """The instance with the lowest path latency from ``entity``."""
+    if not instances:
+        return None
+    origin = entity.host.name
+
+    def path_cost(address: Address) -> float:
+        target = network.entities.get(address.host)
+        if target is None:
+            return float("inf")
+        if target.host.name == origin:
+            return 0.0
+        path = network.route(origin, target.host.name)
+        return sum(
+            network.link_between(a, b).latency for a, b in zip(path, path[1:])
+        )
+
+    return min(instances, key=lambda a: (path_cost(a), a.host, a.port))
+
+
+def rotating_instance(
+    instances: list[Address], entity: "NetEntity", network: "Network"
+) -> Optional[Address]:
+    """DNS-style rotation across instances."""
+    if not instances:
+        return None
+    return instances[next(_rotation) % len(instances)]
+
+
+@register_spec
+class Anycast(ChunnelSpec):
+    """Connect to the best instance of a replicated service.
+
+    ``strategy`` seeds the pre-negotiation behaviour: ``"nearest"``
+    (IP-anycast-like, default) or ``"rotate"`` (DNS-like).
+    """
+
+    type_name = "anycast"
+
+    def __init__(self, strategy: str = "nearest"):
+        if strategy not in ("nearest", "rotate"):
+            raise ValueError(f"unknown anycast strategy {strategy!r}")
+        super().__init__(strategy=strategy)
+
+    def select_instance(
+        self, instances: list[Address], entity: "NetEntity", network: "Network"
+    ) -> Optional[Address]:
+        if self.args["strategy"] == "rotate":
+            return rotating_instance(instances, entity, network)
+        return nearest_instance(instances, entity, network)
+
+
+@catalog.add
+class AnycastIp(ChunnelImpl):
+    """Nearest-instance selection (IP anycast semantics)."""
+
+    meta = ImplMeta(
+        chunnel_type="anycast",
+        name="ip",
+        priority=30,
+        scope=Scope.NETWORK,
+        endpoints=Endpoints.ANY,
+        placement=Placement.HOST_SOFTWARE,
+        description="route to the topologically nearest instance",
+    )
+
+
+@catalog.add
+class AnycastDns(ChunnelImpl):
+    """DNS-rotation selection (the common deployed fallback)."""
+
+    meta = ImplMeta(
+        chunnel_type="anycast",
+        name="dns",
+        priority=10,
+        scope=Scope.GLOBAL,
+        endpoints=Endpoints.ANY,
+        placement=Placement.HOST_SOFTWARE,
+        description="rotate across healthy instances",
+    )

@@ -1,0 +1,174 @@
+"""The batching Chunnel.
+
+Amortizes per-message costs by coalescing sends: messages buffer until
+either ``max_messages`` accumulate or ``max_delay`` elapses, then travel as
+one wire datagram; the receiving stage unbatches.  Batching composes under
+serialization (it batches byte payloads) and is the kind of
+easily-offloadable, application-relevant function Bertha's Chunnel criteria
+(§2) call for — it also exercises the 1→n/n→1 message fan shapes of the
+stage interface, which is why the test suite leans on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..errors import ChunnelArgumentError
+from ..sim.eventloop import Interrupt
+
+__all__ = ["Batch", "BatchFallback"]
+
+_MARK = "batch"
+_COUNT = "batch_count"
+
+
+@register_spec
+class Batch(ChunnelSpec):
+    """Coalesce up to ``max_messages`` sends within ``max_delay`` seconds."""
+
+    type_name = "batch"
+
+    def __init__(self, max_messages: int = 8, max_delay: float = 10e-6):
+        if max_messages < 1:
+            raise ChunnelArgumentError("max_messages must be >= 1")
+        if max_delay <= 0:
+            raise ChunnelArgumentError("max_delay must be positive")
+        super().__init__(max_messages=max_messages, max_delay=max_delay)
+
+
+class _BatchStage(ChunnelStage):
+    """Buffer-and-flush on send; unbatch on receive.
+
+    Batches are keyed by destination: messages to different destinations
+    (sharded sends) buffer separately.
+    """
+
+    PER_BATCH_COST = 0.3e-6
+
+    def __init__(self, impl: ChunnelImpl, role: Role):
+        super().__init__(impl, role)
+        self.max_messages = impl.spec.args["max_messages"]
+        self.max_delay = impl.spec.args["max_delay"]
+        self._pending: dict[object, list[Message]] = {}
+        self._timers: dict[object, object] = {}
+        self.batches_sent = 0
+        self.messages_batched = 0
+
+    # -- send side -----------------------------------------------------------
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        if not isinstance(msg.payload, (bytes, bytearray)):
+            raise ChunnelArgumentError(
+                "batch chunnel needs byte payloads; serialize first"
+            )
+        key = msg.dst
+        queue = self._pending.setdefault(key, [])
+        queue.append(msg)
+        self.messages_batched += 1
+        if len(queue) >= self.max_messages:
+            return [self._flush(key)]
+        self._arm_timer(key)
+        return []
+
+    def _flush(self, key: object) -> Message:
+        queue = self._pending.pop(key, [])
+        self._disarm_timer(key)
+        frames = bytearray()
+        total_size = 0
+        for item in queue:
+            data = bytes(item.payload)
+            frames += len(data).to_bytes(4, "big")
+            frames += data
+            total_size += item.size
+        merged = Message(
+            payload=bytes(frames),
+            size=total_size + 4 * len(queue),
+            headers={_MARK: True, _COUNT: len(queue)},
+            dst=queue[0].dst if queue else None,
+        )
+        self.charge(self.PER_BATCH_COST)
+        self.batches_sent += 1
+        return merged
+
+    def _arm_timer(self, key: object) -> None:
+        if key in self._timers:
+            return
+        self._timers[key] = self.env.process(
+            self._flush_loop(key), name="batch.flush"
+        )
+
+    def _disarm_timer(self, key: object) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None and timer.is_alive:
+            timer.interrupt("flushed")
+
+    def _flush_loop(self, key: object):
+        try:
+            yield self.env.timeout(self.max_delay)
+        except Interrupt:
+            return
+        self._timers.pop(key, None)
+        if self._pending.get(key):
+            self.send_below(self._flush(key))
+
+    # -- receive side ---------------------------------------------------------
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        if not msg.headers.pop(_MARK, False):
+            return [msg]
+        count = msg.headers.pop(_COUNT, 0)
+        data = bytes(msg.payload)
+        out: list[Message] = []
+        offset = 0
+        for _ in range(count):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            piece = data[offset : offset + length]
+            offset += length
+            out.append(
+                Message(
+                    payload=piece,
+                    size=len(piece),
+                    headers={
+                        k: v
+                        for k, v in msg.headers.items()
+                        if k not in (_MARK, _COUNT)
+                    },
+                    src=msg.src,
+                )
+            )
+        self.charge(self.PER_BATCH_COST)
+        return out
+
+    def stop(self) -> None:
+        for key in list(self._timers):
+            self._disarm_timer(key)
+        # Deliberately do not flush: the connection is closing.
+        self._pending.clear()
+
+
+@catalog.add
+class BatchFallback(ChunnelImpl):
+    """Software batching (always available)."""
+
+    meta = ImplMeta(
+        chunnel_type="batch",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="coalesce sends by destination",
+    )
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _BatchStage(self, role)

@@ -1,0 +1,106 @@
+"""The compression Chunnel.
+
+zlib over byte payloads, with the systems-relevant properties modelled:
+CPU cost per input byte (compression is slower than decompression), wire
+size reduction tracked honestly (incompressible payloads can *grow*; the
+stage then sends the original bytes and marks the message uncompressed).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..errors import ChunnelArgumentError
+
+__all__ = ["Compress", "CompressFallback"]
+
+_MARK = "zlib"
+
+
+@register_spec
+class Compress(ChunnelSpec):
+    """zlib compression of the byte stream.
+
+    ``level`` is the zlib level (1 fast … 9 small).
+    """
+
+    type_name = "compress"
+
+    def __init__(self, level: int = 1):
+        if not 1 <= level <= 9:
+            raise ChunnelArgumentError(f"zlib level out of range: {level}")
+        super().__init__(level=level)
+
+
+class _CompressStage(ChunnelStage):
+    """Compress on send (when it helps), decompress on receive."""
+
+    COMPRESS_BYTES_PER_SECOND = 0.4e9
+    DECOMPRESS_BYTES_PER_SECOND = 1.2e9
+
+    def __init__(self, impl: ChunnelImpl, role: Role):
+        super().__init__(impl, role)
+        self.level = impl.spec.args["level"]
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.incompressible = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        if not isinstance(msg.payload, (bytes, bytearray)):
+            raise ChunnelArgumentError(
+                "compress chunnel needs byte payloads; put a serialize "
+                "chunnel above it in the DAG"
+            )
+        data = bytes(msg.payload)
+        self.charge(len(data) / self.COMPRESS_BYTES_PER_SECOND)
+        packed = zlib.compress(data, self.level)
+        self.bytes_in += len(data)
+        if len(packed) >= len(data):
+            self.incompressible += 1
+            self.bytes_out += len(data)
+            return [msg]
+        self.bytes_out += len(packed)
+        msg.headers[_MARK] = True
+        msg.size = max(msg.size - (len(data) - len(packed)), 1)
+        msg.payload = packed
+        return [msg]
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        if not msg.headers.pop(_MARK, False):
+            return [msg]
+        packed = bytes(msg.payload)
+        self.charge(len(packed) / self.DECOMPRESS_BYTES_PER_SECOND)
+        data = zlib.decompress(packed)
+        msg.size = msg.size + (len(data) - len(packed))
+        msg.payload = data
+        return [msg]
+
+
+@catalog.add
+class CompressFallback(ChunnelImpl):
+    """Software zlib (always available)."""
+
+    meta = ImplMeta(
+        chunnel_type="compress",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="zlib, ~0.4 GB/s compress",
+    )
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _CompressStage(self, role)

@@ -1,0 +1,156 @@
+"""The encryption Chunnel.
+
+A symmetric stream cipher over byte payloads.  The cipher itself is a toy
+(a keyed XOR keystream — deterministic, invertible, *not* secure), because
+what the reproduction needs from encryption is its *systems* behaviour: it
+costs CPU per byte, it must sit between framing and transport in a
+pipeline, it commutes with content-agnostic framing (the §6 reorder
+example), and hardware can offload it.
+
+Implementations: software fallback, and a SmartNIC crypto engine whose host
+cost approximates DMA-only (the §6 example's offloadable ``encrypt``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Iterable
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.resources import NIC_SLOTS, ResourceVector
+from ..core.scope import Endpoints, Placement, Scope
+from ..errors import ChunnelArgumentError
+
+__all__ = ["Encrypt", "keystream_cipher", "EncryptFallback", "EncryptSmartNic"]
+
+_MARK = "enc"
+_NONCE = "enc_nonce"
+_HEADER_OVERHEAD = 24  # nonce + tag on the wire
+
+
+def _keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """A deterministic keystream from SHA-256 in counter mode (toy)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce.to_bytes(8, "big") + counter.to_bytes(8, "big")
+        ).digest()
+        out += block
+        counter += 1
+    return bytes(out[:length])
+
+
+def keystream_cipher(key: bytes, nonce: int, data: bytes) -> bytes:
+    """XOR ``data`` with the keystream; applying twice round-trips."""
+    stream = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+@register_spec
+class Encrypt(ChunnelSpec):
+    """Symmetric encryption of the byte stream.
+
+    ``key_id`` names a pre-shared key both endpoints derive the same way
+    (key distribution is out of scope, as it is in the paper).
+    """
+
+    type_name = "encrypt"
+
+    def __init__(self, key_id: str = "default"):
+        if not key_id:
+            raise ChunnelArgumentError("key_id must be non-empty")
+        super().__init__(key_id=key_id)
+
+
+class _EncryptStage(ChunnelStage):
+    """Encrypt below, decrypt above; per-byte CPU charge."""
+
+    def __init__(self, impl: ChunnelImpl, role: Role, bytes_per_second: float):
+        super().__init__(impl, role)
+        key_id = impl.spec.args["key_id"]
+        self.key = hashlib.sha256(f"psk:{key_id}".encode()).digest()
+        self.seconds_per_byte = 1.0 / bytes_per_second
+        self._nonce = itertools.count(1)
+        self.bytes_encrypted = 0
+        self.bytes_decrypted = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        if not isinstance(msg.payload, (bytes, bytearray)):
+            raise ChunnelArgumentError(
+                "encrypt chunnel needs byte payloads; put a serialize "
+                "chunnel above it in the DAG"
+            )
+        nonce = next(self._nonce)
+        data = bytes(msg.payload)
+        self.charge(len(data) * self.seconds_per_byte)
+        self.bytes_encrypted += len(data)
+        msg.payload = keystream_cipher(self.key, nonce, data)
+        msg.headers[_MARK] = True
+        msg.headers[_NONCE] = nonce
+        msg.size = msg.size + _HEADER_OVERHEAD
+        return [msg]
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        if not msg.headers.get(_MARK):
+            return [msg]
+        nonce = msg.headers[_NONCE]
+        data = bytes(msg.payload)
+        self.charge(len(data) * self.seconds_per_byte)
+        self.bytes_decrypted += len(data)
+        msg.payload = keystream_cipher(self.key, nonce, data)
+        msg.headers.pop(_MARK, None)
+        msg.headers.pop(_NONCE, None)
+        msg.size = max(msg.size - _HEADER_OVERHEAD, 0)
+        return [msg]
+
+
+@catalog.add
+class EncryptFallback(ChunnelImpl):
+    """Software cipher (AES-NI-class throughput)."""
+
+    meta = ImplMeta(
+        chunnel_type="encrypt",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="software stream cipher, ~2.5 GB/s",
+    )
+
+    BYTES_PER_SECOND = 2.5e9
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _EncryptStage(self, role, self.BYTES_PER_SECOND)
+
+
+@catalog.add
+class EncryptSmartNic(ChunnelImpl):
+    """SmartNIC inline crypto engine (the §6 example's offload)."""
+
+    meta = ImplMeta(
+        chunnel_type="encrypt",
+        name="nic-crypto",
+        priority=80,
+        scope=Scope.HOST,
+        endpoints=Endpoints.ANY,
+        placement=Placement.SMARTNIC,
+        resources=ResourceVector({NIC_SLOTS: 1}),
+        description="inline NIC crypto, host cost ≈ DMA only",
+    )
+
+    BYTES_PER_SECOND = 40e9
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _EncryptStage(self, role, self.BYTES_PER_SECOND)

@@ -1,0 +1,153 @@
+"""The load-balancing Chunnel (§3.2 "Load Balancing, Sharding, and
+Routing").
+
+Unlike sharding (key-affine routing), a load balancer spreads requests
+across equivalent backends.  The paper's point is about *where* this runs:
+an application load balancer (ALB/F5/ProxySQL-style proxy) is easy to
+deploy but becomes a bottleneck; client-side balancing scales but
+complicates operations.  As a Chunnel, the placement is negotiated per
+connection:
+
+* ``LoadBalanceClient`` — client picks a backend per request;
+* ``LoadBalanceProxy`` — a server-side proxy stage forwards each request
+  (the ALB baseline shape: every request costs an extra hop and the proxy
+  serializes).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Optional
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..errors import ChunnelArgumentError
+from ..sim.datagram import Address
+from .sharding import REPLY_TO_HEADER
+
+__all__ = ["LoadBalance", "LoadBalanceClient", "LoadBalanceProxy"]
+
+
+@register_spec
+class LoadBalance(ChunnelSpec):
+    """Spread requests over ``backends``.
+
+    ``strategy``: ``"round_robin"`` or ``"hash_source"`` (connection
+    affinity by source address).
+    """
+
+    type_name = "loadbalance"
+
+    def __init__(self, backends: list[Address], strategy: str = "round_robin"):
+        if not backends:
+            raise ChunnelArgumentError("loadbalance needs at least one backend")
+        if strategy not in ("round_robin", "hash_source"):
+            raise ChunnelArgumentError(f"unknown strategy {strategy!r}")
+        super().__init__(backends=list(backends), strategy=strategy)
+
+    @property
+    def backends(self) -> list[Address]:
+        return self.args["backends"]
+
+
+class _BalanceState:
+    """Backend selection shared by both stage flavours."""
+
+    def __init__(self, spec: LoadBalance):
+        self.spec = spec
+        self._next = 0
+
+    def pick(self, source: Optional[Address]) -> Address:
+        backends = self.spec.backends
+        if self.spec.args["strategy"] == "hash_source" and source is not None:
+            index = zlib.crc32(str(source).encode()) % len(backends)
+            return backends[index]
+        index = self._next % len(backends)
+        self._next += 1
+        return backends[index]
+
+
+class _ClientBalanceStage(ChunnelStage):
+    """Client-side balancing: address each request directly."""
+
+    PER_REQUEST_COST = 0.2e-6
+
+    def __init__(self, impl: ChunnelImpl, role: Role):
+        super().__init__(impl, role)
+        self.state = _BalanceState(impl.spec)
+        self.requests_balanced = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        msg.dst = self.state.pick(None)
+        self.charge(self.PER_REQUEST_COST)
+        self.requests_balanced += 1
+        return [msg]
+
+
+class _ProxyBalanceStage(ChunnelStage):
+    """Server-side proxy: receive, pick a backend, re-send."""
+
+    PER_REQUEST_COST = 6.0e-6  # proxy packet handling (serializes requests)
+
+    def __init__(self, impl: ChunnelImpl, role: Role):
+        super().__init__(impl, role)
+        self.state = _BalanceState(impl.spec)
+        self.requests_proxied = 0
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        if msg.headers.get("lb_forwarded"):
+            return [msg]
+        self.charge(self.PER_REQUEST_COST)
+        forward = msg.copy()
+        forward.dst = self.state.pick(msg.src)
+        forward.headers["lb_forwarded"] = True
+        if msg.src is not None:
+            forward.headers[REPLY_TO_HEADER] = [msg.src.host, msg.src.port]
+        self.send_below(forward)
+        self.requests_proxied += 1
+        return []
+
+
+@catalog.add
+class LoadBalanceClient(ChunnelImpl):
+    """Client-side balancing (scales with clients)."""
+
+    meta = ImplMeta(
+        chunnel_type="loadbalance",
+        name="client",
+        priority=20,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.CLIENT,
+        placement=Placement.HOST_SOFTWARE,
+        description="client picks a backend per request",
+    )
+
+    def make_stage(self, role: Role) -> Optional[ChunnelStage]:
+        return _ClientBalanceStage(self, role) if role is Role.CLIENT else None
+
+
+@catalog.add
+class LoadBalanceProxy(ChunnelImpl):
+    """Proxy balancing at the server (the ALB baseline shape)."""
+
+    meta = ImplMeta(
+        chunnel_type="loadbalance",
+        name="proxy",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.SERVER,
+        placement=Placement.HOST_SOFTWARE,
+        description="userspace proxy forwards each request",
+    )
+
+    def make_stage(self, role: Role) -> Optional[ChunnelStage]:
+        return _ProxyBalanceStage(self, role) if role is Role.SERVER else None

@@ -1,0 +1,84 @@
+"""The local fast-path Chunnel (Listing 1, Figures 3 & 4).
+
+``local_or_remote()`` gives one uniform interface over two data paths:
+
+* when the two endpoints are containers on the *same host*, the connection
+  uses pipe-class IPC, skipping the duplicated network-stack traversal that
+  makes inter-container messaging expensive (the paper cites FreeFlow and
+  Slim on this overhead);
+* otherwise it uses ordinary datagrams.
+
+Two mechanisms cooperate:
+
+1. **instance selection** — when connecting by service name, the spec's
+   ``select_instance`` hook prefers an instance on the client's own host.
+   Because resolution happens at every ``connect``, a local instance that
+   appears later is picked up by subsequent connections with no
+   reconfiguration: exactly Figure 4's step-down.
+2. **transport negotiation** — the server-side setup hook inspects the two
+   endpoints and selects the ``pipe`` transport when they share a host
+   (work a human would otherwise do by plumbing UNIX socket paths through
+   both applications).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.chunnel import ChunnelImpl, ChunnelSpec, ImplMeta, register_spec
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..core.stack import SetupContext
+from ..sim.datagram import Address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.host import NetEntity
+    from ..sim.network import Network
+
+__all__ = ["LocalOrRemote", "LocalOrRemoteFallback"]
+
+
+@register_spec
+class LocalOrRemote(ChunnelSpec):
+    """Pipe IPC when endpoints share a host; datagrams otherwise."""
+
+    type_name = "local_or_remote"
+
+    def __init__(self):
+        super().__init__()
+
+    @staticmethod
+    def select_instance(
+        instances: list[Address], entity: "NetEntity", network: "Network"
+    ) -> Optional[Address]:
+        """Prefer a service instance on the connecting client's host."""
+        local_host = entity.host
+        for address in instances:
+            candidate = network.entities.get(address.host)
+            if candidate is not None and candidate.host is local_host:
+                return address
+        return instances[0] if instances else None
+
+
+@catalog.add
+class LocalOrRemoteFallback(ChunnelImpl):
+    """The (only) implementation: negotiate the transport per connection."""
+
+    meta = ImplMeta(
+        chunnel_type="local_or_remote",
+        name="sw",
+        priority=20,
+        scope=Scope.GLOBAL,
+        endpoints=Endpoints.ANY,
+        placement=Placement.HOST_SOFTWARE,
+        description="pipes on shared host, datagrams otherwise",
+    )
+
+    def setup(self, ctx: SetupContext) -> None:
+        if not ctx.is_server:
+            return
+        network = ctx.network
+        client = network.entities.get(ctx.client_entity)
+        server = network.entities.get(ctx.server_entity)
+        if client is not None and server is not None and client.host is server.host:
+            ctx.select_transport("pipe")

@@ -1,0 +1,470 @@
+"""The ordered-multicast Chunnel (Listing 2, §3.2 "Network-Assisted
+Consensus").
+
+``ordered_mcast`` delivers every client request to *all* members of a
+replica group in one global order — the network-ordering primitive that
+Speculative Paxos and NOPaxos build consensus on.  The ordering point is a
+**sequencer** that stamps a per-group sequence number on each request and
+fans it out to the members:
+
+* ``McastSwitchSequencer`` — the sequencer is a program on a programmable
+  switch (the NOPaxos design): one stage, stamps and clones at line rate.
+* ``McastSequencerFallback`` — the sequencer is a userspace process hosted
+  by the group's deterministic leader (lowest member name): correct
+  everywhere, but serialized through one host.
+
+Replica-side delivery is resequenced *globally per group* (not per
+connection): two clients' requests interleave in sequencer order, so the
+resequencer is shared by all of a replica's connections in that group.  A
+gap that outlives the flush timeout is surfaced to the application via the
+``mcast_gap`` header — triggering the consensus protocol's gap-recovery
+path (NOPaxos's gap agreement), which is the application's business, not
+the Chunnel's.
+
+Simulator license, documented: the member fan-out list travels in message
+headers (a real deployment would use a group address programmed at join
+time), and fallback-sequencer discovery reads the cluster name service
+directly during connection setup rather than spending an extra RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.resources import SWITCH_SRAM_KB, SWITCH_STAGES, ResourceVector
+from ..core.scope import Endpoints, Placement, Scope
+from ..core.stack import SetupContext
+from ..errors import ChunnelArgumentError, NegotiationError
+from ..sim.datagram import Address, Datagram
+from ..sim.eventloop import Environment, Interrupt
+from ..sim.programs import PacketAction, PacketProgram, ProgramResult
+from ..sim.switch import SwitchProgramFootprint
+from ..sim.transport import UdpSocket
+
+__all__ = [
+    "OrderedMcast",
+    "McastSequencerFallback",
+    "McastSwitchSequencer",
+    "GroupSequencer",
+    "SequencerProgram",
+    "GROUP_HEADER",
+    "SEQ_HEADER",
+    "GAP_HEADER",
+]
+
+GROUP_HEADER = "mcast_group"
+SEQ_HEADER = "mcast_seq"
+MEMBERS_HEADER = "mcast_members"
+ORIGIN_HEADER = "mcast_origin"
+GAP_HEADER = "mcast_gap"
+
+
+@register_spec
+class OrderedMcast(ChunnelSpec):
+    """Globally-ordered delivery to a named replica group.
+
+    Parameters
+    ----------
+    group:
+        Group name; the ordering domain.
+    members:
+        Entity names of the group members (used to pick the fallback
+        sequencer's host deterministically).
+    flush_after:
+        Seconds a sequence gap may block replica delivery before buffered
+        messages are released with the ``mcast_gap`` marker.
+    """
+
+    type_name = "ordered_mcast"
+
+    def __init__(
+        self,
+        group: str,
+        members: Optional[list[str]] = None,
+        flush_after: float = 1e-3,
+    ):
+        if not group:
+            raise ChunnelArgumentError("multicast group name must be non-empty")
+        super().__init__(
+            group=group, members=list(members or []), flush_after=flush_after
+        )
+
+    @property
+    def group(self) -> str:
+        return self.args["group"]
+
+    def reservation_scope(self) -> str:
+        """One sequencer serves the whole group: reserve per group, so N
+        replicas negotiating the same switch program consume its stages
+        once (refcounted), not N times."""
+        return f"mcast-group:{self.group}"
+
+
+def sequencer_service_name(group: str) -> str:
+    """The name-service key for a group's fallback sequencer."""
+    return f"_mcastseq.{group}"
+
+
+# --------------------------------------------------------------------------
+# Fallback: host sequencer process
+# --------------------------------------------------------------------------
+class GroupSequencer:
+    """A userspace sequencer: stamp, then forward to every member."""
+
+    BASE_COST = 0.7e-6
+    PER_MEMBER_COST = 0.3e-6
+
+    def __init__(self, entity, group: str):
+        self.entity = entity
+        self.env: Environment = entity.env
+        self.group = group
+        self.socket = UdpSocket(entity)
+        self.next_seq = 1
+        self.messages_sequenced = 0
+        self._proc = self.env.process(self._run(), name=f"mcastseq:{group}")
+
+    @property
+    def address(self) -> Address:
+        return self.socket.address
+
+    def _run(self):
+        while True:
+            try:
+                dgram: Datagram = yield self.socket.recv()
+            except Interrupt:
+                return
+            members = dgram.headers.get(MEMBERS_HEADER) or []
+            yield self.env.timeout(
+                self.BASE_COST + self.PER_MEMBER_COST * len(members)
+            )
+            seq = self.next_seq
+            self.next_seq += 1
+            self.messages_sequenced += 1
+            for host, port in members:
+                headers = dict(dgram.headers)
+                headers[SEQ_HEADER] = seq
+                headers[ORIGIN_HEADER] = [dgram.src.host, dgram.src.port]
+                headers.pop(MEMBERS_HEADER, None)
+                self.socket.send(
+                    dgram.payload,
+                    Address(host, port),
+                    size=dgram.size,
+                    headers=headers,
+                )
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("sequencer stopped")
+        self.socket.close()
+
+
+# --------------------------------------------------------------------------
+# Switch sequencer program
+# --------------------------------------------------------------------------
+class SequencerProgram(PacketProgram):
+    """Stamp-and-clone at a programmable switch (the NOPaxos sequencer)."""
+
+    def __init__(self, name: str, group: str):
+        super().__init__(name)
+        self.group = group
+        self.next_seq = 1
+        self.messages_sequenced = 0
+
+    def match(self, dgram: Datagram) -> bool:
+        return (
+            dgram.headers.get(GROUP_HEADER) == self.group
+            and SEQ_HEADER not in dgram.headers
+        )
+
+    def handle(self, dgram: Datagram) -> ProgramResult:
+        members = dgram.headers.get(MEMBERS_HEADER) or []
+        if not members:
+            return ProgramResult(action=PacketAction.DROP)
+        seq = self.next_seq
+        self.next_seq += 1
+        self.messages_sequenced += 1
+        origin = [dgram.src.host, dgram.src.port]
+        clones: list[Datagram] = []
+        for host, port in members[1:]:
+            clone = Datagram(
+                src=dgram.src,
+                dst=Address(host, port),
+                payload=dgram.payload,
+                size=dgram.size,
+                headers={
+                    **{
+                        k: v
+                        for k, v in dgram.headers.items()
+                        if k != MEMBERS_HEADER
+                    },
+                    SEQ_HEADER: seq,
+                    ORIGIN_HEADER: origin,
+                },
+            )
+            clones.append(clone)
+        first_host, first_port = members[0]
+        dgram.dst = Address(first_host, first_port)
+        dgram.headers.pop(MEMBERS_HEADER, None)
+        dgram.headers[SEQ_HEADER] = seq
+        dgram.headers[ORIGIN_HEADER] = origin
+        return ProgramResult(
+            action=PacketAction.CLONE,
+            clones=clones,
+            action_after=PacketAction.REDIRECT,
+        )
+
+
+# --------------------------------------------------------------------------
+# Replica-side shared resequencer
+# --------------------------------------------------------------------------
+class _GroupResequencer:
+    """Global (per replica process, per group) in-order release.
+
+    Shared by every connection of one replica in one group, because the
+    sequence space is global: client A's request n+1 may arrive on a
+    different connection than client B's request n.
+    """
+
+    def __init__(self, env: Environment, group: str, flush_after: float):
+        self.env = env
+        self.group = group
+        self.flush_after = flush_after
+        self.expected = 1
+        self._buffer: dict[int, tuple[ChunnelStage, Message]] = {}
+        self._timer = None
+        self.gaps_flushed = 0
+        self.delivered = 0
+
+    def feed(self, stage: ChunnelStage, msg: Message) -> list[Message]:
+        """Offer one stamped message; returns those releasable via ``stage``.
+
+        Messages buffered earlier (possibly fed by other stages) are
+        released through their own stages when the gap fills.
+        """
+        seq = msg.headers[SEQ_HEADER]
+        if seq < self.expected:
+            return []  # duplicate
+        if seq > self.expected:
+            self._buffer[seq] = (stage, msg)
+            self._arm_timer()
+            return []
+        releasable = [msg]
+        self.expected += 1
+        self.delivered += 1
+        self._release_contiguous(exclude_stage=stage, collected=releasable, stage=stage)
+        if not self._buffer:
+            self._disarm_timer()
+        return releasable
+
+    def _release_contiguous(self, exclude_stage, collected, stage) -> None:
+        while self.expected in self._buffer:
+            buffered_stage, buffered_msg = self._buffer.pop(self.expected)
+            self.expected += 1
+            self.delivered += 1
+            if buffered_stage is stage:
+                collected.append(buffered_msg)
+            else:
+                buffered_stage.deliver_above(buffered_msg)
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None and self._timer.is_alive:
+            return
+        self._timer = self.env.process(
+            self._flush_loop(), name=f"mcast.flush:{self.group}"
+        )
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None and self._timer.is_alive:
+            self._timer.interrupt("gap filled")
+        self._timer = None
+
+    def _flush_loop(self):
+        try:
+            yield self.env.timeout(self.flush_after)
+        except Interrupt:
+            return
+        if not self._buffer:
+            return
+        self.gaps_flushed += 1
+        top = max(self._buffer)
+        for seq in sorted(self._buffer):
+            buffered_stage, buffered_msg = self._buffer.pop(seq)
+            buffered_msg.headers[GAP_HEADER] = True
+            self.delivered += 1
+            buffered_stage.deliver_above(buffered_msg)
+        self.expected = max(self.expected, top + 1)
+        self._timer = None
+
+
+# --------------------------------------------------------------------------
+# Stages
+# --------------------------------------------------------------------------
+class _McastClientStage(ChunnelStage):
+    """Client side: route sends to the ordering point with the fan-out list."""
+
+    def __init__(self, impl: ChunnelImpl, role: Role, use_sequencer: bool):
+        super().__init__(impl, role)
+        #: True → fallback path: resolve and send via the host sequencer.
+        #: False → switch path: send toward the first member; the switch
+        #: program intercepts and clones en route.
+        self.use_sequencer = use_sequencer
+        self._via: Optional[Address] = None
+        self.multicasts_sent = 0
+
+    def _sequencer_address(self) -> Address:
+        if self._via is None:
+            group = self.impl.spec.group
+            network = self.connection.runtime.network
+            records = network.names.resolve(sequencer_service_name(group))
+            if not records:
+                raise NegotiationError(
+                    f"no sequencer registered for group {group!r} "
+                    "(did the replicas listen first?)"
+                )
+            self._via = records[0].address
+        return self._via
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        peers = self.connection.peers if self.connection else []
+        if not peers:
+            raise NegotiationError("ordered_mcast connection has no peers")
+        msg.headers[GROUP_HEADER] = self.impl.spec.group
+        msg.headers[MEMBERS_HEADER] = [[p.host, p.port] for p in peers]
+        msg.dst = self._sequencer_address() if self.use_sequencer else peers[0]
+        self.multicasts_sent += 1
+        return [msg]
+
+
+class _McastReplicaStage(ChunnelStage):
+    """Replica side: feed the group's shared resequencer."""
+
+    def __init__(self, impl: ChunnelImpl, role: Role, resequencer: _GroupResequencer):
+        super().__init__(impl, role)
+        self.resequencer = resequencer
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        if SEQ_HEADER not in msg.headers:
+            return [msg]  # non-multicast traffic
+        origin = msg.headers.pop(ORIGIN_HEADER, None)
+        if origin is not None:
+            msg.src = Address(origin[0], origin[1])
+        return self.resequencer.feed(self, msg)
+
+
+# --------------------------------------------------------------------------
+# Implementations
+# --------------------------------------------------------------------------
+class _McastImplBase(ChunnelImpl):
+    """Shared wiring for both sequencer flavours.
+
+    ``setup`` always runs before ``make_stage`` (both in the listener and in
+    the connect path), so the setup context is stashed for stage
+    construction.
+    """
+
+    _USE_SEQUENCER = True
+
+    def setup(self, ctx: SetupContext) -> None:
+        self._ctx = ctx
+
+    def _replica_resequencer(self, ctx: SetupContext) -> _GroupResequencer:
+        spec: OrderedMcast = self.spec
+        key = f"mcast-reseq:{spec.group}"
+        resequencer = ctx.shared.get(key)
+        if resequencer is None:
+            resequencer = _GroupResequencer(
+                ctx.env, spec.group, spec.args["flush_after"]
+            )
+            ctx.shared[key] = resequencer
+        return resequencer
+
+    def make_stage(self, role: Role) -> Optional[ChunnelStage]:
+        ctx = getattr(self, "_ctx", None)
+        if ctx is None:
+            raise NegotiationError(
+                "ordered_mcast stage requested before setup ran"
+            )
+        if role is Role.SERVER:
+            return _McastReplicaStage(self, role, self._replica_resequencer(ctx))
+        return _McastClientStage(self, role, use_sequencer=self._USE_SEQUENCER)
+
+
+@catalog.add
+class McastSequencerFallback(_McastImplBase):
+    """Host-process sequencer on the group's leader (always available)."""
+
+    meta = ImplMeta(
+        chunnel_type="ordered_mcast",
+        name="host-sequencer",
+        priority=10,
+        scope=Scope.GLOBAL,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="userspace sequencer on the lowest-named member",
+    )
+
+    _USE_SEQUENCER = True
+
+    def setup(self, ctx: SetupContext) -> None:
+        super().setup(ctx)
+        spec: OrderedMcast = self.spec
+        if not ctx.is_server:
+            return
+        members = spec.args["members"]
+        if not members:
+            raise NegotiationError(
+                "ordered_mcast host-sequencer needs the members argument "
+                "to elect a sequencer host"
+            )
+        if ctx.server_entity != min(members):
+            return
+        key = f"mcast-seq:{spec.group}"
+        if key in ctx.shared:
+            return
+        sequencer = GroupSequencer(ctx.local_entity, spec.group)
+        ctx.shared[key] = sequencer
+        ctx.network.names.register(
+            sequencer_service_name(spec.group), sequencer.address
+        )
+
+
+@catalog.add
+class McastSwitchSequencer(_McastImplBase):
+    """Switch-resident sequencer (the NOPaxos/SpecPaxos fast path)."""
+
+    meta = ImplMeta(
+        chunnel_type="ordered_mcast",
+        name="switch-sequencer",
+        priority=80,
+        scope=Scope.NETWORK,
+        endpoints=Endpoints.SERVER,
+        placement=Placement.SWITCH,
+        resources=ResourceVector({SWITCH_STAGES: 1, SWITCH_SRAM_KB: 64}),
+        description="stamp-and-clone sequencer at the switch",
+    )
+
+    FOOTPRINT = SwitchProgramFootprint(stages=1, sram_kb=64)
+    _USE_SEQUENCER = False
+
+    def setup(self, ctx: SetupContext) -> None:
+        super().setup(ctx)
+        spec: OrderedMcast = self.spec
+        if not ctx.is_server:
+            return
+        if self.location is None:
+            raise NegotiationError("switch sequencer chosen without a location")
+        switch = ctx.network.switches[self.location]
+        name = f"mcast-seq-prog:{spec.group}"
+        if any(p.name == name for p in switch.programs):
+            return
+        switch.install(SequencerProgram(name, spec.group), self.FOOTPRINT)

@@ -1,0 +1,150 @@
+"""The in-order delivery Chunnel.
+
+Resequences datagrams per sender: messages carry a per-connection sequence
+number; the receiver buffers out-of-order arrivals and releases them in
+order.  Composes under ``reliable`` (which handles loss) to approximate the
+delivery guarantees applications get from TCP, without taking all of TCP
+(the §2 minimality discussion).
+
+A buffer-flush timer bounds head-of-line blocking: if a gap persists longer
+than ``flush_after``, buffered messages are released out of order rather
+than held forever (the application opted into ordering, not deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.scope import Endpoints, Placement, Scope
+from ..sim.eventloop import Interrupt
+
+__all__ = ["Ordered", "OrderedFallback"]
+
+_SEQ = "ord_seq"
+
+
+@register_spec
+class Ordered(ChunnelSpec):
+    """Per-sender in-order delivery.
+
+    Parameters
+    ----------
+    flush_after:
+        Seconds a gap may block delivery before the buffer is released
+        out of order (None = hold forever).
+    """
+
+    type_name = "ordered"
+
+    def __init__(self, flush_after: Optional[float] = 2e-3):
+        if flush_after is not None and flush_after <= 0:
+            raise ValueError("flush_after must be positive or None")
+        super().__init__(flush_after=flush_after)
+
+
+class _OrderedStage(ChunnelStage):
+    """Sequence stamping on send; per-source resequencing on receive."""
+
+    def __init__(self, impl: ChunnelImpl, role: Role):
+        super().__init__(impl, role)
+        self.flush_after = impl.spec.args["flush_after"]
+        self._next_send = 1
+        # Per source: next expected seq and the out-of-order buffer.
+        self._expected: dict[Optional[str], int] = {}
+        self._buffers: dict[Optional[str], dict[int, Message]] = {}
+        self._flush_timers: dict[Optional[str], object] = {}
+        self.out_of_order = 0
+        self.forced_flushes = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        msg.headers[_SEQ] = self._next_send
+        self._next_send += 1
+        return [msg]
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        seq = msg.headers.get(_SEQ)
+        if seq is None:
+            return [msg]  # unsequenced traffic passes through
+        source = msg.src.host if msg.src else None
+        expected = self._expected.get(source, 1)
+        if seq < expected:
+            return []  # stale duplicate
+        buffer = self._buffers.setdefault(source, {})
+        if seq > expected:
+            self.out_of_order += 1
+            buffer[seq] = msg
+            self._arm_flush(source)
+            return []
+        # In-order: release it plus any now-contiguous buffered run.
+        released = [msg]
+        expected += 1
+        while expected in buffer:
+            released.append(buffer.pop(expected))
+            expected += 1
+        self._expected[source] = expected
+        if not buffer:
+            self._disarm_flush(source)
+        return released
+
+    # -- gap-timeout plumbing ------------------------------------------------
+    def _arm_flush(self, source: Optional[str]) -> None:
+        if self.flush_after is None or source in self._flush_timers:
+            return
+        self._flush_timers[source] = self.env.process(
+            self._flush_loop(source), name=f"ord.flush:{source}"
+        )
+
+    def _disarm_flush(self, source: Optional[str]) -> None:
+        timer = self._flush_timers.pop(source, None)
+        if timer is not None and timer.is_alive:
+            timer.interrupt("gap filled")
+
+    def _flush_loop(self, source: Optional[str]):
+        try:
+            yield self.env.timeout(self.flush_after)
+        except Interrupt:
+            return
+        buffer = self._buffers.get(source, {})
+        if not buffer:
+            return
+        self.forced_flushes += 1
+        pending = [buffer.pop(seq) for seq in sorted(buffer)]
+        top = max(msg.headers[_SEQ] for msg in pending)
+        self._expected[source] = max(self._expected.get(source, 1), top + 1)
+        self._flush_timers.pop(source, None)
+        for msg in pending:
+            self.deliver_above(msg)
+
+    def stop(self) -> None:
+        for timer in self._flush_timers.values():
+            if timer.is_alive:
+                timer.interrupt("stack stopped")
+        self._flush_timers.clear()
+
+
+@catalog.add
+class OrderedFallback(ChunnelImpl):
+    """Software resequencer (always available)."""
+
+    meta = ImplMeta(
+        chunnel_type="ordered",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="per-source resequencing buffer",
+    )
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _OrderedStage(self, role)

@@ -1,0 +1,195 @@
+"""The reliability Chunnel (Listing 5's ``reliable``).
+
+Positive-ack reliable delivery over datagrams: the sender buffers each
+message, retransmits on a timer, and gives up after a bounded number of
+attempts; the receiver acks everything and suppresses duplicates.  This is
+the classic ``endpoints::Both`` Chunnel — both sides must run the protocol,
+so negotiation only chooses it when both processes registered it (§4.3's
+worked example: "the negotiation process for the reliability Chunnel first
+checks whether compatible implementations are available at both client and
+server; the connection fails in the absence of the implementations").
+
+Two implementations: the software fallback and a SmartNIC "TOE-lite" that
+runs the same protocol with near-zero host CPU cost (standing in for the
+TCP-offload-engine class of hardware the paper discusses in §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..core.chunnel import (
+    ChunnelImpl,
+    ChunnelSpec,
+    ChunnelStage,
+    ImplMeta,
+    Message,
+    Role,
+    register_spec,
+)
+from ..core.registry import catalog
+from ..core.resources import NIC_SLOTS, ResourceVector
+from ..core.scope import Endpoints, Placement, Scope
+from ..sim.eventloop import Interrupt
+
+__all__ = ["Reliable", "ReliableFallback", "ReliableToe"]
+
+_KIND = "rel_kind"
+_SEQ = "rel_seq"
+_DATA = "data"
+_ACK = "ack"
+
+
+@register_spec
+class Reliable(ChunnelSpec):
+    """At-least-once delivery with duplicate suppression.
+
+    Parameters
+    ----------
+    timeout:
+        Retransmission timer, seconds.
+    max_retries:
+        Retransmissions before the message is abandoned.
+    """
+
+    def __init__(self, timeout: float = 200e-6, max_retries: int = 5):
+        if timeout <= 0:
+            raise ValueError("retransmission timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        super().__init__(timeout=timeout, max_retries=max_retries)
+
+    type_name = "reliable"
+
+
+class _ReliableStage(ChunnelStage):
+    """Sender buffering + receiver acking, with per-message CPU charge."""
+
+    def __init__(self, impl: ChunnelImpl, role: Role, per_message_cost: float):
+        super().__init__(impl, role)
+        self.timeout = impl.spec.args["timeout"]
+        self.max_retries = impl.spec.args["max_retries"]
+        self.per_message_cost = per_message_cost
+        self._seq = itertools.count(1)
+        self._unacked: dict[int, Message] = {}
+        self._timers: dict[int, object] = {}
+        self._delivered: set[tuple[Optional[str], int]] = set()
+        self.retransmissions = 0
+        self.abandoned = 0
+        self.duplicates_suppressed = 0
+        self._stopped = False
+
+    # -- send side --------------------------------------------------------
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        seq = next(self._seq)
+        msg.headers[_KIND] = _DATA
+        msg.headers[_SEQ] = seq
+        self.charge(self.per_message_cost)
+        self._unacked[seq] = msg.copy()
+        self._timers[seq] = self.env.process(
+            self._retransmit_loop(seq), name=f"rel.retx#{seq}"
+        )
+        return [msg]
+
+    def _retransmit_loop(self, seq: int):
+        for _attempt in range(self.max_retries):
+            try:
+                yield self.env.timeout(self.timeout)
+            except Interrupt:
+                return
+            pending = self._unacked.get(seq)
+            if pending is None or self._stopped:
+                return
+            self.retransmissions += 1
+            self.send_below(pending.copy())
+        if self._unacked.pop(seq, None) is not None:
+            self.abandoned += 1
+        self._timers.pop(seq, None)
+
+    # -- receive side -------------------------------------------------------
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        kind = msg.headers.get(_KIND)
+        if kind == _ACK:
+            seq = msg.headers.get(_SEQ)
+            self._unacked.pop(seq, None)
+            timer = self._timers.pop(seq, None)
+            if timer is not None and timer.is_alive:
+                timer.interrupt("acked")
+            self._after_ack(seq)
+            return []  # acks never reach the application
+        if kind == _DATA:
+            seq = msg.headers.get(_SEQ)
+            source = msg.src.host if msg.src else None
+            self.charge(self.per_message_cost)
+            ack = Message(
+                payload=b"",
+                size=16,
+                headers={_KIND: _ACK, _SEQ: seq},
+                dst=msg.src,
+            )
+            self.send_below(ack)
+            key = (source, seq)
+            if key in self._delivered:
+                self.duplicates_suppressed += 1
+                return []
+            self._delivered.add(key)
+            return [msg]
+        # Not a reliability frame (pre-negotiation traffic etc.): pass up.
+        return [msg]
+
+    def _after_ack(self, seq: int) -> None:
+        """Hook for subclasses reacting to acks (e.g. window opening)."""
+
+    def stop(self) -> None:
+        self._stopped = True
+        for timer in self._timers.values():
+            if timer.is_alive:
+                timer.interrupt("stack stopped")
+        self._timers.clear()
+
+
+@catalog.add
+class ReliableFallback(ChunnelImpl):
+    """Software ack/retransmit (always available on any host)."""
+
+    meta = ImplMeta(
+        chunnel_type="reliable",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="userspace ack/retransmit",
+    )
+
+    PER_MESSAGE_COST = 0.5e-6
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _ReliableStage(self, role, self.PER_MESSAGE_COST)
+
+
+@catalog.add
+class ReliableToe(ChunnelImpl):
+    """SmartNIC reliability offload ("TOE-lite", §2's TCP offload engines).
+
+    Runs the same ack protocol but charges (almost) no host CPU: the NIC
+    tracks the unacked window.  Negotiation picks it over the fallback when
+    the discovery service registered it at the host and a NIC slot is free.
+    """
+
+    meta = ImplMeta(
+        chunnel_type="reliable",
+        name="toe",
+        priority=75,
+        scope=Scope.HOST,
+        endpoints=Endpoints.ANY,
+        placement=Placement.SMARTNIC,
+        resources=ResourceVector({NIC_SLOTS: 1}),
+        description="NIC-offloaded ack/retransmit",
+    )
+
+    PER_MESSAGE_COST = 0.02e-6
+
+    def make_stage(self, role: Role) -> ChunnelStage:
+        return _ReliableStage(self, role, self.PER_MESSAGE_COST)

@@ -1,0 +1,162 @@
+"""The coarse TCP Chunnel (§2's minimality discussion).
+
+The paper argues minimality is subjective: NIC TCP-offload engines offload
+*all* of TCP, and most applications want all of TCP's functions or none, so
+a single coarse ``tcp`` Chunnel is more useful than fine-grained pieces.
+This Chunnel bundles reliability (ack/retransmit) and in-order delivery in
+one type, and ships two implementations: the software fallback and a
+SmartNIC TOE whose host CPU cost approximates doorbell writes.
+
+(For applications that *do* want the pieces separately, ``reliable`` and
+``ordered`` remain independent Chunnels — exactly the trade-off §2
+describes.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..core.chunnel import ChunnelImpl, ChunnelSpec, ImplMeta, Message, Role, register_spec
+from ..core.registry import catalog
+from ..core.resources import NIC_SLOTS, ResourceVector
+from ..core.scope import Endpoints, Placement, Scope
+from .reliability import _ReliableStage
+
+__all__ = ["Tcp", "TcpFallback", "TcpToe"]
+
+_STREAM_SEQ = "tcp_seq"
+
+
+@register_spec
+class Tcp(ChunnelSpec):
+    """Reliable, in-order byte-message delivery as one Chunnel.
+
+    Parameters mirror :class:`~repro.chunnels.reliability.Reliable`, plus
+    ``window``: the flow-control limit on unacknowledged messages in
+    flight (TCP's third bundled function, §2).  Sends beyond the window
+    queue at the sender and drain as acks arrive.
+    """
+
+    type_name = "tcp"
+
+    def __init__(
+        self, timeout: float = 200e-6, max_retries: int = 5, window: int = 32
+    ):
+        if timeout <= 0:
+            raise ValueError("retransmission timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        super().__init__(timeout=timeout, max_retries=max_retries, window=window)
+
+
+class _TcpStage(_ReliableStage):
+    """Reliability plus per-source resequencing plus a send window.
+
+    Gaps are left to the retransmission machinery: a missing message will
+    arrive again, so the resequencer holds out-of-order arrivals without a
+    flush timer.  The window bounds in-flight (unacked) messages; excess
+    sends queue FIFO and are released by incoming acks.
+    """
+
+    def __init__(self, impl: ChunnelImpl, role: Role, per_message_cost: float):
+        super().__init__(impl, role, per_message_cost)
+        self.window = impl.spec.args.get("window", 32)
+        self._stream_next = 1
+        self._send_queue: "deque[Message]" = deque()
+        self._rx_expected: dict[Optional[str], int] = {}
+        self._rx_buffers: dict[Optional[str], dict[int, Message]] = {}
+        self.reordered = 0
+        self.window_stalls = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        msg.headers[_STREAM_SEQ] = self._stream_next
+        self._stream_next += 1
+        if len(self._unacked) >= self.window:
+            self.window_stalls += 1
+            self._send_queue.append(msg)
+            return []
+        return super().on_send(msg)
+
+    def _after_ack(self, seq) -> None:
+        # The window opened: release queued sends through the reliability
+        # machinery (sequence/timer assignment happens now, at actual send).
+        while self._send_queue and len(self._unacked) < self.window:
+            queued = self._send_queue.popleft()
+            for out in super().on_send(queued):
+                self.send_below(out)
+
+    def stop(self) -> None:
+        self._send_queue.clear()
+        super().stop()
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        delivered = super().on_recv(msg)
+        ordered: list[Message] = []
+        for out in delivered:
+            ordered.extend(self._resequence(out))
+        return ordered
+
+    def _resequence(self, msg: Message) -> list[Message]:
+        seq = msg.headers.get(_STREAM_SEQ)
+        if seq is None:
+            return [msg]
+        source = msg.src.host if msg.src else None
+        expected = self._rx_expected.get(source, 1)
+        if seq < expected:
+            return []
+        buffer = self._rx_buffers.setdefault(source, {})
+        if seq > expected:
+            self.reordered += 1
+            buffer[seq] = msg
+            return []
+        released = [msg]
+        expected += 1
+        while expected in buffer:
+            released.append(buffer.pop(expected))
+            expected += 1
+        self._rx_expected[source] = expected
+        return released
+
+
+@catalog.add
+class TcpFallback(ChunnelImpl):
+    """Software TCP-class delivery (always available; mTCP-class)."""
+
+    meta = ImplMeta(
+        chunnel_type="tcp",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="userspace reliability + ordering",
+    )
+
+    PER_MESSAGE_COST = 0.8e-6
+
+    def make_stage(self, role: Role):
+        return _TcpStage(self, role, self.PER_MESSAGE_COST)
+
+
+@catalog.add
+class TcpToe(ChunnelImpl):
+    """NIC TCP-offload engine (§2): full protocol on the device."""
+
+    meta = ImplMeta(
+        chunnel_type="tcp",
+        name="toe",
+        priority=80,
+        scope=Scope.HOST,
+        endpoints=Endpoints.ANY,
+        placement=Placement.SMARTNIC,
+        resources=ResourceVector({NIC_SLOTS: 1}),
+        description="TCP offload engine",
+    )
+
+    PER_MESSAGE_COST = 0.03e-6
+
+    def make_stage(self, role: Role):
+        return _TcpStage(self, role, self.PER_MESSAGE_COST)

@@ -1,0 +1,139 @@
+"""The TLS Chunnel: encryption fused with TCP-class delivery.
+
+§6's merge example: a SmartNIC that offers no separate encrypt and TCP
+offloads may still offer a TLS engine; after reordering, the optimizer can
+fuse adjacent ``encrypt |> tcp`` into one ``tls`` node and bind it to that
+engine.  This module provides the fused type so the merge has somewhere to
+land, plus both a software implementation and the NIC engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Iterable
+
+from ..core.chunnel import ChunnelImpl, ChunnelSpec, ImplMeta, Message, Role, register_spec
+from ..core.registry import catalog
+from ..core.resources import NIC_SLOTS, ResourceVector
+from ..core.scope import Endpoints, Placement, Scope
+from ..errors import ChunnelArgumentError
+from .encrypt import keystream_cipher
+from .tcp import _TcpStage
+
+__all__ = ["Tls", "TlsFallback", "TlsSmartNic"]
+
+_MARK = "tls"
+_NONCE = "tls_nonce"
+_RECORD_OVERHEAD = 29  # 5-byte record header + nonce + tag
+
+
+@register_spec
+class Tls(ChunnelSpec):
+    """Encrypted, reliable, in-order delivery as one Chunnel.
+
+    Accepts the union of :class:`Encrypt` and :class:`Tcp` parameters so the
+    optimizer can merge either node's arguments into the fused spec.
+    """
+
+    type_name = "tls"
+
+    def __init__(
+        self,
+        key_id: str = "default",
+        timeout: float = 200e-6,
+        max_retries: int = 5,
+    ):
+        if not key_id:
+            raise ChunnelArgumentError("key_id must be non-empty")
+        super().__init__(key_id=key_id, timeout=timeout, max_retries=max_retries)
+
+
+class _TlsStage(_TcpStage):
+    """Encrypt-then-TCP in a single stage."""
+
+    def __init__(
+        self,
+        impl: ChunnelImpl,
+        role: Role,
+        per_message_cost: float,
+        bytes_per_second: float,
+    ):
+        super().__init__(impl, role, per_message_cost)
+        key_id = impl.spec.args.get("key_id", "default")
+        self.key = hashlib.sha256(f"psk:{key_id}".encode()).digest()
+        self.seconds_per_byte = 1.0 / bytes_per_second
+        self._nonce = itertools.count(1)
+        self.bytes_encrypted = 0
+
+    def on_send(self, msg: Message) -> Iterable[Message]:
+        if not isinstance(msg.payload, (bytes, bytearray)):
+            raise ChunnelArgumentError(
+                "tls chunnel needs byte payloads; put a serialize chunnel "
+                "above it in the DAG"
+            )
+        nonce = next(self._nonce)
+        data = bytes(msg.payload)
+        self.charge(len(data) * self.seconds_per_byte)
+        self.bytes_encrypted += len(data)
+        msg.payload = keystream_cipher(self.key, nonce, data)
+        msg.headers[_MARK] = True
+        msg.headers[_NONCE] = nonce
+        msg.size += _RECORD_OVERHEAD
+        return super().on_send(msg)
+
+    def on_recv(self, msg: Message) -> Iterable[Message]:
+        delivered = super().on_recv(msg)
+        out: list[Message] = []
+        for item in delivered:
+            if item.headers.pop(_MARK, False):
+                nonce = item.headers.pop(_NONCE)
+                data = bytes(item.payload)
+                self.charge(len(data) * self.seconds_per_byte)
+                item.payload = keystream_cipher(self.key, nonce, data)
+                item.size = max(item.size - _RECORD_OVERHEAD, 0)
+            out.append(item)
+        return out
+
+
+@catalog.add
+class TlsFallback(ChunnelImpl):
+    """Software TLS (always available)."""
+
+    meta = ImplMeta(
+        chunnel_type="tls",
+        name="sw",
+        priority=10,
+        scope=Scope.APPLICATION,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        description="software record encryption + reliability",
+    )
+
+    PER_MESSAGE_COST = 1.0e-6
+    BYTES_PER_SECOND = 2.0e9
+
+    def make_stage(self, role: Role):
+        return _TlsStage(self, role, self.PER_MESSAGE_COST, self.BYTES_PER_SECOND)
+
+
+@catalog.add
+class TlsSmartNic(ChunnelImpl):
+    """SmartNIC TLS engine (the §6 merge target)."""
+
+    meta = ImplMeta(
+        chunnel_type="tls",
+        name="nic-tls",
+        priority=85,
+        scope=Scope.HOST,
+        endpoints=Endpoints.ANY,
+        placement=Placement.SMARTNIC,
+        resources=ResourceVector({NIC_SLOTS: 1}),
+        description="inline NIC TLS engine",
+    )
+
+    PER_MESSAGE_COST = 0.05e-6
+    BYTES_PER_SECOND = 40e9
+
+    def make_stage(self, role: Role):
+        return _TlsStage(self, role, self.PER_MESSAGE_COST, self.BYTES_PER_SECOND)

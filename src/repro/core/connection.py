@@ -1,0 +1,238 @@
+"""Established Bertha connections (§3.1).
+
+A :class:`Connection` is what ``connect``/``accept`` return: a bound Chunnel
+stack over a data socket.  Its interface mirrors the paper's: ``send`` and
+``recv``, where the *unit* depends on the DAG — bytes on a bare connection,
+objects above a serialization Chunnel ("the use of a serialization Chunnel
+changes the connection's interface", §3.2).
+
+A connection may have several peers (ordered multicast connects to a whole
+replica group, Listing 2) and its messages may be steered per-message by
+routing Chunnels (sharding), so ``send`` accepts an optional explicit
+destination and received messages expose their source.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from ..errors import ConnectionClosedError, TransportError
+from ..sim.datagram import Address, Datagram
+from ..sim.eventloop import Event, Interrupt
+from ..sim.resources import Store
+from .chunnel import ChunnelImpl, Message, Role
+from .dag import ChunnelDag
+from .stack import ChunnelStack, SetupContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.transport import SimSocket
+    from .runtime import Runtime
+
+__all__ = ["Connection"]
+
+_conn_counter = itertools.count(1)
+
+
+def next_conn_id(entity_name: str) -> str:
+    """A fresh connection identifier (debuggable, globally unique)."""
+    return f"{entity_name}/conn-{next(_conn_counter)}"
+
+
+class Connection:
+    """A live connection: stack + data socket + peer set."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        conn_id: str,
+        role: Role,
+        dag: ChunnelDag,
+        impls: dict[int, ChunnelImpl],
+        stack_stages,
+        socket: "SimSocket",
+        peers: Iterable[Address] = (),
+        transport: str = "udp",
+        params: Optional[dict] = None,
+        setup_contexts: Optional[list[SetupContext]] = None,
+    ):
+        self.runtime = runtime
+        self.name = name
+        self.conn_id = conn_id
+        self.role = role
+        self.dag = dag
+        self.impls = impls
+        self.socket = socket
+        self.peers: list[Address] = list(peers)
+        self.transport = transport
+        self.params = dict(params or {})
+        self.inbox = Store(runtime.env, name=f"{conn_id}.inbox")
+        self.closed = False
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.established_at = runtime.env.now
+        self._setup_contexts = list(setup_contexts or [])
+        self._pcie, self._pcie_crossings = self._pcie_profile(
+            dag, impls, transport
+        )
+        self.stack = ChunnelStack(
+            runtime.env, stack_stages, transmit=self._transmit, deliver=self._deliver
+        )
+        self.stack.connection = self
+        self.stack.start()
+        self._pump = runtime.env.process(
+            self._pump_loop(), name=f"{conn_id}.pump"
+        )
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def env(self):
+        return self.runtime.env
+
+    @property
+    def peer(self) -> Optional[Address]:
+        """The default peer (first in the peer set), if any."""
+        return self.peers[0] if self.peers else None
+
+    @property
+    def local_address(self) -> Address:
+        """This side's data-socket address."""
+        return self.socket.address
+
+    # -- data path ---------------------------------------------------------------
+    def send(
+        self,
+        payload: Any,
+        size: Optional[int] = None,
+        dst: Optional[Address] = None,
+        headers: Optional[dict] = None,
+    ) -> None:
+        """Send one message through the Chunnel stack.
+
+        ``size`` may be omitted for ``bytes`` payloads and for payloads a
+        serialization Chunnel will size; ``dst`` overrides the default peer
+        (servers answering a specific client pass the request's source).
+        """
+        if self.closed:
+            raise ConnectionClosedError(f"send on closed connection {self.conn_id}")
+        msg = Message(
+            payload=payload,
+            size=size or 0,
+            headers=dict(headers or {}),
+            dst=dst,
+        )
+        self.messages_sent += 1
+        self.stack.send(msg)
+
+    def recv(self) -> Event:
+        """Event that fires with the next application-level Message."""
+        if self.closed:
+            raise ConnectionClosedError(f"recv on closed connection {self.conn_id}")
+        return self.inbox.get()
+
+    def try_recv(self) -> tuple[bool, Optional[Message]]:
+        """Non-blocking receive."""
+        return self.inbox.try_get()
+
+    # -- plumbing ------------------------------------------------------------------
+    def _pcie_profile(self, dag: ChunnelDag, impls, transport: str):
+        """How many host↔NIC bus crossings each sent message costs.
+
+        On a SmartNIC host, every datagram crosses PCIe at least once on
+        its way out; a pipeline that interleaves host stages between
+        device-placed Chunnels crosses more (§6's reordering motivation).
+        Returns ``(bus, crossings)`` — ``(None, 0)`` when the host has no
+        SmartNIC or the transport never touches the NIC (pipes).
+        """
+        smartnic = self.runtime.entity.host.smartnic
+        if smartnic is None or transport == "pipe":
+            return None, 0
+        from .optimizer import count_device_crossings
+
+        order = dag.topological_order()
+        chain = [dag.nodes[node].type_name for node in order]
+        offloaded = {
+            dag.nodes[node].type_name
+            for node in order
+            if impls[node].meta.placement.is_offload
+        }
+        return smartnic.pcie, count_device_crossings(chain, offloaded)
+
+    def _transmit(self, msg: Message, extra_delay: float) -> None:
+        """Bottom of the stack: put one message on the data socket."""
+        dst = msg.dst or self.peer
+        if dst is None:
+            raise TransportError(
+                f"{self.conn_id}: no destination (connection has no peer and "
+                "the message carries none)"
+            )
+        if self._pcie is not None:
+            for _crossing in range(self._pcie_crossings):
+                extra_delay += self._pcie.transfer(msg.size)
+        self.socket.send(
+            msg.payload,
+            dst,
+            size=msg.size,
+            headers=msg.headers,
+            extra_delay=extra_delay,
+        )
+
+    def _deliver(self, msg: Message) -> None:
+        """Top of the stack: hand one message to the application."""
+        self.messages_received += 1
+        self.inbox.put(msg)
+
+    def _pump_loop(self):
+        """Move datagrams from the socket up the stack, modelling a busy
+        receive thread (stage CPU charges delay subsequent datagrams)."""
+        while not self.closed:
+            try:
+                dgram: Datagram = yield self.socket.recv()
+            except (Interrupt, ConnectionClosedError):
+                return
+            msg = Message(
+                payload=dgram.payload,
+                size=dgram.size,
+                headers=dict(dgram.headers),
+                src=dgram.src,
+            )
+            delivered, charge = self.stack.receive(msg)
+            if charge > 0:
+                yield self.env.timeout(charge)
+            for out in delivered:
+                self._deliver(out)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down: stop stages, run teardown hooks, release the socket."""
+        if self.closed:
+            return
+        self.closed = True
+        self.stack.stop()
+        for node_id, impl in self.impls.items():
+            ctx = self._context_for(node_id)
+            if ctx is not None:
+                impl.teardown(ctx)
+        released: set[tuple[str, str]] = set()
+        for ctx in self._setup_contexts:
+            for record_id, owner in ctx.reservations:
+                if (record_id, owner) not in released:
+                    released.add((record_id, owner))
+                    self.runtime.spawn_release(record_id, owner)
+        if self._pump.is_alive:
+            self._pump.interrupt("connection closed")
+        self.socket.close()
+
+    def _context_for(self, node_id: int) -> Optional[SetupContext]:
+        for ctx in self._setup_contexts:
+            if ctx.spec is self.dag.nodes.get(node_id):
+                return ctx
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Connection {self.conn_id} role={self.role.value} "
+            f"peers={[str(p) for p in self.peers]} tx={self.messages_sent} "
+            f"rx={self.messages_received}>"
+        )

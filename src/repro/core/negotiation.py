@@ -1,0 +1,253 @@
+"""Chunnel negotiation (§4.3).
+
+Negotiation runs when a connection is established:
+
+1. the endpoints exchange their Chunnel DAGs and *offers* (metadata for the
+   implementations each can provide);
+2. the server checks the DAGs are compatible and unifies them (an empty DAG
+   adopts the peer's — Listing 5);
+3. for every node of the unified DAG the server gathers feasible offers —
+   scope satisfied, endpoint constraint satisfiable, network offloads
+   actually on this connection's path — ranks them with the operator policy,
+   and walks the ranking until a resource reservation sticks;
+4. the server replies with the unified DAG, the per-node choice, and the
+   data-path address; both sides instantiate their stacks.
+
+This module is the *decision* logic plus the message formats; the message
+*exchange* lives with the endpoints in :mod:`repro.core.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import (
+    IncompatibleDagError,
+    NegotiationError,
+    NoImplementationError,
+    ResourceExhaustedError,
+)
+from .chunnel import Offer
+from .dag import ChunnelDag
+from .policy import Policy, PolicyContext
+from .scope import Endpoints, Placement
+from .wire import decode, encode
+
+__all__ = [
+    "OFFER_KIND",
+    "ACCEPT_KIND",
+    "ERROR_KIND",
+    "build_offer_message",
+    "build_accept_message",
+    "build_error_message",
+    "feasible_offers",
+    "decide",
+]
+
+OFFER_KIND = "bertha.offer"
+ACCEPT_KIND = "bertha.accept"
+ERROR_KIND = "bertha.error"
+
+Reserver = Callable[[Offer], bool]
+
+
+# --------------------------------------------------------------------------
+# Message formats
+# --------------------------------------------------------------------------
+def build_offer_message(
+    conn_id: str,
+    dag: ChunnelDag,
+    offers: dict[str, list[Offer]],
+    client_entity: str,
+) -> dict:
+    """The client→server negotiation request."""
+    return {
+        "kind": OFFER_KIND,
+        "conn_id": conn_id,
+        "dag": dag.to_wire(),
+        "offers": {
+            ctype: [offer.to_wire() for offer in offer_list]
+            for ctype, offer_list in offers.items()
+        },
+        "client_entity": client_entity,
+    }
+
+
+def build_accept_message(
+    conn_id: str,
+    dag: ChunnelDag,
+    choice: dict[int, Offer],
+    data_host: str,
+    data_port: int,
+    transport: str,
+    params: Optional[dict] = None,
+) -> dict:
+    """The server→client negotiation response."""
+    return {
+        "kind": ACCEPT_KIND,
+        "conn_id": conn_id,
+        "dag": dag.to_wire(),
+        "choice": {str(node): offer.to_wire() for node, offer in choice.items()},
+        "data_host": data_host,
+        "data_port": data_port,
+        "transport": transport,
+        "params": encode(params or {}),
+    }
+
+
+def build_error_message(conn_id: str, error: Exception) -> dict:
+    """The server→client negotiation failure response."""
+    return {
+        "kind": ERROR_KIND,
+        "conn_id": conn_id,
+        "error_type": type(error).__name__,
+        "error": str(error),
+    }
+
+
+def parse_offers(wire_offers: dict) -> dict[str, list[Offer]]:
+    """Decode the offers section of an offer message."""
+    return {
+        ctype: [Offer.from_wire(o) for o in offer_list]
+        for ctype, offer_list in wire_offers.items()
+    }
+
+
+def parse_choice(wire_choice: dict) -> dict[int, Offer]:
+    """Decode the choice section of an accept message."""
+    return {int(node): Offer.from_wire(o) for node, o in wire_choice.items()}
+
+
+def parse_params(wire_params) -> dict:
+    """Decode the params section of an accept message."""
+    return decode(wire_params) or {}
+
+
+def raise_remote_error(message: dict) -> None:
+    """Re-raise a negotiation error reported by the peer."""
+    error_type = message.get("error_type", "NegotiationError")
+    text = message.get("error", "negotiation failed")
+    for cls in (
+        IncompatibleDagError,
+        NoImplementationError,
+        ResourceExhaustedError,
+    ):
+        if cls.__name__ == error_type:
+            raise cls(f"(from peer) {text}")
+    raise NegotiationError(f"(from peer) {error_type}: {text}")
+
+
+# --------------------------------------------------------------------------
+# Feasibility and decision
+# --------------------------------------------------------------------------
+def _offered_names(offers: list[Offer], origin: str) -> set[str]:
+    return {o.meta.name for o in offers if o.origin == origin}
+
+
+def _location_feasible(offer: Offer, ctx: PolicyContext) -> bool:
+    """Is a network-provided offload actually reachable on this path?"""
+    if offer.origin != "network":
+        return True
+    placement = offer.meta.placement
+    if placement is Placement.SWITCH:
+        return offer.location in ctx.path_switches
+    endpoint_hosts = {
+        Endpoints.CLIENT: {ctx.client_host},
+        Endpoints.SERVER: {ctx.server_host},
+        Endpoints.BOTH: {ctx.client_host, ctx.server_host},
+        Endpoints.ANY: {ctx.client_host, ctx.server_host},
+    }[offer.meta.endpoints]
+    if offer.meta.endpoints is Endpoints.BOTH:
+        # A single device cannot be at both ends unless they share a host.
+        return ctx.same_host and offer.location in endpoint_hosts
+    return offer.location in endpoint_hosts
+
+
+def feasible_offers(
+    spec,
+    candidates: list[Offer],
+    ctx: PolicyContext,
+) -> list[Offer]:
+    """Filter ``candidates`` down to offers this connection could bind.
+
+    Checks, per §4.2/§4.3: the node's scope requirement, the endpoint
+    constraint (an ``endpoints::Both`` implementation must be offered by
+    both processes; one-sided implementations must exist on their side), and
+    — for network-provided offloads — that the device is on this
+    connection's path.
+    """
+    relevant = [o for o in candidates if o.meta.chunnel_type == spec.type_name]
+    client_names = _offered_names(relevant, "client")
+    server_names = _offered_names(relevant, "server")
+    feasible: list[Offer] = []
+    for offer in relevant:
+        if not spec.scope_requirement.satisfied_by(offer.meta.scope):
+            continue
+        if not _location_feasible(offer, ctx):
+            continue
+        endpoints = offer.meta.endpoints
+        if endpoints is Endpoints.BOTH:
+            if offer.origin == "network":
+                pass  # handled by _location_feasible (same-host device)
+            elif not (
+                offer.meta.name in client_names and offer.meta.name in server_names
+            ):
+                continue
+        elif endpoints is Endpoints.CLIENT:
+            if offer.origin == "server":
+                continue
+        elif endpoints is Endpoints.SERVER:
+            if offer.origin == "client":
+                continue
+        feasible.append(offer)
+    # An endpoints::Both implementation offered by both sides appears twice
+    # (one Offer per origin); both stay, letting the policy's origin
+    # preference pick which side "provides" it.
+    return feasible
+
+
+def decide(
+    dag: ChunnelDag,
+    candidates: dict[str, list[Offer]],
+    policy: Policy,
+    ctx: PolicyContext,
+    reserve: Optional[Reserver] = None,
+) -> dict[int, Offer]:
+    """Choose one implementation per DAG node.
+
+    ``candidates`` maps Chunnel type → all offers (client + server +
+    network).  ``reserve`` is called on each would-be winner whose metadata
+    declares resource needs; returning False moves on to the next ranked
+    offer (§6's contended-offload case).
+
+    Raises
+    ------
+    NoImplementationError
+        A node has no feasible offer at all.
+    ResourceExhaustedError
+        Feasible offers exist but every reservation failed.
+    """
+    choice: dict[int, Offer] = {}
+    for node_id in dag.topological_order():
+        spec = dag.nodes[node_id]
+        pool = candidates.get(spec.type_name, [])
+        feasible = feasible_offers(spec, pool, ctx)
+        if not feasible:
+            raise NoImplementationError(
+                f"no feasible implementation for chunnel {spec.type_name!r} "
+                f"(offers considered: {len(pool)}, scope requirement: "
+                f"{spec.scope_requirement.name})"
+            )
+        ranked = policy.rank(spec, feasible, ctx)
+        chosen: Optional[Offer] = None
+        for offer in ranked:
+            if reserve is None or offer.meta.resources.is_zero or reserve(offer):
+                chosen = offer
+                break
+        if chosen is None:
+            raise ResourceExhaustedError(
+                f"all {len(ranked)} feasible implementations of "
+                f"{spec.type_name!r} failed resource reservation"
+            )
+        choice[node_id] = chosen
+    return choice

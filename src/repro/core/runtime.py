@@ -1,0 +1,785 @@
+"""The Bertha runtime: endpoints, listeners, and connection establishment.
+
+This module is the paper's §4 made concrete:
+
+* :class:`Runtime` — one per application process.  Holds the process's
+  fallback-implementation registry (Listing 5), its discovery client, the
+  operator policy, and shared state reused across connections (installed
+  device programs and such).
+
+* :class:`Endpoint` — what ``runtime.new(name, dag)`` returns, the Bertha
+  equivalent of a socket (§3.1).  ``listen`` produces a :class:`Listener`;
+  ``connect`` negotiates with one server (or a whole replica group, Listing
+  2) and returns a :class:`~repro.core.connection.Connection`.
+
+* :class:`Listener` — accepts connections: for each client offer it unifies
+  DAGs, gathers offers from the client, its own registry, and the discovery
+  service, ranks them with the operator policy, confirms reservations, runs
+  the chosen implementations' setup hooks, and replies with the binding.
+
+Establishing a connection costs exactly two control round trips on the
+client: one discovery query (implementation offers + name resolution) and
+one offer/accept exchange with the server — the overhead measured in the
+paper's Figure 3.  Reservation RPCs happen only when a chosen
+implementation declares resource needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from ..errors import (
+    ConnectionTimeoutError,
+    NegotiationError,
+    NoImplementationError,
+)
+from ..sim.datagram import Address
+from ..sim.eventloop import Event, Interrupt
+from ..sim.resources import Store
+from ..sim.transport import PipeSocket, SimSocket, UdpSocket
+from .chunnel import ChunnelSpec, Offer, Role
+from .connection import Connection, next_conn_id
+from .dag import ChunnelDag, wrap
+from .negotiation import (
+    ACCEPT_KIND,
+    ERROR_KIND,
+    OFFER_KIND,
+    build_accept_message,
+    build_error_message,
+    build_offer_message,
+    decide,
+    parse_choice,
+    parse_offers,
+    parse_params,
+    raise_remote_error,
+)
+from .policy import DefaultPolicy, Policy, PolicyContext
+from .registry import ChunnelRegistry, ImplCatalog, catalog as default_catalog
+from .stack import SetupContext, build_stages, instantiate_impls
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.host import NetEntity
+
+__all__ = ["Runtime", "Endpoint", "Listener"]
+
+ConnectTarget = Union[Address, str, Sequence[Address]]
+
+
+def _message_size(message: dict) -> int:
+    """Deterministic rough wire size of a control message."""
+    return len(str(message))
+
+
+def _wait_with_timeout(env, event: Event, timeout: float):
+    """Generator: wait for ``event`` or ``timeout`` seconds.
+
+    Returns the event's value, or None on timeout (the event is cancelled
+    so a mailbox getter does not swallow a later item).
+    """
+    deadline = env.timeout(timeout)
+    yield env.any_of([event, deadline])
+    if event.processed:
+        return event.value
+    if not event.triggered:
+        event.succeed(None)  # cancel (Store.put skips triggered getters)
+    return None
+
+
+class Runtime:
+    """Per-process Bertha runtime state."""
+
+    def __init__(
+        self,
+        entity: "NetEntity",
+        discovery=None,
+        policy: Optional[Policy] = None,
+        catalog: Optional[ImplCatalog] = None,
+        discovery_ttl: Optional[float] = None,
+        client_discovery_ttl: Optional[float] = None,
+        optimizer=None,
+    ):
+        from ..discovery.client import (
+            DirectDiscoveryClient,
+            DiscoveryClientBase,
+            NullDiscoveryClient,
+            RemoteDiscoveryClient,
+        )
+        from ..discovery.service import DiscoveryService
+
+        self.entity = entity
+        self.env = entity.env
+        self.network = entity.network
+        self.catalog = catalog or default_catalog
+        self.registry = ChunnelRegistry(self.catalog)
+        self.policy = policy or DefaultPolicy()
+        self.shared: dict = {}
+        self.discovery_ttl = discovery_ttl
+        #: Client-side discovery caching: None (the default, and the
+        #: paper's behaviour) queries discovery on every connect — which is
+        #: what makes Figure 4's dynamic switchover work.  A number enables
+        #: caching query results for that many seconds: cheaper connects,
+        #: stale placement.  The caching ablation quantifies the trade.
+        self.client_discovery_ttl = client_discovery_ttl
+        self._query_cache: dict = {}
+        #: Optional §6 DAG optimizer; when set, listeners reorder/merge/
+        #: specialize the unified DAG before choosing implementations.
+        self.optimizer = optimizer
+        if discovery is None:
+            self.discovery = NullDiscoveryClient(entity)
+        elif isinstance(discovery, Address):
+            self.discovery = RemoteDiscoveryClient(entity, discovery)
+        elif isinstance(discovery, DiscoveryService):
+            self.discovery = DirectDiscoveryClient(discovery)
+        elif isinstance(discovery, DiscoveryClientBase):
+            self.discovery = discovery
+        else:
+            raise TypeError(f"unsupported discovery argument {discovery!r}")
+
+    def register_chunnel(self, impl_cls) -> None:
+        """Register a fallback implementation (Listing 5, line 2)."""
+        self.registry.register(impl_cls)
+
+    def new(self, name: str, dag=None) -> "Endpoint":
+        """Create a connection endpoint (the paper's ``bertha::new``).
+
+        ``dag`` may be a :class:`ChunnelDag`, a single spec, or None/empty
+        (``wrap!()``) for a bare connection whose Chunnels the peer dictates.
+        """
+        if dag is None:
+            dag = ChunnelDag.empty()
+        elif isinstance(dag, ChunnelSpec):
+            dag = wrap(dag)
+        dag.validate()
+        return Endpoint(self, name, dag)
+
+    def spawn_release(self, record_id: str, owner: str) -> None:
+        """Asynchronously release a discovery reservation."""
+        self.env.process(
+            self.discovery.release(record_id, owner),
+            name=f"release:{record_id}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Runtime on {self.entity.name!r} registry={len(self.registry)}>"
+
+
+class Endpoint:
+    """A named endpoint with a Chunnel DAG, ready to listen or connect."""
+
+    def __init__(self, runtime: Runtime, name: str, dag: ChunnelDag):
+        self.runtime = runtime
+        self.name = name
+        self.dag = dag
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def listen(
+        self,
+        port: Optional[int] = None,
+        service_name: Optional[str] = None,
+    ) -> "Listener":
+        """Start accepting connections (the paper's ``.listen``).
+
+        ``service_name`` additionally registers this instance with the
+        cluster name service so clients can connect by name — resolution
+        happens per client connection, which is what lets clients discover
+        a newly-started closer instance (Figure 4).
+        """
+        return Listener(self, port=port, service_name=service_name)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        target: ConnectTarget,
+        timeout: float = 2e-3,
+        retries: int = 8,
+    ):
+        """Generator → :class:`Connection` (the paper's ``.connect``).
+
+        ``target`` is a server control address, a service name, or — for
+        group Chunnels like ordered multicast (Listing 2) — a list of
+        addresses.  Drive with ``conn = yield from ep.connect(...)``.
+        """
+        runtime = self.runtime
+        env = runtime.env
+        conn_id = next_conn_id(runtime.entity.name)
+        # Round trip 1: discovery (implementation offers + name resolution).
+        # With client-side caching enabled (non-default), a fresh cache
+        # entry skips this round trip — at the cost of stale placement.
+        service_name = target if isinstance(target, str) else None
+        query_types = set(self.dag.chunnel_types()) | (
+            runtime.registry.registered_types()
+        )
+        cache_key = (tuple(sorted(query_types)), service_name)
+        ttl = runtime.client_discovery_ttl
+        disc = None
+        if ttl is not None:
+            cached = runtime._query_cache.get(cache_key)
+            if cached is not None and (env.now - cached[0]) <= ttl:
+                disc = cached[1]
+        if disc is None:
+            disc = yield from runtime.discovery.query(
+                sorted(query_types), service_name=service_name
+            )
+            if ttl is not None:
+                runtime._query_cache[cache_key] = (env.now, disc)
+        network_offers = disc.offers
+
+        if isinstance(target, str):
+            if not disc.instances:
+                raise NegotiationError(
+                    f"service {target!r} has no registered instances"
+                )
+            targets = [self._select_instance(disc.instances)]
+        elif isinstance(target, Address):
+            targets = [target]
+        else:
+            targets = list(target)
+            if not targets:
+                raise NegotiationError("connect() needs at least one target")
+
+        client_offers = runtime.registry.offers_for(
+            sorted(query_types), origin="client"
+        )
+        offer_msg = build_offer_message(
+            conn_id, self.dag, client_offers, runtime.entity.name
+        )
+        offer_msg["network_offers"] = {
+            ctype: [o.to_wire() for o in offers]
+            for ctype, offers in network_offers.items()
+        }
+
+        # Round trip 2: offer/accept with each target endpoint.
+        ctl = UdpSocket(runtime.entity)
+        try:
+            accepts = []
+            for addr in targets:
+                accept = yield from self._negotiate_once(
+                    ctl, addr, offer_msg, timeout, retries
+                )
+                accepts.append(accept)
+        finally:
+            ctl.close()
+
+        first = accepts[0]
+        dag = ChunnelDag.from_wire(first["dag"])
+        choice = parse_choice(first["choice"])
+        shapes = {ChunnelDag.from_wire(a["dag"]).canonical_shape() for a in accepts}
+        if len(shapes) != 1:
+            raise NegotiationError(
+                f"{conn_id}: group endpoints negotiated different DAGs"
+            )
+        params = parse_params(first["params"])
+        if len(accepts) > 1:
+            params["per_peer"] = [parse_params(a["params"]) for a in accepts]
+        transport = first["transport"]
+        peers = [Address(a["data_host"], a["data_port"]) for a in accepts]
+
+        impls = instantiate_impls(dag, choice, runtime.catalog)
+        contexts: list[SetupContext] = []
+        server_entity = peers[0].host
+        for node_id in dag.topological_order():
+            ctx = SetupContext(
+                runtime=runtime,
+                role=Role.CLIENT,
+                conn_id=conn_id,
+                dag=dag,
+                offer=choice[node_id],
+                spec=dag.nodes[node_id],
+                client_entity=runtime.entity.name,
+                server_entity=server_entity,
+                params=params,
+            )
+            impls[node_id].setup(ctx)
+            contexts.append(ctx)
+        socket = _make_data_socket(runtime.entity, transport)
+        stages = build_stages(dag, impls, Role.CLIENT)
+        connection = Connection(
+            runtime=runtime,
+            name=self.name,
+            conn_id=conn_id,
+            role=Role.CLIENT,
+            dag=dag,
+            impls=impls,
+            stack_stages=stages,
+            socket=socket,
+            peers=peers,
+            transport=transport,
+            params=params,
+            setup_contexts=contexts,
+        )
+        for node_id, ctx in zip(dag.topological_order(), contexts):
+            impls[node_id].after_establish(ctx, connection)
+        return connection
+
+    def connect_raw(self, target: Address) -> Connection:
+        """Interoperate with a *non-Bertha* datagram peer.
+
+        §4.1 defers interoperability with other network APIs; this is the
+        datagram half of it: no negotiation, no control round trips — a
+        connection whose peer is any plain socket.  Only Chunnels this
+        client can run unilaterally are allowed: every DAG node must have a
+        locally-registered implementation whose endpoint constraint is
+        CLIENT or ANY (client-push sharding and rate limiting qualify;
+        reliability or serialization would need a cooperating peer and are
+        rejected).
+
+        Synchronous: returns the Connection immediately.
+        """
+        runtime = self.runtime
+        dag = self.dag
+        conn_id = next_conn_id(runtime.entity.name)
+        choice: dict[int, "Offer"] = {}
+        for node_id in dag.topological_order():
+            spec = dag.nodes[node_id]
+            offers = runtime.registry.offers_for(
+                [spec.type_name], origin="client"
+            )[spec.type_name]
+            usable = [
+                o
+                for o in offers
+                if not o.meta.endpoints.needs_server()
+                and spec.scope_requirement.satisfied_by(o.meta.scope)
+            ]
+            if not usable:
+                raise NoImplementationError(
+                    f"cannot run chunnel {spec.type_name!r} against a "
+                    "non-Bertha peer: no client-side implementation "
+                    "registered (peer cooperation would be required)"
+                )
+            ctx = PolicyContext(
+                client_entity=runtime.entity.name,
+                server_entity=target.host,
+                client_host=runtime.entity.host.name,
+                server_host=target.host,
+                same_host=False,
+                path_switches=[],
+            )
+            choice[node_id] = runtime.policy.rank(spec, usable, ctx)[0]
+        impls = instantiate_impls(dag, choice, runtime.catalog)
+        contexts: list[SetupContext] = []
+        for node_id in dag.topological_order():
+            ctx = SetupContext(
+                runtime=runtime,
+                role=Role.CLIENT,
+                conn_id=conn_id,
+                dag=dag,
+                offer=choice[node_id],
+                spec=dag.nodes[node_id],
+                client_entity=runtime.entity.name,
+                server_entity=target.host,
+            )
+            impls[node_id].setup(ctx)
+            contexts.append(ctx)
+        socket = UdpSocket(runtime.entity)
+        stages = build_stages(dag, impls, Role.CLIENT)
+        connection = Connection(
+            runtime=runtime,
+            name=self.name,
+            conn_id=conn_id,
+            role=Role.CLIENT,
+            dag=dag,
+            impls=impls,
+            stack_stages=stages,
+            socket=socket,
+            peers=[target],
+            transport="udp",
+            setup_contexts=contexts,
+        )
+        for node_id, ctx in zip(dag.topological_order(), contexts):
+            impls[node_id].after_establish(ctx, connection)
+        return connection
+
+    def _select_instance(self, instances: list[Address]) -> Address:
+        """Pick which service instance to negotiate with.
+
+        Chunnel specs may provide a ``select_instance(instances, entity,
+        network)`` hook (the local-fast-path and anycast Chunnels do);
+        otherwise the first registered instance wins.
+        """
+        for spec in self.dag.specs_in_order():
+            selector = getattr(spec, "select_instance", None)
+            if selector is not None:
+                chosen = selector(
+                    instances, self.runtime.entity, self.runtime.network
+                )
+                if chosen is not None:
+                    return chosen
+        return instances[0]
+
+    def _negotiate_once(
+        self,
+        ctl: SimSocket,
+        server_addr: Address,
+        offer_msg: dict,
+        timeout: float,
+        retries: int,
+    ):
+        """One offer/accept exchange, with retransmission."""
+        env = self.runtime.env
+        for _attempt in range(retries):
+            ctl.send(offer_msg, server_addr, size=_message_size(offer_msg))
+            dgram = yield from _wait_with_timeout(env, ctl.recv(), timeout)
+            if dgram is None:
+                continue
+            reply = dgram.payload
+            if not isinstance(reply, dict):
+                continue
+            if reply.get("conn_id") != offer_msg["conn_id"]:
+                continue
+            if reply.get("kind") == ACCEPT_KIND:
+                return reply
+            if reply.get("kind") == ERROR_KIND:
+                raise_remote_error(reply)
+        raise ConnectionTimeoutError(
+            f"no answer from {server_addr} after {retries} negotiation attempts"
+        )
+
+
+def _make_data_socket(entity: "NetEntity", transport: str) -> SimSocket:
+    if transport == "pipe":
+        return PipeSocket(entity)
+    if transport == "udp":
+        return UdpSocket(entity)
+    raise NegotiationError(f"unknown negotiated transport {transport!r}")
+
+
+class Listener:
+    """Accepts Bertha connections for one endpoint."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        port: Optional[int] = None,
+        service_name: Optional[str] = None,
+    ):
+        self.endpoint = endpoint
+        self.runtime = endpoint.runtime
+        self.env = self.runtime.env
+        self.ctl = UdpSocket(self.runtime.entity, port)
+        self.service_name = service_name
+        self.accepted: Store = Store(self.env, name=f"{endpoint.name}.accepted")
+        self.connections: list[Connection] = []
+        self.optimizations: list = []  # OptimizationResults applied (§6)
+        self.negotiations_failed = 0
+        self._closed = False
+        # Reply cache for offer retransmissions, bounded FIFO: retries
+        # arrive within a retry window, so old entries are safe to evict.
+        self._replies: "OrderedDict[str, dict]" = OrderedDict()
+        self._reply_cache_limit = 1024
+        self._network_offers: dict[str, list[Offer]] = {}
+        self._network_offers_at: Optional[float] = None
+        self._server = self.env.process(
+            self._serve(), name=f"{endpoint.name}.listener"
+        )
+
+    @property
+    def address(self) -> Address:
+        """The control address clients connect to."""
+        return self.ctl.address
+
+    def accept(self) -> Event:
+        """Event that fires with the next established Connection."""
+        return self.accepted.get()
+
+    def close(self) -> None:
+        """Stop accepting; existing connections stay open."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.service_name:
+            self.runtime.network.names.unregister(self.service_name, self.address)
+        if self._server.is_alive:
+            self._server.interrupt("listener closed")
+        self.ctl.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _serve(self):
+        if self.service_name:
+            yield from self.runtime.discovery.register_name(
+                self.service_name, self.address
+            )
+        yield from self._refresh_network_offers()
+        while not self._closed:
+            try:
+                dgram = yield self.ctl.recv()
+            except Interrupt:
+                return
+            message = dgram.payload
+            if not isinstance(message, dict) or message.get("kind") != OFFER_KIND:
+                continue
+            conn_id = message.get("conn_id", "")
+            cached = self._replies.get(conn_id)
+            if cached is not None:
+                # Client retransmission: repeat the original verdict.
+                self.ctl.send(cached, dgram.src, size=_message_size(cached))
+                continue
+            try:
+                reply = yield from self._handle_offer(message)
+            except NegotiationError as error:
+                self.negotiations_failed += 1
+                reply = build_error_message(conn_id, error)
+            self._replies[conn_id] = reply
+            while len(self._replies) > self._reply_cache_limit:
+                self._replies.popitem(last=False)
+            self.ctl.send(reply, dgram.src, size=_message_size(reply))
+
+    def _refresh_network_offers(self):
+        types = set(self.endpoint.dag.chunnel_types()) | (
+            self.runtime.registry.registered_types()
+        )
+        if self.runtime.optimizer is not None:
+            # Merge targets (e.g. tls) may have discovery-registered
+            # implementations even though no endpoint names them directly.
+            types |= self.runtime.optimizer.traits.merge_targets()
+        result = yield from self.runtime.discovery.query(sorted(types))
+        self._network_offers = result.offers
+        self._network_offers_at = self.env.now
+
+    def _offers_stale(self) -> bool:
+        ttl = self.runtime.discovery_ttl
+        if ttl is None or self._network_offers_at is None:
+            return False
+        return (self.env.now - self._network_offers_at) > ttl
+
+    def _assemble_candidates(
+        self, chunnel_types: list[str], message: dict
+    ) -> dict[str, list[Offer]]:
+        """The candidate pool for the given types: client offers (from the
+        message), server offers (this process's registry), and network
+        offers (the client's discovery view plus our own cache, deduplicated
+        by record id)."""
+        runtime = self.runtime
+        candidates: dict[str, list[Offer]] = {}
+        wanted = set(chunnel_types)
+        client_offers = parse_offers(message.get("offers", {}))
+        for ctype, offers in client_offers.items():
+            if ctype in wanted:
+                candidates.setdefault(ctype, []).extend(offers)
+        for ctype, offers in runtime.registry.offers_for(
+            sorted(wanted), origin="server"
+        ).items():
+            candidates.setdefault(ctype, []).extend(offers)
+        seen_records: set[str] = set()
+        wire_network = message.get("network_offers", {})
+        network_pool = {
+            ctype: [Offer.from_wire(o) for o in offers]
+            for ctype, offers in wire_network.items()
+        }
+        for pool in (network_pool, self._network_offers):
+            for ctype, offers in pool.items():
+                if ctype not in wanted:
+                    continue
+                for offer in offers:
+                    if offer.record_id and offer.record_id in seen_records:
+                        continue
+                    if offer.record_id:
+                        seen_records.add(offer.record_id)
+                    candidates.setdefault(ctype, []).append(offer)
+        return candidates
+
+    def _optimized_dag(
+        self, dag: ChunnelDag, message: dict, ctx: PolicyContext
+    ) -> Optional[ChunnelDag]:
+        """Apply the §6 optimizer; returns the transformed DAG or None."""
+        optimizer = self.runtime.optimizer
+        if optimizer is None or dag.is_empty:
+            return None
+        from .negotiation import _location_feasible
+
+        probe_types = set(dag.chunnel_types()) | optimizer.traits.merge_targets()
+        probe = self._assemble_candidates(sorted(probe_types), message)
+        offloadable = {
+            ctype
+            for ctype, offers in probe.items()
+            if any(
+                offer.meta.placement.is_offload
+                and _location_feasible(offer, ctx)
+                for offer in offers
+            )
+        }
+        available = {ctype for ctype, offers in probe.items() if offers}
+        # The pipe transport (negotiated when both ends share a host and a
+        # local_or_remote Chunnel is present) is reliable and in-order.
+        reliable_transport = (
+            ctx.same_host and "local_or_remote" in dag.chunnel_types()
+        )
+        result = optimizer.optimize(
+            dag,
+            offloadable=offloadable,
+            available_types=available,
+            reliable_transport=reliable_transport,
+        )
+        if not result.changed:
+            return None
+        self.optimizations.append(result)
+        return result.dag
+
+    def _handle_offer(self, message: dict):
+        """Generator: negotiate one connection; returns the reply message."""
+        runtime = self.runtime
+        conn_id = message["conn_id"]
+        client_entity = message["client_entity"]
+        client_dag = ChunnelDag.from_wire(message["dag"])
+        dag = ChunnelDag.unify(client_dag, self.endpoint.dag)
+
+        if self._offers_stale():
+            yield from self._refresh_network_offers()
+
+        ctx = self._policy_context(client_entity)
+        owner = f"{runtime.entity.name}:{self.endpoint.name}"
+
+        # Try the optimized DAG first (if the runtime has an optimizer and
+        # it changed anything); fall back to the application's DAG when the
+        # optimized one cannot bind (e.g. a merge target with no usable
+        # implementation on this connection).
+        attempts = [dag]
+        optimized = self._optimized_dag(dag, message, ctx)
+        if optimized is not None:
+            attempts.insert(0, optimized)
+        last_error: Optional[NegotiationError] = None
+        choice = None
+        reservations: list[tuple[str, str]] = []
+        for attempt_dag in attempts:
+            candidates = self._assemble_candidates(
+                attempt_dag.chunnel_types(), message
+            )
+            try:
+                choice, reservations = yield from self._decide_with_reservations(
+                    attempt_dag, candidates, ctx, owner
+                )
+                dag = attempt_dag
+                break
+            except NegotiationError as error:
+                last_error = error
+        if choice is None:
+            raise last_error if last_error is not None else NegotiationError(
+                "negotiation produced no choice"
+            )
+
+        # Instantiate, run server-side setup hooks, create the data socket.
+        impls = instantiate_impls(dag, choice, runtime.catalog)
+        params: dict = {}
+        contexts: list[SetupContext] = []
+        for node_id in dag.topological_order():
+            setup_ctx = SetupContext(
+                runtime=runtime,
+                role=Role.SERVER,
+                conn_id=conn_id,
+                dag=dag,
+                offer=choice[node_id],
+                spec=dag.nodes[node_id],
+                client_entity=client_entity,
+                server_entity=runtime.entity.name,
+                params=params,
+                reservations=reservations,
+            )
+            impls[node_id].setup(setup_ctx)
+            contexts.append(setup_ctx)
+        transport = params.get("transport", "udp")
+        socket = _make_data_socket(runtime.entity, transport)
+        stages = build_stages(dag, impls, Role.SERVER)
+        connection = Connection(
+            runtime=runtime,
+            name=self.endpoint.name,
+            conn_id=conn_id,
+            role=Role.SERVER,
+            dag=dag,
+            impls=impls,
+            stack_stages=stages,
+            socket=socket,
+            peers=[],
+            transport=transport,
+            params=params,
+            setup_contexts=contexts,
+        )
+        for node_id, setup_ctx in zip(dag.topological_order(), contexts):
+            impls[node_id].after_establish(setup_ctx, connection)
+        self.connections.append(connection)
+        self.accepted.put(connection)
+        return build_accept_message(
+            conn_id,
+            dag,
+            choice,
+            data_host=socket.address.host,
+            data_port=socket.address.port,
+            transport=transport,
+            params=params,
+        )
+
+    def _policy_context(self, client_entity: str) -> PolicyContext:
+        network = self.runtime.network
+        client_host = network.entity(client_entity).host.name
+        server_host = self.runtime.entity.host.name
+        if client_host == server_host:
+            path_switches: list[str] = []
+        else:
+            path = network.route(client_host, server_host)
+            path_switches = [n for n in path if n in network.switches]
+        return PolicyContext(
+            client_entity=client_entity,
+            server_entity=self.runtime.entity.name,
+            client_host=client_host,
+            server_host=server_host,
+            same_host=client_host == server_host,
+            path_switches=path_switches,
+        )
+
+    def _decide_with_reservations(
+        self,
+        dag: ChunnelDag,
+        candidates: dict[str, list[Offer]],
+        ctx: PolicyContext,
+        owner: str,
+    ):
+        """Generator: run `decide`, confirming reservations with discovery.
+
+        Offers whose reservation is denied are excluded and the decision is
+        recomputed, so contention for an offload degrades to the next-ranked
+        implementation instead of failing the connection (§6).
+        """
+        excluded: set[tuple[str, Optional[str]]] = set()
+        for _round in range(8):
+            pool = {
+                ctype: [
+                    o
+                    for o in offers
+                    if (o.meta.name, o.record_id) not in excluded
+                ]
+                for ctype, offers in candidates.items()
+            }
+            choice = decide(dag, pool, self.runtime.policy, ctx, reserve=None)
+            confirmed: list[tuple[str, str]] = []
+            denied: Optional[Offer] = None
+            for node_id, offer in sorted(choice.items()):
+                if offer.record_id is None or offer.meta.resources.is_zero:
+                    continue
+                # Group-shared Chunnels (e.g. ordered multicast) reserve
+                # under a group-scoped owner so the shared device program
+                # is accounted once across all members.
+                node_owner = dag.nodes[node_id].reservation_scope() or owner
+                ok = yield from self.runtime.discovery.reserve(
+                    offer.record_id, node_owner
+                )
+                if not ok:
+                    denied = offer
+                    break
+                confirmed.append((offer.record_id, node_owner))
+            if denied is None:
+                return choice, confirmed
+            for record_id, node_owner in confirmed:
+                yield from self.runtime.discovery.release(record_id, node_owner)
+            excluded.add((denied.meta.name, denied.record_id))
+        raise NoImplementationError(
+            "reservation thrashing: could not confirm a stable implementation "
+            "choice in 8 rounds"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Listener {self.endpoint.name!r} @ {self.address}>"

@@ -1,0 +1,84 @@
+"""Scopes, endpoint constraints, and placements (paper §3.1, §4.2, Table 1).
+
+Three orthogonal constraint axes govern where a Chunnel implementation may
+run:
+
+``Scope``
+    *How far from the application* the implementation may be.  The paper's
+    example is ``bertha::scope::Application`` — an implementation that must
+    live in the application process.  Scopes are ordered: an implementation
+    with scope ``HOST`` may be used when both relevant endpoints are within
+    one host, and so on outward.
+
+``Endpoints``
+    *Which sides of the connection* must instantiate the implementation —
+    the paper's ``bertha::endpoints::Both`` for e.g. reliability (both sides
+    speak the ack protocol), versus client-only or server-only mechanisms
+    like client-push sharding.
+
+``Placement``
+    *What kind of execution vehicle* the implementation is: plain host
+    software (the mandatory fallback class), an XDP-like kernel fast path, a
+    SmartNIC, or a programmable switch.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Scope", "Endpoints", "Placement"]
+
+
+class Scope(enum.IntEnum):
+    """How far from the application an implementation may be placed.
+
+    The integer ordering is meaningful: ``Scope.HOST < Scope.NETWORK`` means
+    host scope is the tighter constraint.  ``satisfied_by`` compares a
+    *requirement* (on a DAG node) with an implementation's declared scope.
+    """
+
+    APPLICATION = 1  # same process as the application
+    HOST = 2  # same machine (kernel fast path, pipes, SmartNIC)
+    RACK = 3  # same rack / ToR switch
+    NETWORK = 4  # anywhere on the connection's network path
+    GLOBAL = 5  # anywhere at all
+
+    def satisfied_by(self, impl_scope: "Scope") -> bool:
+        """True if an impl declaring ``impl_scope`` meets this requirement.
+
+        A node constrained to ``HOST`` accepts implementations whose own
+        scope is ``HOST`` or tighter (``APPLICATION``): the implementation
+        promises to run at least that close to the application.
+        """
+        return impl_scope <= self
+
+
+class Endpoints(enum.Enum):
+    """Which connection ends must instantiate the implementation."""
+
+    CLIENT = "client"
+    SERVER = "server"
+    BOTH = "both"
+    ANY = "any"  # either side alone suffices
+
+    def needs_client(self) -> bool:
+        """True if the client side must have this implementation."""
+        return self in (Endpoints.CLIENT, Endpoints.BOTH)
+
+    def needs_server(self) -> bool:
+        """True if the server side must have this implementation."""
+        return self in (Endpoints.SERVER, Endpoints.BOTH)
+
+
+class Placement(enum.Enum):
+    """Execution vehicle classes, in rough order of specialization."""
+
+    HOST_SOFTWARE = "host-software"
+    KERNEL_FASTPATH = "kernel-fastpath"
+    SMARTNIC = "smartnic"
+    SWITCH = "switch"
+
+    @property
+    def is_offload(self) -> bool:
+        """True for anything other than plain host software."""
+        return self is not Placement.HOST_SOFTWARE

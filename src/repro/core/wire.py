@@ -1,0 +1,120 @@
+"""Wire encoding for negotiation payloads.
+
+Negotiation exchanges Chunnel DAGs, implementation offers, and choices as
+messages.  Although the simulator could pass Python objects by reference,
+doing so would let non-serializable state leak across endpoints and would
+make the protocol untestable.  This module provides a strict, reversible
+encoding into plain JSON-able structures (dicts/lists/strings/numbers).
+
+Types beyond the JSON primitives are encoded as tagged dicts
+(``{"__kind__": tag, ...}``).  New types participate by registering an
+adapter with :func:`register_wire_type`; :class:`~repro.sim.datagram.Address`
+and the Chunnel spec/DAG types register themselves on import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import BerthaError
+
+__all__ = ["encode", "decode", "register_wire_type", "WireError"]
+
+_KIND_KEY = "__kind__"
+
+
+class WireError(BerthaError):
+    """A value cannot be encoded, or a wire message is malformed."""
+
+
+_encoders: dict[type, tuple[str, Callable[[Any], dict]]] = {}
+_decoders: dict[str, Callable[[dict], Any]] = {}
+
+
+def register_wire_type(
+    tag: str,
+    cls: type,
+    encoder: Callable[[Any], dict],
+    decoder: Callable[[dict], Any],
+) -> None:
+    """Register a tagged encoding for ``cls``.
+
+    ``encoder`` maps an instance to a plain dict (no tag needed);
+    ``decoder`` inverts it.
+    """
+    if tag in _decoders:
+        raise WireError(f"wire tag {tag!r} already registered")
+    _encoders[cls] = (tag, encoder)
+    _decoders[tag] = decoder
+
+
+def encode(value: Any) -> Any:
+    """Encode ``value`` into JSON-able structures.
+
+    Raises :class:`WireError` for unsupported types (including arbitrary
+    callables — negotiation payloads must be data, see the sharding
+    function discussion in :mod:`repro.chunnels.sharding`).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {_KIND_KEY: "bytes", "hex": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"wire dict keys must be strings, got {key!r}")
+            if key == _KIND_KEY:
+                raise WireError(f"dict key {key!r} is reserved")
+            out[key] = encode(item)
+        return out
+    adapter = _encoders.get(type(value))
+    if adapter is None:
+        # Walk the MRO so subclasses of registered types encode too.
+        for cls, candidate in _encoders.items():
+            if isinstance(value, cls):
+                adapter = candidate
+                break
+    if adapter is None:
+        raise WireError(
+            f"cannot encode {type(value).__name__} for the wire: {value!r}"
+        )
+    tag, encoder = adapter
+    body = encoder(value)
+    return {_KIND_KEY: tag, **{k: encode(v) for k, v in body.items()}}
+
+
+def decode(value: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(_KIND_KEY)
+        if tag is None:
+            return {k: decode(v) for k, v in value.items()}
+        if tag == "bytes":
+            return bytes.fromhex(value["hex"])
+        decoder = _decoders.get(tag)
+        if decoder is None:
+            raise WireError(f"unknown wire tag {tag!r}")
+        body = {k: decode(v) for k, v in value.items() if k != _KIND_KEY}
+        return decoder(body)
+    raise WireError(f"malformed wire value: {value!r}")
+
+
+def _register_builtin_types() -> None:
+    from ..sim.datagram import Address
+
+    register_wire_type(
+        "address",
+        Address,
+        lambda a: {"host": a.host, "port": a.port},
+        lambda d: Address(d["host"], d["port"]),
+    )
+
+
+_register_builtin_types()

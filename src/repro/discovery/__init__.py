@@ -1,0 +1,23 @@
+"""The Bertha discovery service and its clients (§4.2)."""
+
+from .client import (
+    DirectDiscoveryClient,
+    DiscoveryClientBase,
+    NullDiscoveryClient,
+    QueryResult,
+    RemoteDiscoveryClient,
+)
+from .records import ImplementationRecord, Lease
+from .service import DEFAULT_DISCOVERY_PORT, DiscoveryService
+
+__all__ = [
+    "DEFAULT_DISCOVERY_PORT",
+    "DirectDiscoveryClient",
+    "DiscoveryClientBase",
+    "DiscoveryService",
+    "ImplementationRecord",
+    "Lease",
+    "NullDiscoveryClient",
+    "QueryResult",
+    "RemoteDiscoveryClient",
+]

@@ -1,0 +1,265 @@
+"""Runtime-side discovery clients.
+
+The Bertha runtime talks to the discovery service when establishing
+connections.  Three client flavours share one generator-based interface
+(each method is a generator a simulation process drives with ``yield
+from``):
+
+``RemoteDiscoveryClient``
+    The real thing: request/response over the network.  The ``query`` it
+    performs per connection is one of Figure 3's two extra round trips.
+
+``DirectDiscoveryClient``
+    Calls a co-located :class:`DiscoveryService` object with zero network
+    cost.  Used by unit tests and by deployments that embed the service.
+
+``NullDiscoveryClient``
+    No discovery at all: queries return nothing, reservations succeed.
+    Lets a two-process Bertha app run with only process-registered
+    fallbacks, and resolves names straight from the cluster name service.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..core.chunnel import Offer
+from ..errors import ConnectionTimeoutError
+from ..sim.datagram import Address
+from ..sim.transport import UdpSocket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.host import NetEntity
+    from .service import DiscoveryService
+
+__all__ = [
+    "QueryResult",
+    "DiscoveryClientBase",
+    "RemoteDiscoveryClient",
+    "DirectDiscoveryClient",
+    "NullDiscoveryClient",
+]
+
+_QUERY_SIZE = 96
+_SMALL_REQUEST_SIZE = 48
+
+
+class QueryResult:
+    """What one discovery query returns."""
+
+    def __init__(self, offers: dict[str, list[Offer]], instances: list[Address]):
+        self.offers = offers
+        self.instances = instances
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueryResult offers={{{', '.join(self.offers)}}} "
+            f"instances={len(self.instances)}>"
+        )
+
+
+class DiscoveryClientBase:
+    """Interface shared by all discovery clients (all methods generators)."""
+
+    def query(
+        self, types: Iterable[str], service_name: Optional[str] = None
+    ):
+        """Generator → :class:`QueryResult`."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def reserve(self, record_id: str, owner: str):
+        """Generator → bool."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def release(self, record_id: str, owner: str):
+        """Generator → None."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def register_name(self, name: str, address: Address):
+        """Generator → None."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def unregister_name(self, name: str, address: Address):
+        """Generator → None."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class RemoteDiscoveryClient(DiscoveryClientBase):
+    """Talks to the discovery service over the network."""
+
+    def __init__(
+        self,
+        entity: "NetEntity",
+        service_address: Address,
+        timeout: float = 2e-3,
+        retries: int = 5,
+    ):
+        self.entity = entity
+        self.env = entity.env
+        self.service_address = service_address
+        self.timeout = timeout
+        self.retries = retries
+        self._req_counter = 0
+        self.round_trips = 0
+
+    def _rpc(self, request: dict, size: int):
+        """One request/response exchange with timeout-based retransmit."""
+        self._req_counter += 1
+        request = dict(request)
+        request["req_id"] = f"{self.entity.name}-{self._req_counter}"
+        socket = UdpSocket(self.entity)
+        try:
+            for _attempt in range(self.retries):
+                socket.send(request, self.service_address, size=size)
+                deadline = self.env.timeout(self.timeout)
+                receive = socket.recv()
+                yield self.env.any_of([receive, deadline])
+                if not receive.processed:
+                    # Cancel the dangling getter so a late reply is dropped.
+                    receive.succeed(None)
+                    continue
+                reply = receive.value.payload
+                if (
+                    isinstance(reply, dict)
+                    and reply.get("req_id") == request["req_id"]
+                ):
+                    self.round_trips += 1
+                    return reply
+            raise ConnectionTimeoutError(
+                f"discovery service at {self.service_address} did not answer "
+                f"after {self.retries} attempts"
+            )
+        finally:
+            socket.close()
+
+    def query(self, types, service_name=None):
+        reply = yield from self._rpc(
+            {
+                "kind": "disc.query",
+                "types": sorted(set(types)),
+                "service_name": service_name,
+            },
+            size=_QUERY_SIZE,
+        )
+        offers = {
+            ctype: [Offer.from_wire(o) for o in offer_list]
+            for ctype, offer_list in reply.get("offers", {}).items()
+        }
+        instances = [
+            Address(inst["host"], inst["port"])
+            for inst in reply.get("instances", [])
+        ]
+        return QueryResult(offers, instances)
+
+    def reserve(self, record_id, owner):
+        reply = yield from self._rpc(
+            {"kind": "disc.reserve", "record_id": record_id, "owner": owner},
+            size=_SMALL_REQUEST_SIZE,
+        )
+        return bool(reply.get("ok"))
+
+    def release(self, record_id, owner):
+        yield from self._rpc(
+            {"kind": "disc.release", "record_id": record_id, "owner": owner},
+            size=_SMALL_REQUEST_SIZE,
+        )
+
+    def register_name(self, name, address):
+        yield from self._rpc(
+            {
+                "kind": "disc.register_name",
+                "name": name,
+                "host": address.host,
+                "port": address.port,
+            },
+            size=_SMALL_REQUEST_SIZE,
+        )
+
+    def unregister_name(self, name, address):
+        yield from self._rpc(
+            {
+                "kind": "disc.unregister_name",
+                "name": name,
+                "host": address.host,
+                "port": address.port,
+            },
+            size=_SMALL_REQUEST_SIZE,
+        )
+
+
+class DirectDiscoveryClient(DiscoveryClientBase):
+    """Zero-cost calls into a co-located service object."""
+
+    def __init__(self, service: "DiscoveryService"):
+        self.service = service
+        self.round_trips = 0
+
+    def query(self, types, service_name=None):
+        offers = self.service.offers_for(sorted(set(types)))
+        instances = []
+        if service_name:
+            instances = [
+                r.address for r in self.service.network.names.resolve(service_name)
+            ]
+        return QueryResult(offers, instances)
+        yield  # pragma: no cover - generator form, never reached
+
+    def reserve(self, record_id, owner):
+        return self.service.reserve(record_id, owner)
+        yield  # pragma: no cover
+
+    def release(self, record_id, owner):
+        self.service.release(record_id, owner)
+        return None
+        yield  # pragma: no cover
+
+    def register_name(self, name, address):
+        self.service.register_name(name, address)
+        return None
+        yield  # pragma: no cover
+
+    def unregister_name(self, name, address):
+        self.service.unregister_name(name, address)
+        return None
+        yield  # pragma: no cover
+
+
+class NullDiscoveryClient(DiscoveryClientBase):
+    """No discovery service: local fallbacks only, names from the cluster."""
+
+    def __init__(self, entity: "NetEntity"):
+        self.entity = entity
+        self.round_trips = 0
+
+    def query(self, types, service_name=None):
+        instances = []
+        if service_name:
+            instances = [
+                r.address
+                for r in self.entity.network.names.resolve(service_name)
+            ]
+        return QueryResult({t: [] for t in types}, instances)
+        yield  # pragma: no cover
+
+    def reserve(self, record_id, owner):
+        return True
+        yield  # pragma: no cover
+
+    def release(self, record_id, owner):
+        return None
+        yield  # pragma: no cover
+
+    def register_name(self, name, address):
+        self.entity.network.names.register(name, address)
+        return None
+        yield  # pragma: no cover
+
+    def unregister_name(self, name, address):
+        self.entity.network.names.unregister(name, address)
+        return None
+        yield  # pragma: no cover

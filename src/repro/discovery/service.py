@@ -1,0 +1,275 @@
+"""The Bertha discovery service (§4.2).
+
+One logical service per deployment tracks:
+
+* **implementation records** — which Chunnel implementations are available
+  where (registered by offload developers / operators);
+* **device inventory** — the resource capacity of each programmable device,
+  derived from the simulated network, plus what reservations have consumed;
+* **service names** — instance registration/resolution (fronting the
+  cluster name service), which is how per-connection resolution discovers a
+  newly-started local instance (Figure 4).
+
+The service answers over the network (a :class:`UdpSocket` request/response
+protocol used by :class:`repro.discovery.client.RemoteDiscoveryClient` —
+this exchange is one of Figure 3's "two additional IPC round trips") and
+also exposes the same operations as direct method calls for operator
+tooling and tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..core.chunnel import ImplMeta, Offer
+from ..core.resources import (
+    NIC_SLOTS,
+    SWITCH_SRAM_KB,
+    SWITCH_STAGES,
+    XDP_SHARE,
+    ResourceVector,
+)
+from ..errors import DiscoveryError, RegistrationError
+from ..sim.datagram import Address
+from ..sim.transport import UdpSocket
+from .records import ImplementationRecord, Lease
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.scheduler import OffloadScheduler
+    from ..sim.host import NetEntity
+
+__all__ = ["DiscoveryService", "DEFAULT_DISCOVERY_PORT"]
+
+DEFAULT_DISCOVERY_PORT = 53530
+
+
+class DiscoveryService:
+    """Deployment-wide registry of Chunnel implementations and devices."""
+
+    def __init__(
+        self,
+        entity: "NetEntity",
+        port: int = DEFAULT_DISCOVERY_PORT,
+        scheduler: Optional["OffloadScheduler"] = None,
+    ):
+        self.entity = entity
+        self.env = entity.env
+        self.network = entity.network
+        self.socket = UdpSocket(entity, port)
+        self.address = self.socket.address
+        self._records: dict[str, ImplementationRecord] = {}
+        self._leases: dict[tuple[str, str], Lease] = {}
+        self._in_use: dict[str, ResourceVector] = {}
+        self._capacity_overrides: dict[str, ResourceVector] = {}
+        self.scheduler = scheduler
+        self.queries_served = 0
+        self.reservations_granted = 0
+        self.reservations_denied = 0
+        self._server = self.env.process(self._serve(), name="discovery.serve")
+
+    # ------------------------------------------------------------------
+    # Direct (operator/test) API
+    # ------------------------------------------------------------------
+    def register(
+        self, meta: ImplMeta, location: str, registered_by: str = "operator"
+    ) -> ImplementationRecord:
+        """Register one implementation at one location."""
+        if location not in self.network.entities and (
+            location not in self.network.switches
+        ):
+            raise RegistrationError(
+                f"cannot register at unknown location {location!r}"
+            )
+        record = ImplementationRecord(
+            meta=meta, location=location, registered_by=registered_by
+        )
+        self._records[record.record_id] = record
+        return record
+
+    def unregister(self, record_id: str) -> None:
+        """Remove a record; existing leases keep their resources until
+        released."""
+        self._records.pop(record_id, None)
+
+    def records_for(self, chunnel_types: Iterable[str]) -> list[ImplementationRecord]:
+        """Enabled records matching any of ``chunnel_types``."""
+        wanted = set(chunnel_types)
+        return [
+            record
+            for record in sorted(self._records.values(), key=lambda r: r.record_id)
+            if record.enabled and record.meta.chunnel_type in wanted
+        ]
+
+    def offers_for(self, chunnel_types: Iterable[str]) -> dict[str, list[Offer]]:
+        """Network-origin offers for each requested type."""
+        offers: dict[str, list[Offer]] = {t: [] for t in chunnel_types}
+        for record in self.records_for(chunnel_types):
+            offers[record.meta.chunnel_type].append(record.to_offer())
+        return offers
+
+    # -- device inventory -------------------------------------------------------
+    def set_capacity(self, location: str, capacity: ResourceVector) -> None:
+        """Override the derived capacity of a device (operator knob)."""
+        self._capacity_overrides[location] = capacity
+
+    def device_capacity(self, location: str) -> ResourceVector:
+        """Total schedulable resources at ``location``.
+
+        Derived from the simulated device unless overridden: switches expose
+        stages and SRAM, hosts expose XDP cores and (if present) SmartNIC
+        offload slots.
+        """
+        override = self._capacity_overrides.get(location)
+        if override is not None:
+            return override
+        switch = self.network.switches.get(location)
+        if switch is not None:
+            return ResourceVector(
+                {
+                    SWITCH_STAGES: switch.stage_pool.capacity,
+                    SWITCH_SRAM_KB: switch.sram_pool.capacity,
+                }
+            )
+        entity = self.network.entities.get(location)
+        if entity is not None:
+            host = entity.host
+            amounts = {XDP_SHARE: host.xdp_station.servers}
+            if host.smartnic is not None:
+                amounts[NIC_SLOTS] = host.smartnic.slots.capacity
+            return ResourceVector(amounts)
+        raise DiscoveryError(f"unknown device location {location!r}")
+
+    def device_in_use(self, location: str) -> ResourceVector:
+        """Resources currently reserved at ``location``."""
+        return self._in_use.get(location, ResourceVector())
+
+    # -- reservations -------------------------------------------------------------
+    def reserve(self, record_id: str, owner: str) -> bool:
+        """Reserve a record's resources for ``owner``.
+
+        Idempotent per owner (refcounted): an application reserving the same
+        record for its tenth connection does not consume tenfold resources.
+        Returns False when the device cannot fit the request (§6's
+        contended-offload case).
+        """
+        record = self._records.get(record_id)
+        if record is None:
+            return False
+        lease = self._leases.get((record_id, owner))
+        if lease is not None:
+            lease.count += 1
+            return True
+        need = record.meta.resources
+        if not need.is_zero:
+            capacity = self.device_capacity(record.location)
+            in_use = self.device_in_use(record.location)
+            admitted = (
+                self.scheduler.admit(record, owner, need, capacity, in_use)
+                if self.scheduler is not None
+                else (in_use + need).fits_within(capacity)
+            )
+            if not admitted:
+                self.reservations_denied += 1
+                return False
+            self._in_use[record.location] = in_use + need
+        self._leases[(record_id, owner)] = Lease(
+            record_id=record_id, owner=owner, granted_at=self.env.now
+        )
+        self.reservations_granted += 1
+        return True
+
+    def release(self, record_id: str, owner: str) -> None:
+        """Release one reference to a reservation (no-op if absent)."""
+        lease = self._leases.get((record_id, owner))
+        if lease is None:
+            return
+        lease.count -= 1
+        if lease.count > 0:
+            return
+        del self._leases[(record_id, owner)]
+        record = self._records.get(record_id)
+        if record is not None and not record.meta.resources.is_zero:
+            in_use = self.device_in_use(record.location)
+            self._in_use[record.location] = in_use - record.meta.resources
+
+    def leases_at(self, location: str) -> list[Lease]:
+        """All live leases whose record sits at ``location``."""
+        return [
+            lease
+            for (record_id, _owner), lease in sorted(self._leases.items())
+            if (record := self._records.get(record_id)) is not None
+            and record.location == location
+        ]
+
+    # -- names -------------------------------------------------------------------
+    def register_name(self, name: str, address: Address) -> None:
+        """Register a service instance (fronts the cluster name service)."""
+        self.network.names.register(name, address)
+
+    def unregister_name(self, name: str, address: Address) -> None:
+        """Remove a service instance."""
+        self.network.names.unregister(name, address)
+
+    # ------------------------------------------------------------------
+    # Network protocol
+    # ------------------------------------------------------------------
+    def _serve(self):
+        """Request/response loop over the service's UDP socket."""
+        while True:
+            dgram = yield self.socket.recv()
+            request = dgram.payload
+            if not isinstance(request, dict):
+                continue
+            response = self._handle(request)
+            response["req_id"] = request.get("req_id")
+            self.socket.send(
+                response, dgram.src, size=_response_size(response)
+            )
+
+    def _handle(self, request: dict) -> dict:
+        kind = request.get("kind")
+        if kind == "disc.query":
+            self.queries_served += 1
+            types = request.get("types", [])
+            offers = {
+                ctype: [offer.to_wire() for offer in offer_list]
+                for ctype, offer_list in self.offers_for(types).items()
+            }
+            instances = []
+            service_name = request.get("service_name")
+            if service_name:
+                instances = [
+                    {"host": r.address.host, "port": r.address.port}
+                    for r in self.network.names.resolve(service_name)
+                ]
+            return {"kind": "disc.query_reply", "offers": offers, "instances": instances}
+        if kind == "disc.reserve":
+            ok = self.reserve(request["record_id"], request["owner"])
+            return {"kind": "disc.reserve_reply", "ok": ok}
+        if kind == "disc.release":
+            self.release(request["record_id"], request["owner"])
+            return {"kind": "disc.release_reply", "ok": True}
+        if kind == "disc.register_name":
+            self.register_name(
+                request["name"], Address(request["host"], request["port"])
+            )
+            return {"kind": "disc.register_name_reply", "ok": True}
+        if kind == "disc.unregister_name":
+            self.unregister_name(
+                request["name"], Address(request["host"], request["port"])
+            )
+            return {"kind": "disc.unregister_name_reply", "ok": True}
+        return {"kind": "disc.error", "error": f"unknown request kind {kind!r}"}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DiscoveryService @ {self.address} records={len(self._records)} "
+            f"leases={len(self._leases)}>"
+        )
+
+
+def _response_size(response: dict) -> int:
+    """Rough wire size of a control response (metadata is small)."""
+    return 64 + 32 * len(response.get("offers", {})) + 16 * len(
+        response.get("instances", [])
+    )

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`BerthaError`, so
+callers can catch one type.  Sub-hierarchies separate the three layers users
+interact with: the Chunnel/DAG API, the connection control plane
+(negotiation + discovery), and the simulated substrate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BerthaError",
+    "DagError",
+    "ScopeError",
+    "ChunnelArgumentError",
+    "NegotiationError",
+    "IncompatibleDagError",
+    "NoImplementationError",
+    "ResourceExhaustedError",
+    "ConnectionTimeoutError",
+    "DiscoveryError",
+    "RegistrationError",
+    "AddressError",
+    "TransportError",
+    "ConnectionClosedError",
+]
+
+
+class BerthaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Chunnel / DAG specification errors
+# --------------------------------------------------------------------------
+class DagError(BerthaError):
+    """A Chunnel DAG is malformed (cycles, dangling branches, bad wiring)."""
+
+
+class ScopeError(DagError):
+    """A scoping constraint is unsatisfiable or contradictory."""
+
+
+class ChunnelArgumentError(BerthaError):
+    """A Chunnel was constructed with invalid arguments."""
+
+
+# --------------------------------------------------------------------------
+# Control plane: negotiation and discovery
+# --------------------------------------------------------------------------
+class NegotiationError(BerthaError):
+    """Connection negotiation failed."""
+
+
+class IncompatibleDagError(NegotiationError):
+    """The two endpoints' Chunnel DAGs cannot be unified (§4.3)."""
+
+
+class NoImplementationError(NegotiationError):
+    """No registered implementation satisfies a Chunnel's constraints."""
+
+
+class ResourceExhaustedError(NegotiationError):
+    """Every eligible offload's resources are occupied and no fallback exists."""
+
+
+class ConnectionTimeoutError(NegotiationError):
+    """The peer did not answer negotiation messages in time."""
+
+
+class DiscoveryError(BerthaError):
+    """The discovery service rejected a request."""
+
+
+class RegistrationError(DiscoveryError):
+    """An implementation record is invalid or conflicts with an existing one."""
+
+
+# --------------------------------------------------------------------------
+# Substrate errors
+# --------------------------------------------------------------------------
+class TransportError(BerthaError):
+    """A simulated transport operation failed."""
+
+
+class AddressError(TransportError):
+    """Destination entity does not exist, or an address is malformed."""
+
+
+class ConnectionClosedError(TransportError):
+    """Operation on a connection that has been closed."""

@@ -1,0 +1,46 @@
+"""Experiment harnesses reproducing every table and figure in the paper.
+
+Each module is deterministic and self-contained (it builds its own
+simulated cluster), returns a result object with ``rows()``/``render()``,
+and is driven three ways: the pytest benchmarks in ``benchmarks/``, the
+shape-check tests in ``tests/experiments/``, and the CLI
+(``python -m repro.experiments <fig3|fig4|fig5|ablations>``).
+"""
+
+from .ablations import (
+    NegotiationOverheadResult,
+    run_caching_ablation,
+    run_consensus_comparison,
+    OptimizerAblationResult,
+    SchedulerAblationResult,
+    run_negotiation_overhead,
+    run_optimizer_ablation,
+    run_scheduler_ablation,
+    run_serialization_comparison,
+)
+from .fig3 import Fig3Config, Fig3Result, run_fig3
+from .fig4 import Fig4Config, Fig4Result, run_fig4
+from .fig5 import SCENARIOS, Fig5Config, Fig5Result, run_fig5, run_fig5_scenario
+
+__all__ = [
+    "Fig3Config",
+    "Fig3Result",
+    "Fig4Config",
+    "Fig4Result",
+    "Fig5Config",
+    "Fig5Result",
+    "NegotiationOverheadResult",
+    "OptimizerAblationResult",
+    "SCENARIOS",
+    "SchedulerAblationResult",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_caching_ablation",
+    "run_consensus_comparison",
+    "run_fig5_scenario",
+    "run_negotiation_overhead",
+    "run_optimizer_ablation",
+    "run_scheduler_ablation",
+    "run_serialization_comparison",
+]

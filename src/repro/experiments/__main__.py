@@ -1,0 +1,154 @@
+"""CLI for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments fig3            # scaled-down (seconds)
+    python -m repro.experiments fig3 --full     # paper-scale parameters
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5 [--full]
+    python -m repro.experiments ablations
+    python -m repro.experiments all [--full]
+
+Each command prints the rows/series the paper's corresponding figure
+reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .ablations import (
+    run_caching_ablation,
+    run_consensus_comparison,
+    run_negotiation_overhead,
+    run_optimizer_ablation,
+    run_scheduler_ablation,
+    run_serialization_comparison,
+)
+from .fig3 import Fig3Config, run_fig3
+from .fig4 import Fig4Config, run_fig4
+from .fig5 import Fig5Config, run_fig5
+
+
+def _timed(label: str, fn):
+    start = time.time()
+    result = fn()
+    print(f"\n=== {label} (wall {time.time() - start:.1f}s) ===")
+    return result
+
+
+def cmd_fig3(full: bool) -> None:
+    config = Fig3Config() if not full else Fig3Config(connections=10_000)
+    result = _timed("Figure 3: container networking (RTT us)", lambda: run_fig3(config))
+    print(result.render())
+
+
+def cmd_fig4(full: bool) -> None:
+    config = Fig4Config() if not full else Fig4Config(connect_interval=0.1)
+    result = _timed("Figure 4: dynamic name resolution", lambda: run_fig4(config))
+    print(result.render())
+    if result.before and result.after:
+        print(
+            f"\nbefore local instance: p50 {result.before.p50:.1f} us; "
+            f"after: p50 {result.after.p50:.1f} us; "
+            f"switch at t={result.switch_time:.2f}s"
+        )
+
+
+def cmd_fig5(full: bool) -> None:
+    config = (
+        Fig5Config()
+        if not full
+        else Fig5Config(requests_per_point=150_000, record_count=1000)
+    )
+    result = _timed(
+        "Figure 5: sharding placements (p95 latency vs offered load)",
+        lambda: run_fig5(config),
+    )
+    print(result.render())
+    print("\nnegotiated shard implementations per scenario:")
+    for scenario, impls in result.chosen_impls.items():
+        print(f"  {scenario}: {impls}")
+
+
+def cmd_ablations(_full: bool) -> None:
+    result = _timed(
+        "§5 claim: negotiation overhead", lambda: run_negotiation_overhead()
+    )
+    print(result.render())
+    result = _timed(
+        "§6 claim: DAG reorder/merge vs PCIe traffic",
+        lambda: run_optimizer_ablation(),
+    )
+    print(result.render())
+    result = _timed(
+        "§6 claim: multi-resource offload scheduling",
+        lambda: run_scheduler_ablation(),
+    )
+    print(result.render())
+    rows = _timed(
+        "§3.2: serialization implementations",
+        lambda: run_serialization_comparison(),
+    )
+    from ..metrics import format_table
+
+    print(format_table(rows, columns=["implementation", "mean_rtt_us", "n"]))
+    rows = _timed(
+        "§3.2: consensus — host vs switch sequencer",
+        lambda: run_consensus_comparison(),
+    )
+    print(
+        format_table(
+            rows, columns=["sequencer", "impl", "mean_us", "p95_us", "n"]
+        )
+    )
+    rows = _timed(
+        "DESIGN §5 ablation: per-connect resolution vs client caching",
+        lambda: run_caching_ablation(),
+    )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "mode",
+                "mean_setup_us",
+                "discovery_rtts",
+                "stale_connections",
+                "n",
+            ],
+        )
+    )
+
+
+COMMANDS = {
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "ablations": cmd_ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=[*COMMANDS, "all"])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (minutes instead of seconds)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name, command in COMMANDS.items():
+            command(args.full)
+    else:
+        COMMANDS[args.experiment](args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Figure 3 — container networking via the local fast path.
+
+The paper's experiment: a client and server in two containers on one host;
+the client opens a connection, sends 3 requests, and measures per-request
+latency; repeated over 10000 connections and several request sizes.
+Systems compared:
+
+* **bertha** — the client negotiates ``local_or_remote()``; the connection
+  binds to pipes because both containers share the host.  Establishing the
+  connection costs two extra control round trips (discovery + negotiate).
+* **pipes** — a specialized app that hardcodes UNIX-pipe IPC (best case).
+* **tcp** — an ordinary inter-container TCP app (the status quo).
+* **udp** — inter-container UDP, included to separate TCP overheads from
+  general stack overheads.
+
+Reported per (system, size): the boxplot statistics the paper plots
+(median, p25/p75 box, p5/p95 whiskers) plus connection-setup summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.rpc import EchoServer, ping_session
+from ..baselines.hardcoded import (
+    pipe_echo_server,
+    pipe_ping_session,
+    tcp_echo_server,
+    tcp_ping_session,
+    udp_echo_server,
+    udp_ping_session,
+)
+from ..chunnels import LocalOrRemote, LocalOrRemoteFallback
+from ..core import Runtime, wrap
+from ..discovery import DiscoveryService
+from ..metrics import BoxplotSummary, LatencyRecorder, format_table
+from ..sim import Address, CostModel, Network
+
+__all__ = ["Fig3Config", "Fig3Result", "run_fig3"]
+
+_US = 1e6
+
+
+@dataclass
+class Fig3Config:
+    """Experiment parameters (paper values: 10000 connections, 3 requests)."""
+
+    sizes: list[int] = field(default_factory=lambda: [64, 1024, 10240, 102400])
+    connections: int = 200
+    requests_per_connection: int = 3
+    systems: tuple[str, ...] = ("bertha", "pipes", "tcp", "udp")
+
+
+@dataclass
+class Fig3Result:
+    """Per-(system, size) RTT and setup distributions, microseconds."""
+
+    rtts: dict[tuple[str, int], BoxplotSummary]
+    setups: dict[tuple[str, int], BoxplotSummary]
+    config: Fig3Config
+
+    def rows(self) -> list[dict]:
+        """Table rows in the shape the paper's figure reports."""
+        out = []
+        for (system, size), summary in sorted(
+            self.rtts.items(), key=lambda kv: (kv[0][1], kv[0][0])
+        ):
+            row = {"system": system, "size": size}
+            row.update(summary.as_row())
+            row["setup_p50"] = self.setups[(system, size)].p50
+            out.append(row)
+        return out
+
+    def render(self) -> str:
+        """Human-readable table (the harness prints this)."""
+        return format_table(
+            self.rows(),
+            columns=[
+                "system",
+                "size",
+                "p5",
+                "p25",
+                "p50",
+                "p75",
+                "p95",
+                "setup_p50",
+                "n",
+            ],
+        )
+
+
+def _build_world():
+    """One host, two containers, a discovery service, a Bertha echo server,
+    and the three baseline echo servers."""
+    net = Network()
+    # Jitter makes the latency *distribution* non-degenerate so the boxplot
+    # statistics the paper plots are meaningful; it is seeded, so the
+    # experiment stays exactly reproducible.
+    host = net.add_host("box", cost=CostModel(jitter=0.08))
+    server_ct = host.add_container("server-ct")
+    client_ct = host.add_container("client-ct")
+    discovery = DiscoveryService(host)
+
+    server_rt = Runtime(server_ct, discovery=discovery.address)
+    client_rt = Runtime(client_ct, discovery=discovery.address)
+    for runtime in (server_rt, client_rt):
+        runtime.register_chunnel(LocalOrRemoteFallback)
+
+    EchoServer(
+        server_rt, port=7000, dag=wrap(LocalOrRemote()), service_name="fig3-svc"
+    )
+    pipe_echo_server(server_ct, 7001)
+    tcp_echo_server(server_ct, 7002)
+    udp_echo_server(server_ct, 7003)
+    return net, client_ct, client_rt
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    """Run the Figure 3 experiment; deterministic."""
+    config = config or Fig3Config()
+    net, client_ct, client_rt = _build_world()
+    env = net.env
+    rtt_recorder = LatencyRecorder()
+    setup_recorder = LatencyRecorder()
+
+    def session_for(system: str, size: int):
+        if system == "bertha":
+            return ping_session(
+                client_rt,
+                "fig3-svc",
+                dag=wrap(LocalOrRemote()),
+                size=size,
+                count=config.requests_per_connection,
+            )
+        if system == "pipes":
+            return pipe_ping_session(
+                client_ct,
+                Address("server-ct", 7001),
+                size=size,
+                count=config.requests_per_connection,
+            )
+        if system == "tcp":
+            return tcp_ping_session(
+                client_ct,
+                Address("server-ct", 7002),
+                size=size,
+                count=config.requests_per_connection,
+            )
+        if system == "udp":
+            return udp_ping_session(
+                client_ct,
+                Address("server-ct", 7003),
+                size=size,
+                count=config.requests_per_connection,
+            )
+        raise ValueError(f"unknown system {system!r}")
+
+    def driver(env):
+        yield env.timeout(200e-6)  # let servers finish starting
+        for size in config.sizes:
+            for system in config.systems:
+                label = f"{system}/{size}"
+                for _connection in range(config.connections):
+                    result = yield from session_for(system, size)
+                    setup_recorder.record(label, result.setup_time * _US)
+                    for rtt in result.rtts:
+                        rtt_recorder.record(label, rtt * _US)
+
+    env.process(driver(env))
+    env.run()
+
+    rtts = {}
+    setups = {}
+    for size in config.sizes:
+        for system in config.systems:
+            label = f"{system}/{size}"
+            rtts[(system, size)] = rtt_recorder.summary(label)
+            setups[(system, size)] = setup_recorder.summary(label)
+    return Fig3Result(rtts=rtts, setups=setups, config=config)

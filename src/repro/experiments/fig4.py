@@ -1,0 +1,131 @@
+"""Figure 4 — dynamic name resolution.
+
+The paper's experiment: a client repeatedly opens connections to a named
+service and sends RPCs.  At t = 0 only a *remote* instance exists, so
+requests traverse the network.  At t = 4 s a *local* instance starts;
+because Bertha resolves the name at every ``connect``, subsequent
+connections pick the local instance and use pipe IPC — latency steps down
+with **no client change and no reconfiguration**.
+
+Output: a latency-vs-time series (one point per connection: mean RPC RTT),
+plus the before/after summary the shape check needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.rpc import EchoServer, ping_session
+from ..chunnels import LocalOrRemote, LocalOrRemoteFallback
+from ..core import Runtime, wrap
+from ..discovery import DiscoveryService
+from ..metrics import BoxplotSummary, TimeSeries, format_table
+from ..sim import Network
+
+__all__ = ["Fig4Config", "Fig4Result", "run_fig4"]
+
+_US = 1e6
+
+
+@dataclass
+class Fig4Config:
+    """Experiment parameters (paper: local instance appears at t = 4 s)."""
+
+    duration: float = 10.0
+    connect_interval: float = 0.25
+    local_start_time: float = 4.0
+    request_size: int = 256
+    requests_per_connection: int = 3
+
+
+@dataclass
+class Fig4Result:
+    """Latency timeline plus before/after summaries (microseconds)."""
+
+    series: TimeSeries
+    transports: list[tuple[float, str]] = field(default_factory=list)
+    before: BoxplotSummary | None = None
+    after: BoxplotSummary | None = None
+    switch_time: float = 0.0
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "t": t,
+                "mean_rtt_us": value,
+                "transport": transport,
+            }
+            for (t, value), (_t2, transport) in zip(
+                zip(self.series.times, self.series.values), self.transports
+            )
+        ]
+
+    def render(self) -> str:
+        return format_table(self.rows(), columns=["t", "mean_rtt_us", "transport"])
+
+
+def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
+    """Run the Figure 4 experiment; deterministic."""
+    config = config or Fig4Config()
+    net = Network()
+    remote_host = net.add_host("remote-host")
+    client_host = net.add_host("client-host")
+    discovery_host = net.add_host("disc-host")
+    net.add_switch("tor")
+    for name in ("remote-host", "client-host", "disc-host"):
+        net.add_link(name, "tor", latency=5e-6)
+    local_ct = client_host.add_container("local-ct")
+    client_ct = client_host.add_container("client-ct")
+    discovery = DiscoveryService(discovery_host)
+
+    remote_rt = Runtime(remote_host, discovery=discovery.address)
+    local_rt = Runtime(local_ct, discovery=discovery.address)
+    client_rt = Runtime(client_ct, discovery=discovery.address)
+    for runtime in (remote_rt, local_rt, client_rt):
+        runtime.register_chunnel(LocalOrRemoteFallback)
+
+    env = net.env
+    EchoServer(
+        remote_rt, port=7000, dag=wrap(LocalOrRemote()), service_name="fig4-svc"
+    )
+
+    def start_local_replica(env):
+        yield env.timeout(config.local_start_time)
+        EchoServer(
+            local_rt, port=7000, dag=wrap(LocalOrRemote()), service_name="fig4-svc"
+        )
+
+    result = Fig4Result(series=TimeSeries())
+
+    def client(env):
+        yield env.timeout(1e-3)
+        while env.now < config.duration:
+            started = env.now
+            ping = yield from ping_session(
+                client_rt,
+                "fig4-svc",
+                dag=wrap(LocalOrRemote()),
+                size=config.request_size,
+                count=config.requests_per_connection,
+            )
+            mean_rtt = sum(ping.rtts) / len(ping.rtts) * _US
+            result.series.record(started, mean_rtt)
+            result.transports.append((started, ping.transport))
+            remaining = config.connect_interval - (env.now - started)
+            if remaining > 0:
+                yield env.timeout(remaining)
+
+    env.process(start_local_replica(env))
+    env.process(client(env))
+    env.run(until=config.duration + 1.0)
+
+    before, after = result.series.split_at(config.local_start_time)
+    if before:
+        result.before = BoxplotSummary.from_values(before)
+    if after:
+        result.after = BoxplotSummary.from_values(after)
+    for t, transport in result.transports:
+        if transport == "pipe":
+            result.switch_time = t
+            break
+    return result

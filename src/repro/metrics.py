@@ -1,0 +1,191 @@
+"""Measurement helpers: percentiles, boxplot summaries, time series.
+
+The paper reports latency distributions as boxplots (median with p25/p75
+boxes and p5/p95 whiskers — Figure 3), percentile-vs-load curves (p95 —
+Figure 5), and latency-vs-time series (Figure 4).  This module implements
+exactly those reductions so experiment harnesses stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "BoxplotSummary",
+    "LatencyRecorder",
+    "TimeSeries",
+    "format_table",
+]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0–100) of ``values`` (linear interpolation)."""
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    if len(values) == 0:
+        raise ValueError("percentile of an empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """The five-number summary Figure 3 plots, plus mean and count."""
+
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxplotSummary":
+        """Summarize a sample (raises on an empty one)."""
+        if len(values) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        arr = np.asarray(values, dtype=float)
+        p5, p25, p50, p75, p95 = (
+            float(x) for x in np.percentile(arr, [5, 25, 50, 75, 95])
+        )
+        return cls(p5, p25, p50, p75, p95, float(arr.mean()), int(arr.size))
+
+    def scaled(self, factor: float) -> "BoxplotSummary":
+        """A copy with every statistic multiplied by ``factor``.
+
+        Used to convert units (e.g. seconds → microseconds) for display.
+        """
+        return BoxplotSummary(
+            self.p5 * factor,
+            self.p25 * factor,
+            self.p50 * factor,
+            self.p75 * factor,
+            self.p95 * factor,
+            self.mean * factor,
+            self.count,
+        )
+
+    def as_row(self, unit: str = "us") -> dict[str, float | int | str]:
+        """Dict form used by the experiment harness printers."""
+        return {
+            "p5": self.p5,
+            "p25": self.p25,
+            "p50": self.p50,
+            "p75": self.p75,
+            "p95": self.p95,
+            "mean": self.mean,
+            "n": self.count,
+            "unit": unit,
+        }
+
+
+class LatencyRecorder:
+    """Collects labelled samples; one label per experiment configuration."""
+
+    def __init__(self):
+        self._samples: dict[str, list[float]] = {}
+
+    def record(self, label: str, value: float) -> None:
+        """Add one sample under ``label``."""
+        self._samples.setdefault(label, []).append(value)
+
+    def extend(self, label: str, values: Iterable[float]) -> None:
+        """Add many samples under ``label``."""
+        self._samples.setdefault(label, []).extend(values)
+
+    def labels(self) -> list[str]:
+        """All labels with at least one sample, in insertion order."""
+        return list(self._samples)
+
+    def values(self, label: str) -> list[float]:
+        """The raw samples recorded under ``label``."""
+        return list(self._samples.get(label, []))
+
+    def count(self, label: str) -> int:
+        """Number of samples under ``label``."""
+        return len(self._samples.get(label, []))
+
+    def summary(self, label: str) -> BoxplotSummary:
+        """Boxplot summary of one label's samples."""
+        return BoxplotSummary.from_values(self._samples.get(label, []))
+
+    def percentile(self, label: str, p: float) -> float:
+        """One percentile of one label's samples."""
+        return percentile(self._samples.get(label, []), p)
+
+    def summaries(self) -> dict[str, BoxplotSummary]:
+        """Summaries for every label."""
+        return {label: self.summary(label) for label in self._samples}
+
+
+class TimeSeries:
+    """(time, value) samples with binning — what Figure 4 plots."""
+
+    def __init__(self):
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Add one timestamped sample."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def bins(
+        self, width: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> list[tuple[float, BoxplotSummary]]:
+        """Summarize samples into fixed-width time bins.
+
+        Returns ``(bin_start_time, summary)`` for every non-empty bin.
+        """
+        if width <= 0:
+            raise ValueError("bin width must be positive")
+        if not self.times:
+            return []
+        t0 = min(self.times) if start is None else start
+        t1 = max(self.times) if end is None else end
+        buckets: dict[int, list[float]] = {}
+        for t, v in zip(self.times, self.values):
+            if t < t0 or t > t1:
+                continue
+            buckets.setdefault(int((t - t0) // width), []).append(v)
+        return [
+            (t0 + index * width, BoxplotSummary.from_values(samples))
+            for index, samples in sorted(buckets.items())
+        ]
+
+    def split_at(self, time: float) -> tuple[list[float], list[float]]:
+        """Values before ``time`` and values at/after it (for step checks)."""
+        before = [v for t, v in zip(self.times, self.values) if t < time]
+        after = [v for t, v in zip(self.times, self.values) if t >= time]
+        return before, after
+
+
+def format_table(rows: list[dict], columns: Optional[list[str]] = None) -> str:
+    """Render dict rows as an aligned text table (harness output)."""
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0].keys())
+    rendered: list[list[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        cells = []
+        for col in cols:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(cols))]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,404 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, SimPy-style discrete-event
+simulator.  Every experiment in this repository runs on top of it: simulated
+hosts, NICs, switches, links, and the Bertha control plane all advance a
+shared virtual clock owned by an :class:`Environment`.
+
+Concepts
+--------
+``Environment``
+    Owns the virtual clock and the pending-event heap.  ``env.run()`` pops
+    events in timestamp order and fires their callbacks.
+
+``Event``
+    A one-shot occurrence.  An event is *triggered* once it has been given a
+    value (``succeed``) or an exception (``fail``) and scheduled; it is
+    *processed* once its callbacks have run.
+
+``Process``
+    A generator wrapped so that each ``yield``\\ ed event suspends the
+    generator until that event fires.  A process is itself an event that
+    succeeds with the generator's return value, so processes can wait on one
+    another.
+
+Determinism
+-----------
+Events scheduled for the same timestamp fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so simulations are
+exactly reproducible run-to-run.
+
+Example
+-------
+>>> env = Environment()
+>>> def pinger(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> proc = env.process(pinger(env))
+>>> env.run()
+>>> proc.value
+5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events move through three states: *pending* (created), *triggered*
+    (given a value or exception and placed on the heap), and *processed*
+    (callbacks have run).  Callbacks appended to :attr:`callbacks` before the
+    event is processed run when it fires; attaching a callback to an
+    already-processed event runs it immediately.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, delay)
+        return self
+
+    # -- callback plumbing ------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when this event fires (or now if fired)."""
+        if self._processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        if not self._ok and not callbacks:
+            # A failure nobody is waiting on would otherwise vanish silently;
+            # surface it so simulation bugs cannot hide (mirrors SimPy).
+            raise self._value
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator, resumed each time its awaited event fires.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator (so processes can
+    ``try/except`` failures of what they wait on).  The process event itself
+    succeeds with the generator's return value or fails with its uncaught
+    exception.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.succeed(None)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        interruption = Event(self.env)
+        interruption.fail(Interrupt(cause))
+        # Detach from whatever the process was waiting on so the stale
+        # event's eventual firing does not resume the process twice.
+        waited = self._waiting_on
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interruption.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:  # pragma: no cover - defensive
+            return
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for events composed of several sub-events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("all sub-events must share one Environment")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every sub-event has succeeded; fails on first failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first sub-event succeeds; fails on first failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Owner of the virtual clock and the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event constructors -------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Timestamp of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() with an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run events until the heap is empty, a time, or an event.
+
+        ``until`` may be ``None`` (drain the heap), a number (advance the
+        clock to that time, leaving later events pending), or an
+        :class:`Event` (run until it is processed, then return its value or
+        raise its exception).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event heap drained before the awaited event fired "
+                        "(deadlock: nothing can trigger it)"
+                    )
+                self.step()
+            if target.ok:
+                return target.value
+            raise target.value
+        deadline = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if until is not None and deadline > self._now:
+            self._now = deadline
+        return None

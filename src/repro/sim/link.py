@@ -1,0 +1,68 @@
+"""Point-to-point links.
+
+A link contributes two delay components to every datagram that crosses it:
+propagation delay (fixed, distance-dependent) and serialization delay
+(``size / bandwidth``).  Links are full duplex and, by design, not a
+contention point in this repository's experiments — the paper's bottlenecks
+are end-host processing, which :class:`repro.sim.resources.Station` models —
+but per-link byte counters are kept so experiments can report traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Link", "GBPS", "MBPS", "US", "MS"]
+
+# Convenient unit constants (base units: seconds and bytes/second).
+US = 1e-6
+MS = 1e-3
+GBPS = 125_000_000.0  # 1 Gbit/s in bytes/second
+MBPS = 125_000.0  # 1 Mbit/s in bytes/second
+
+
+@dataclass
+class Link:
+    """A full-duplex link between two nodes.
+
+    Parameters
+    ----------
+    a, b:
+        Names of the endpoints (hosts or switches).
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Capacity in bytes/second; ``None`` means infinite (no serialization
+        delay).
+    """
+
+    a: str
+    b: str
+    latency: float = 5 * US
+    bandwidth: float | None = 10 * GBPS
+    bytes_carried: int = field(default=0, init=False)
+    datagrams_carried: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("link latency must be non-negative")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+
+    def other_end(self, node: str) -> str:
+        """The endpoint opposite ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def delay_for(self, size: int) -> float:
+        """Total one-way delay for a datagram of ``size`` bytes."""
+        serialization = 0.0 if self.bandwidth is None else size / self.bandwidth
+        return self.latency + serialization
+
+    def record(self, size: int) -> None:
+        """Account a datagram of ``size`` bytes crossing the link."""
+        self.bytes_carried += size
+        self.datagrams_carried += 1

@@ -1,0 +1,323 @@
+"""Topology, routing, name service, and the datagram delivery engine.
+
+A :class:`Network` ties the substrate together: hosts and switches are
+vertices of a ``networkx`` graph, links are edges, and :meth:`Network.transmit`
+walks a datagram across the graph charging realistic delays:
+
+1. *(already paid by the transport)* sender-side stack cost;
+2. per-link propagation + serialization delay;
+3. per-switch forwarding latency, plus any installed switch programs (which
+   may rewrite the destination, clone for multicast, or drop);
+4. at the destination host: NIC receive queueing, then kernel fast-path
+   (XDP-like) programs, then one receive-side stack traversal, then delivery
+   into the bound socket.
+
+Same-host datagrams (container → container over loopback) skip the NIC and
+kernel programs — matching real XDP, which does not see loopback traffic —
+but still pay two stack traversals, which is precisely the overhead the
+paper's ``local_or_remote`` Chunnel exists to avoid.
+
+The :class:`NameService` is the cluster's service directory: servers
+register named instances, and connection establishment resolves a name to
+the set of live instances (this per-connection resolution is what makes the
+paper's Figure 4 dynamic-switchover behaviour work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from ..errors import AddressError
+from .datagram import Address, Datagram
+from .eventloop import Environment
+from .host import Container, CostModel, Host, NetEntity
+from .link import Link
+from .nic import Nic
+from .programs import PacketAction, PacketProgram
+from .switch import ProgrammableSwitch
+
+__all__ = ["Network", "NameService", "ServiceRecord"]
+
+_MAX_REDIRECTS = 32
+
+
+class ServiceRecord:
+    """One registered instance of a named service."""
+
+    __slots__ = ("name", "address", "registered_at")
+
+    def __init__(self, name: str, address: Address, registered_at: float):
+        self.name = name
+        self.address = address
+        self.registered_at = registered_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServiceRecord {self.name!r} @ {self.address}>"
+
+
+class NameService:
+    """Service-name → instance-address directory.
+
+    Resolution order is registration order; callers that care about
+    placement (e.g. the ``local_or_remote`` Chunnel, the anycast Chunnel)
+    inspect all instances and choose.
+    """
+
+    def __init__(self, network: "Network"):
+        self._network = network
+        self._records: dict[str, list[ServiceRecord]] = {}
+
+    def register(self, name: str, address: Address) -> ServiceRecord:
+        """Add an instance of service ``name`` at ``address``."""
+        record = ServiceRecord(name, address, self._network.env.now)
+        self._records.setdefault(name, []).append(record)
+        return record
+
+    def unregister(self, name: str, address: Address) -> None:
+        """Remove the instance of ``name`` at ``address`` (no-op if absent)."""
+        records = self._records.get(name, [])
+        self._records[name] = [r for r in records if r.address != address]
+
+    def resolve(self, name: str) -> list[ServiceRecord]:
+        """All live instances of ``name`` (may be empty)."""
+        return list(self._records.get(name, []))
+
+    def resolve_local(self, name: str, from_entity: str) -> Optional[ServiceRecord]:
+        """An instance of ``name`` on the same host as ``from_entity``."""
+        local_host = self._network.entity(from_entity).host
+        for record in self._records.get(name, []):
+            entity = self._network.entities.get(record.address.host)
+            if entity is not None and entity.host is local_host:
+                return record
+        return None
+
+
+class Network:
+    """The simulated cluster: topology, entities, and datagram delivery."""
+
+    def __init__(self, env: Optional[Environment] = None):
+        self.env = env or Environment()
+        self.graph = nx.Graph()
+        self.entities: dict[str, NetEntity] = {}
+        self.hosts: dict[str, Host] = {}
+        self.switches: dict[str, ProgrammableSwitch] = {}
+        self.names = NameService(self)
+        self._route_cache: dict[tuple[str, str], list[str]] = {}
+        # Counters.
+        self.delivered = 0
+        self.dropped_unbound = 0
+        self.dropped_no_entity = 0
+        self.dropped_by_program = 0
+
+    # -- topology construction ------------------------------------------------
+    def add_host(
+        self,
+        name: str,
+        cost: Optional[CostModel] = None,
+        nic: Optional[Nic] = None,
+        xdp_cores: int = 1,
+    ) -> Host:
+        """Create a host vertex."""
+        self._check_fresh_name(name)
+        host = Host(self.env, self, name, cost=cost, nic=nic, xdp_cores=xdp_cores)
+        self.hosts[name] = host
+        self.entities[name] = host
+        self.graph.add_node(name, kind="host")
+        return host
+
+    def add_switch(self, name: str, **kwargs) -> ProgrammableSwitch:
+        """Create a programmable-switch vertex."""
+        self._check_fresh_name(name)
+        switch = ProgrammableSwitch(self.env, name, **kwargs)
+        self.switches[name] = switch
+        self.graph.add_node(name, kind="switch")
+        return switch
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency: float = 5e-6,
+        bandwidth: Optional[float] = 10 * 125_000_000.0,
+    ) -> Link:
+        """Connect two vertices with a full-duplex link."""
+        for node in (a, b):
+            if node not in self.graph:
+                raise AddressError(f"unknown node {node!r}")
+        link = Link(a, b, latency=latency, bandwidth=bandwidth)
+        self.graph.add_edge(a, b, link=link, weight=latency)
+        self._route_cache.clear()
+        return link
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self.graph or name in self.entities:
+            raise AddressError(f"node name {name!r} already in use")
+
+    # -- lookup ---------------------------------------------------------------
+    def entity(self, name: str) -> NetEntity:
+        """The host or container called ``name``."""
+        try:
+            return self.entities[name]
+        except KeyError:
+            raise AddressError(f"unknown entity {name!r}") from None
+
+    def route(self, src: str, dst: str) -> list[str]:
+        """Latency-weighted shortest path between two graph vertices."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise AddressError(f"no route from {src!r} to {dst!r}") from None
+        self._route_cache[key] = path
+        return path
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The link connecting two adjacent vertices."""
+        try:
+            return self.graph.edges[a, b]["link"]
+        except KeyError:
+            raise AddressError(f"no link between {a!r} and {b!r}") from None
+
+    # -- delivery ---------------------------------------------------------------
+    def transmit(self, dgram: Datagram, after: float = 0.0) -> None:
+        """Inject ``dgram`` into the network ``after`` seconds from now.
+
+        The caller (a transport) has already charged sender-side costs into
+        ``after``.  Delivery then proceeds asynchronously; undeliverable
+        datagrams are counted and dropped, mirroring UDP semantics.
+        """
+        src_entity = self.entities.get(dgram.src.host)
+        if src_entity is None:
+            raise AddressError(f"transmit from unknown entity {dgram.src.host!r}")
+        dgram.sent_at = self.env.now
+        start_node = src_entity.host.name
+
+        def _start(_event) -> None:
+            self.env.process(
+                self._walk(dgram, start_node), name=f"deliver#{dgram.uid}"
+            )
+
+        kickoff = self.env.event()
+        kickoff.succeed(None, delay=after)
+        kickoff.add_callback(_start)
+
+    def _walk(self, dgram: Datagram, current: str):
+        """Delivery process: advance ``dgram`` from ``current`` to its dst."""
+        crossed_wire = False
+        for _hop in range(_MAX_REDIRECTS):
+            dst_entity = self.entities.get(dgram.dst.host)
+            if dst_entity is None:
+                self.dropped_no_entity += 1
+                return
+            dst_host = dst_entity.host
+            if current == dst_host.name:
+                yield from self._host_rx(dgram, dst_host, via_nic=crossed_wire)
+                return
+            path = self.route(current, dst_host.name)
+            next_node = path[1]
+            link = self.link_between(current, next_node)
+            link.record(dgram.size)
+            yield self.env.timeout(link.delay_for(dgram.size))
+            crossed_wire = True
+            current = next_node
+            switch = self.switches.get(current)
+            if switch is not None:
+                switch.record_forward(dgram)
+                yield self.env.timeout(switch.forward_latency)
+                verdict = yield from self._run_programs(
+                    switch.matching_programs(dgram), dgram, at=current
+                )
+                if verdict is PacketAction.DROP:
+                    return
+                # REDIRECT and PASS both fall through: the loop recomputes
+                # the route toward the (possibly rewritten) destination.
+        raise AddressError(
+            f"datagram {dgram!r} exceeded {_MAX_REDIRECTS} redirects; "
+            "suspected forwarding loop"
+        )
+
+    def _host_rx(self, dgram: Datagram, host: Host, via_nic: bool):
+        """Receive-side processing at the destination host."""
+        if via_nic:
+            yield host.nic.rx_station.submit(dgram)
+            dgram.visit(f"nic:{host.nic.name}")
+            nic_programs = (
+                host.smartnic.matching_programs(dgram) if host.smartnic else []
+            )
+            verdict = yield from self._run_programs(
+                nic_programs, dgram, at=host.name
+            )
+            if verdict is PacketAction.DROP:
+                return
+            if verdict is PacketAction.REDIRECT and not self._is_local(dgram, host):
+                self.env.process(self._walk(dgram, host.name))
+                return
+            verdict = yield from self._run_programs(
+                [p for p in host.kernel_programs if p.match(dgram)],
+                dgram,
+                at=host.name,
+            )
+            if verdict is PacketAction.DROP:
+                return
+            if verdict is PacketAction.REDIRECT and not self._is_local(dgram, host):
+                # XDP_TX-style bounce back into the network.
+                self.env.process(self._walk(dgram, host.name))
+                return
+        else:
+            yield self.env.timeout(host.cost.loopback_latency)
+        # Up the stack into the bound socket.
+        transport_cost = dgram.headers.get("rx_stack_cost")
+        if transport_cost is None:
+            transport_cost = host.cost.stack_cost(dgram.size)
+        yield self.env.timeout(transport_cost)
+        dst_entity = self.entities.get(dgram.dst.host)
+        if dst_entity is None or dst_entity.host is not host:
+            self.dropped_no_entity += 1
+            return
+        socket = dst_entity.ports.get(dgram.dst.port)
+        if socket is None:
+            self.dropped_unbound += 1
+            return
+        self.delivered += 1
+        dgram.visit(f"socket:{dgram.dst}")
+        socket.deliver(dgram)
+
+    def _run_programs(
+        self, programs: Iterable[PacketProgram], dgram: Datagram, at: str
+    ):
+        """Run matching packet programs; returns the final PacketAction."""
+        for program in programs:
+            if program.station is not None:
+                yield program.station.submit(dgram)
+            result = program.run(dgram)
+            dgram.visit(f"program:{program.name}@{at}")
+            for clone in result.clones:
+                self.env.process(self._walk(clone, at))
+            action = result.action
+            if action is PacketAction.CLONE:
+                action = result.action_after
+            if action is PacketAction.DROP:
+                self.dropped_by_program += 1
+                return PacketAction.DROP
+            if action is PacketAction.REDIRECT:
+                return PacketAction.REDIRECT
+        return PacketAction.PASS
+
+    def _is_local(self, dgram: Datagram, host: Host) -> bool:
+        entity = self.entities.get(dgram.dst.host)
+        return entity is not None and entity.host is host
+
+    def run(self, until=None):
+        """Convenience passthrough to :meth:`Environment.run`."""
+        return self.env.run(until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network hosts={len(self.hosts)} switches={len(self.switches)} "
+            f"delivered={self.delivered}>"
+        )

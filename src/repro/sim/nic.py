@@ -1,0 +1,132 @@
+"""NIC and SmartNIC models.
+
+A plain :class:`Nic` is a receive-side queueing station: every datagram
+arriving at a host from the network is serviced by the NIC before it enters
+the host stack, so a saturated receiver shows up as NIC queueing delay
+(this is the "Server Accelerated" bottleneck in the paper's Figure 5).
+
+A :class:`SmartNic` adds what offload implementations need:
+
+* a pool of *offload slots* (:class:`~repro.sim.resources.TokenResource`) —
+  installing a program consumes slots, so contention between applications for
+  the device is explicit (§6's scheduling discussion);
+* a *compute station* modelling the NIC cores/FPGA that run offloaded
+  Chunnels;
+* a :class:`~repro.sim.pcie.PcieBus` connecting it to the host, so Chunnel
+  placements that bounce data NIC→CPU→NIC pay for it (§6's reordering
+  discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .datagram import Datagram
+from .eventloop import Environment
+from .pcie import PcieBus
+from .programs import PacketProgram
+from .resources import Station, TokenResource
+
+__all__ = ["Nic", "SmartNic"]
+
+
+class Nic:
+    """Receive-path NIC: a FIFO station every inbound datagram crosses."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        rx_per_packet: float = 0.5e-6,
+        rx_per_byte: float = 0.0,
+        queues: int = 1,
+    ):
+        self.env = env
+        self.name = name
+        self.rx_station = Station(
+            env,
+            service_time=lambda dgram: rx_per_packet
+            + rx_per_byte * getattr(dgram, "size", 0),
+            servers=queues,
+            name=f"{name}.rx",
+        )
+
+    @property
+    def packets_received(self) -> int:
+        """Datagrams that completed NIC receive processing."""
+        return self.rx_station.jobs_served
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.name!r} rx={self.packets_received}>"
+
+
+class SmartNic(Nic):
+    """A NIC with programmable compute, offload slots, and a PCIe bus.
+
+    Parameters
+    ----------
+    offload_slots:
+        How many Chunnel offload programs the device can host at once.
+    compute_per_packet:
+        Service time of the NIC compute units per datagram handed to an
+        offloaded Chunnel.
+    compute_units:
+        Parallel compute units (station servers).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        rx_per_packet: float = 0.5e-6,
+        rx_per_byte: float = 0.0,
+        queues: int = 1,
+        offload_slots: int = 4,
+        compute_per_packet: float = 0.3e-6,
+        compute_units: int = 2,
+        pcie: Optional[PcieBus] = None,
+    ):
+        super().__init__(env, name, rx_per_packet, rx_per_byte, queues)
+        self.slots = TokenResource(env, offload_slots, name=f"{name}.slots")
+        self.compute = Station(
+            env,
+            service_time=compute_per_packet,
+            servers=compute_units,
+            name=f"{name}.compute",
+        )
+        self.pcie = pcie or PcieBus(env, name=f"{name}.pcie")
+        self.programs: list[PacketProgram] = []
+
+    def install(self, program: PacketProgram, slots: int = 1) -> None:
+        """Install ``program``, consuming ``slots`` offload slots.
+
+        Raises
+        ------
+        repro.errors.ResourceExhaustedError
+            If the device has no free slots.
+        """
+        from ..errors import ResourceExhaustedError
+
+        if not self.slots.try_request(slots):
+            raise ResourceExhaustedError(
+                f"{self.name}: no free offload slots for {program.name!r} "
+                f"({self.slots.available}/{self.slots.capacity} free)"
+            )
+        if program.station is None:
+            program.station = self.compute
+        self.programs.append(program)
+
+    def uninstall(self, program: PacketProgram, slots: int = 1) -> None:
+        """Remove ``program`` and return its slots."""
+        self.programs.remove(program)
+        self.slots.release(slots)
+
+    def matching_programs(self, dgram: Datagram) -> list[PacketProgram]:
+        """Programs that want to process ``dgram``, in install order."""
+        return [p for p in self.programs if p.match(dgram)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SmartNic {self.name!r} programs={len(self.programs)} "
+            f"slots={self.slots.available}/{self.slots.capacity}>"
+        )

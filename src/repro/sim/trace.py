@@ -1,0 +1,141 @@
+"""Data-path tracing and summarization.
+
+Every :class:`~repro.sim.datagram.Datagram` records the elements it visits
+(switches, NICs, programs, sockets) in its ``hops`` list.  This module
+turns those raw hop logs into the questions experiments and tests actually
+ask: *where did a Chunnel implementation run?*, *did traffic use the fast
+path?*, *which devices carried how much?*
+
+Two tools:
+
+``TapProgram``
+    A transparent packet program that records every matching datagram
+    (timestamp, src/dst, size, selected headers).  Install it on a switch
+    or host fast path as a passive probe.
+
+``PathSummary``
+    Aggregate statistics over a set of traced datagrams: per-element hit
+    counts, program-usage counts, path signatures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .datagram import Datagram
+from .eventloop import Environment
+from .programs import PacketAction, PacketProgram, ProgramResult
+
+__all__ = ["TapProgram", "TapRecord", "PathSummary", "summarize_paths"]
+
+
+@dataclass(frozen=True)
+class TapRecord:
+    """One observation of a datagram passing the tap."""
+
+    time: float
+    src: str
+    dst: str
+    size: int
+    uid: int
+    headers: tuple
+
+
+class TapProgram(PacketProgram):
+    """A passive probe: records matching datagrams, never alters them.
+
+    ``header_keys`` selects which datagram headers are captured (headers
+    can hold arbitrary objects; capturing them all would leak simulation
+    internals into traces).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        env: Environment,
+        predicate: Optional[Callable[[Datagram], bool]] = None,
+        header_keys: Iterable[str] = (),
+        max_records: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self.env = env
+        self.predicate = predicate or (lambda _dgram: True)
+        self.header_keys = tuple(header_keys)
+        self.max_records = max_records
+        self.records: list[TapRecord] = []
+        self.observed = 0
+
+    def match(self, dgram: Datagram) -> bool:
+        return self.predicate(dgram)
+
+    def handle(self, dgram: Datagram) -> ProgramResult:
+        self.observed += 1
+        if self.max_records is None or len(self.records) < self.max_records:
+            headers = tuple(
+                (key, dgram.headers.get(key))
+                for key in self.header_keys
+                if key in dgram.headers
+            )
+            self.records.append(
+                TapRecord(
+                    time=self.env.now,
+                    src=str(dgram.src),
+                    dst=str(dgram.dst),
+                    size=dgram.size,
+                    uid=dgram.uid,
+                    headers=headers,
+                )
+            )
+        return ProgramResult(action=PacketAction.PASS)
+
+    def bytes_observed(self) -> int:
+        """Total bytes across captured records."""
+        return sum(record.size for record in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TapProgram {self.name!r} observed={self.observed}>"
+
+
+@dataclass
+class PathSummary:
+    """Aggregated view over many datagrams' hop logs."""
+
+    datagrams: int = 0
+    element_hits: Counter = field(default_factory=Counter)
+    program_hits: Counter = field(default_factory=Counter)
+    path_signatures: Counter = field(default_factory=Counter)
+
+    def used_element(self, prefix: str) -> bool:
+        """True if any traced datagram touched an element with ``prefix``
+        (e.g. ``"switch:tor"``, ``"nic:srv"``, ``"pipe:"``)."""
+        return any(key.startswith(prefix) for key in self.element_hits)
+
+    def hits(self, prefix: str) -> int:
+        """Total visits to elements whose name starts with ``prefix``."""
+        return sum(
+            count
+            for key, count in self.element_hits.items()
+            if key.startswith(prefix)
+        )
+
+    def dominant_path(self) -> Optional[tuple]:
+        """The most common hop signature, or None if nothing was traced."""
+        if not self.path_signatures:
+            return None
+        return self.path_signatures.most_common(1)[0][0]
+
+
+def summarize_paths(datagrams: Iterable[Datagram]) -> PathSummary:
+    """Summarize the hop logs of ``datagrams``."""
+    summary = PathSummary()
+    for dgram in datagrams:
+        summary.datagrams += 1
+        summary.path_signatures[tuple(dgram.hops)] += 1
+        for hop in dgram.hops:
+            summary.element_hits[hop] += 1
+            if hop.startswith("program:"):
+                program_name = hop.split(":", 1)[1].rsplit("@", 1)[0]
+                summary.program_hits[program_name] += 1
+    return summary

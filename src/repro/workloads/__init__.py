@@ -1,0 +1,35 @@
+"""Workload generation: YCSB core workloads, key distributions, arrivals."""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    closed_loop_gaps,
+)
+from .ycsb import WORKLOAD_MIXES, WorkloadSpec, YcsbWorkload
+from .zipf import (
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+    make_chooser,
+    zipf_pmf,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "KeyChooser",
+    "LatestChooser",
+    "PoissonArrivals",
+    "ScrambledZipfianChooser",
+    "UniformChooser",
+    "WORKLOAD_MIXES",
+    "WorkloadSpec",
+    "YcsbWorkload",
+    "ZipfianChooser",
+    "closed_loop_gaps",
+    "make_chooser",
+    "zipf_pmf",
+]

@@ -1,0 +1,173 @@
+"""YCSB core workloads (Cooper et al., SoCC '10).
+
+The paper's Figure 5 drives its sharded KV store with "300000 YCSB
+requests (workload A, read-heavy) with a uniform distribution of keys".
+This module implements the YCSB core workload definitions so the harness
+can generate exactly that — and the other core mixes for wider testing:
+
+====  =========================================  =================
+ A    50% read / 50% update                      session store
+ B    95% read / 5% update                       photo tagging
+ C    100% read                                  caches
+ D    95% read / 5% insert (latest distribution) status updates
+ E    95% scan / 5% insert                       threaded convs
+ F    50% read / 50% read-modify-write           user database
+====  =========================================  =================
+
+Each generated operation is a dict with ``op`` (read/update/insert/scan/
+rmw), ``key``, and — for writes — a deterministic ``value`` of
+``value_size`` bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .zipf import KeyChooser, make_chooser
+
+__all__ = ["WorkloadSpec", "YcsbWorkload", "WORKLOAD_MIXES"]
+
+#: (read, update, insert, scan, read-modify-write) fractions per workload.
+WORKLOAD_MIXES: dict[str, dict[str, float]] = {
+    "A": {"read": 0.5, "update": 0.5},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.0},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.5, "rmw": 0.5},
+}
+
+#: YCSB's default request distribution per workload.
+_DEFAULT_DISTRIBUTIONS = {
+    "A": "zipfian",
+    "B": "zipfian",
+    "C": "zipfian",
+    "D": "latest",
+    "E": "zipfian",
+    "F": "zipfian",
+}
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters for one YCSB run."""
+
+    workload: str = "A"
+    record_count: int = 1000
+    operation_count: int = 10_000
+    value_size: int = 100
+    distribution: Optional[str] = None  # None → the workload's default
+    max_scan_length: int = 100
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        self.workload = self.workload.upper()
+        if self.workload not in WORKLOAD_MIXES:
+            raise ValueError(
+                f"unknown YCSB workload {self.workload!r} "
+                f"(have {sorted(WORKLOAD_MIXES)})"
+            )
+        if self.record_count <= 0 or self.operation_count < 0:
+            raise ValueError("counts must be positive")
+        if self.distribution is None:
+            self.distribution = _DEFAULT_DISTRIBUTIONS[self.workload]
+
+
+def _key_name(index: int) -> str:
+    """YCSB-style key names ("user" + hashed index keeps keys fixed-width)."""
+    return f"user{index:012d}"
+
+
+def _value_for(key: str, size: int) -> bytes:
+    """A deterministic pseudo-random value for ``key``."""
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out += hashlib.blake2b(
+            f"{key}:{counter}".encode(), digest_size=32
+        ).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+class YcsbWorkload:
+    """Generates the load phase and the operation stream for one spec."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.mix = WORKLOAD_MIXES[spec.workload]
+        self._inserted = spec.record_count
+        self.chooser: KeyChooser = make_chooser(
+            spec.distribution, spec.record_count, seed=spec.seed
+        )
+        # Operation-type choice uses its own stream so the key sequence is
+        # insensitive to the mix (useful for A/B comparisons).
+        import random
+
+        self._op_rng = random.Random(spec.seed ^ 0x5EED)
+        self._scan_rng = random.Random(spec.seed ^ 0x5CAB)
+        self.counts: dict[str, int] = {}
+
+    # -- load phase ------------------------------------------------------------
+    def load_operations(self) -> Iterator[dict]:
+        """The insert stream that populates the store before the run."""
+        for index in range(self.spec.record_count):
+            key = _key_name(index)
+            yield {
+                "op": "insert",
+                "key": key,
+                "value": _value_for(key, self.spec.value_size),
+            }
+
+    # -- run phase ----------------------------------------------------------------
+    def operations(self) -> Iterator[dict]:
+        """The timed operation stream (``operation_count`` items)."""
+        for _ in range(self.spec.operation_count):
+            yield self.next_operation()
+
+    def next_operation(self) -> dict:
+        """Generate one operation according to the workload mix."""
+        op = self._choose_op()
+        self.counts[op] = self.counts.get(op, 0) + 1
+        if op == "insert":
+            key = _key_name(self._inserted)
+            self._inserted += 1
+            self.chooser.grow(self._inserted)
+            return {
+                "op": "insert",
+                "key": key,
+                "value": _value_for(key, self.spec.value_size),
+            }
+        key = _key_name(self.chooser.next_index())
+        if op == "read":
+            return {"op": "read", "key": key}
+        if op == "update":
+            return {
+                "op": "update",
+                "key": key,
+                "value": _value_for(key + "!", self.spec.value_size),
+            }
+        if op == "scan":
+            return {
+                "op": "scan",
+                "key": key,
+                "length": self._scan_rng.randint(1, self.spec.max_scan_length),
+            }
+        if op == "rmw":
+            return {
+                "op": "rmw",
+                "key": key,
+                "value": _value_for(key + "?", self.spec.value_size),
+            }
+        raise AssertionError(f"unhandled op {op!r}")
+
+    def _choose_op(self) -> str:
+        draw = self._op_rng.random()
+        cumulative = 0.0
+        for op, fraction in self.mix.items():
+            cumulative += fraction
+            if draw < cumulative:
+                return op
+        return next(iter(self.mix))  # float round-off fallback

@@ -1,0 +1,137 @@
+"""Tests for the Figure 3 baseline applications."""
+
+import pytest
+
+from repro.baselines import (
+    pipe_echo_server,
+    pipe_ping_session,
+    tcp_echo_server,
+    tcp_ping_session,
+    udp_echo_server,
+    udp_ping_session,
+)
+from repro.errors import TransportError
+from repro.sim import Address, Network
+
+from ..conftest import run
+
+
+def container_world():
+    net = Network()
+    host = net.add_host("box")
+    host.add_container("server-ct")
+    host.add_container("client-ct")
+    return net
+
+
+class TestBaselines:
+    def test_pipe_session_measures_rtts(self):
+        net = container_world()
+        pipe_echo_server(net.entity("server-ct"), 7001)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            return (
+                yield from pipe_ping_session(
+                    net.entity("client-ct"), Address("server-ct", 7001),
+                    size=64, count=5,
+                )
+            )
+
+        result = run(net.env, scenario(net.env))
+        assert len(result.rtts) == 5
+        assert result.transport == "pipe"
+        assert result.setup_time == 0  # pipes have no handshake
+
+    def test_tcp_session_pays_handshake(self):
+        net = container_world()
+        tcp_echo_server(net.entity("server-ct"), 7002)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            return (
+                yield from tcp_ping_session(
+                    net.entity("client-ct"), Address("server-ct", 7002),
+                    size=64, count=3,
+                )
+            )
+
+        result = run(net.env, scenario(net.env))
+        assert result.setup_time > 0  # SYN/SYN-ACK round trip
+        assert result.transport == "tcp"
+
+    def test_udp_session(self):
+        net = container_world()
+        udp_echo_server(net.entity("server-ct"), 7003)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            return (
+                yield from udp_ping_session(
+                    net.entity("client-ct"), Address("server-ct", 7003),
+                    size=64, count=3,
+                )
+            )
+
+        result = run(net.env, scenario(net.env))
+        assert len(result.rtts) == 3
+
+    def test_figure3_ordering_holds(self):
+        """pipes < udp < tcp on the same host — the baseline sanity check
+        underlying the whole Figure 3 comparison."""
+        net = container_world()
+        pipe_echo_server(net.entity("server-ct"), 7001)
+        tcp_echo_server(net.entity("server-ct"), 7002)
+        udp_echo_server(net.entity("server-ct"), 7003)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            client = net.entity("client-ct")
+            pipe = yield from pipe_ping_session(
+                client, Address("server-ct", 7001), count=5
+            )
+            tcp = yield from tcp_ping_session(
+                client, Address("server-ct", 7002), count=5
+            )
+            udp = yield from udp_ping_session(
+                client, Address("server-ct", 7003), count=5
+            )
+            mean = lambda rtts: sum(rtts) / len(rtts)  # noqa: E731
+            return mean(pipe.rtts), mean(udp.rtts), mean(tcp.rtts)
+
+        pipe_rtt, udp_rtt, tcp_rtt = run(net.env, scenario(net.env))
+        assert pipe_rtt < udp_rtt < tcp_rtt
+
+    def test_pipe_baseline_rejects_cross_host(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b")
+        pipe_echo_server(net.hosts["b"], 7001)
+
+        def scenario(env):
+            yield env.timeout(0)
+            yield from pipe_ping_session(
+                net.hosts["a"], Address("b", 7001), count=1
+            )
+
+        with pytest.raises(TransportError):
+            run(net.env, scenario(net.env))
+
+    def test_rtts_scale_with_size(self):
+        net = container_world()
+        pipe_echo_server(net.entity("server-ct"), 7001)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            client = net.entity("client-ct")
+            small = yield from pipe_ping_session(
+                client, Address("server-ct", 7001), size=64, count=3
+            )
+            large = yield from pipe_ping_session(
+                client, Address("server-ct", 7001), size=100_000, count=3
+            )
+            return small.rtts[0], large.rtts[0]
+
+        small, large = run(net.env, scenario(net.env))
+        assert large > small * 2

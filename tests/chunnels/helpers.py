@@ -1,0 +1,93 @@
+"""Helpers for chunnel integration tests: build worlds, connect pairs."""
+
+from __future__ import annotations
+
+from repro.core import Runtime, wrap
+from repro.discovery import DiscoveryService
+from repro.sim import Address, Network
+
+
+class Pair:
+    """A connected client/server pair plus the world around it."""
+
+    def __init__(self, net, discovery, client_rt, server_rt, listener):
+        self.net = net
+        self.env = net.env
+        self.discovery = discovery
+        self.client_rt = client_rt
+        self.server_rt = server_rt
+        self.listener = listener
+        self.client_conn = None
+        self.server_conn = None
+
+
+def build_pair(
+    dag,
+    client_impls=(),
+    server_impls=(),
+    client_dag=None,
+    discovery_registrations=(),
+    same_host=False,
+    smartnic=False,
+    port=7000,
+):
+    """Create a world and start a listener; returns an unconnected Pair.
+
+    ``discovery_registrations`` is a list of ``(meta, location)`` pairs for
+    network-provided implementations.
+    """
+    net = Network()
+    if same_host:
+        host = net.add_host("box")
+        host.add_container("cl")
+        host.add_container("srv")
+        discovery = DiscoveryService(host)
+    else:
+        if smartnic:
+            from repro.sim import SmartNic
+
+            net.add_host("cl")
+            net.add_host(
+                "srv", nic=SmartNic(net.env, name="srv.nic", offload_slots=4)
+            )
+        else:
+            net.add_host("cl")
+            net.add_host("srv")
+        dsc = net.add_host("dsc")
+        net.add_switch("tor")
+        for name in ("cl", "srv", "dsc"):
+            net.add_link(name, "tor", latency=5e-6)
+        discovery = DiscoveryService(dsc)
+    for meta, location in discovery_registrations:
+        discovery.register(meta, location)
+    server_rt = Runtime(net.entity("srv"), discovery=discovery.address)
+    client_rt = Runtime(net.entity("cl"), discovery=discovery.address)
+    for impl in server_impls:
+        server_rt.register_chunnel(impl)
+    for impl in client_impls:
+        client_rt.register_chunnel(impl)
+    listener = server_rt.new("pair-server", dag).listen(port=port)
+    pair = Pair(net, discovery, client_rt, server_rt, listener)
+    pair._client_dag = client_dag
+    pair._port = port
+    return pair
+
+
+def connect(pair: Pair):
+    """Generator: establish the pair's connection (drive inside a process)."""
+    yield pair.env.timeout(1e-4)
+    accept = pair.listener.accept()
+    endpoint = pair.client_rt.new("pair-client", pair._client_dag)
+    conn = yield from endpoint.connect(Address("srv", pair._port))
+    pair.client_conn = conn
+    pair.server_conn = yield accept
+    return pair
+
+
+def request_reply(pair: Pair, payload, size=None, headers=None):
+    """Generator: one app-level request/reply over the pair."""
+    pair.client_conn.send(payload, size=size, headers=headers)
+    request = yield pair.server_conn.recv()
+    pair.server_conn.send(request.payload, size=request.size, dst=request.src)
+    reply = yield pair.client_conn.recv()
+    return request, reply

@@ -1,0 +1,114 @@
+"""Tests for the anycast Chunnel (§3.2): best-instance selection."""
+
+import pytest
+
+from repro.apps import EchoServer, ping_session
+from repro.chunnels import Anycast, AnycastDns, AnycastIp
+from repro.core import Runtime, wrap
+from repro.discovery import DiscoveryService
+from repro.sim import Network
+
+from ..conftest import run
+
+
+def geo_world():
+    """Two 'regions': near (1 µs links) and far (200 µs links)."""
+    net = Network()
+    net.add_host("client-host")
+    net.add_host("near-host")
+    net.add_host("far-host")
+    dsc = net.add_host("dsc")
+    net.add_switch("local-sw")
+    net.add_switch("wan-sw")
+    net.add_link("client-host", "local-sw", latency=1e-6)
+    net.add_link("near-host", "local-sw", latency=1e-6)
+    net.add_link("dsc", "local-sw", latency=1e-6)
+    net.add_link("local-sw", "wan-sw", latency=200e-6)
+    net.add_link("far-host", "wan-sw", latency=1e-6)
+    return net, DiscoveryService(dsc)
+
+
+class TestAnycastSpec:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Anycast(strategy="nearest-but-wrong")
+
+    def test_nearest_strategy_picks_close_instance(self):
+        net, _discovery = geo_world()
+        from repro.sim import Address
+
+        instances = [Address("far-host", 1), Address("near-host", 1)]
+        chosen = Anycast().select_instance(
+            instances, net.hosts["client-host"], net
+        )
+        assert chosen.host == "near-host"
+
+    def test_rotate_strategy_cycles(self):
+        net, _discovery = geo_world()
+        from repro.sim import Address
+
+        instances = [Address("far-host", 1), Address("near-host", 1)]
+        spec = Anycast(strategy="rotate")
+        picks = {
+            spec.select_instance(
+                instances, net.hosts["client-host"], net
+            ).host
+            for _ in range(6)
+        }
+        assert picks == {"far-host", "near-host"}
+
+    def test_empty_instances(self):
+        net, _discovery = geo_world()
+        assert (
+            Anycast().select_instance([], net.hosts["client-host"], net)
+            is None
+        )
+
+
+class TestAnycastEndToEnd:
+    def test_connects_to_nearest_instance(self):
+        net, discovery = geo_world()
+        near_rt = Runtime(net.hosts["near-host"], discovery=discovery.address)
+        far_rt = Runtime(net.hosts["far-host"], discovery=discovery.address)
+        client_rt = Runtime(
+            net.hosts["client-host"], discovery=discovery.address
+        )
+        for runtime in (near_rt, far_rt, client_rt):
+            runtime.register_chunnel(AnycastIp)
+            runtime.register_chunnel(AnycastDns)
+        # Register the far instance FIRST: naive first-record resolution
+        # would pick it; anycast must not.
+        EchoServer(far_rt, port=7000, dag=wrap(Anycast()), service_name="geo")
+        EchoServer(near_rt, port=7000, dag=wrap(Anycast()), service_name="geo")
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            result = yield from ping_session(
+                client_rt, "geo", dag=wrap(Anycast()), size=64, count=3
+            )
+            return result.server_entity, sum(result.rtts) / len(result.rtts)
+
+        server, mean_rtt = run(net.env, scenario(net.env))
+        assert server == "near-host"
+        assert mean_rtt < 100e-6  # never crossed the WAN link
+
+    def test_negotiation_prefers_ip_anycast_impl(self):
+        net, discovery = geo_world()
+        near_rt = Runtime(net.hosts["near-host"], discovery=discovery.address)
+        client_rt = Runtime(
+            net.hosts["client-host"], discovery=discovery.address
+        )
+        for runtime in (near_rt, client_rt):
+            runtime.register_chunnel(AnycastIp)
+            runtime.register_chunnel(AnycastDns)
+        EchoServer(near_rt, port=7000, dag=wrap(Anycast()), service_name="geo")
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            endpoint = client_rt.new("c", wrap(Anycast()))
+            conn = yield from endpoint.connect("geo")
+            node = conn.dag.find("anycast")[0]
+            return type(conn.impls[node]).__name__
+
+        # AnycastIp has higher priority than AnycastDns.
+        assert run(net.env, scenario(net.env)) == "AnycastIp"

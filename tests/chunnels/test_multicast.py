@@ -1,0 +1,253 @@
+"""Tests for ordered multicast: sequencers, global order, gap handling."""
+
+import pytest
+
+from repro.chunnels import (
+    GAP_HEADER,
+    McastSequencerFallback,
+    McastSwitchSequencer,
+    OrderedMcast,
+    SEQ_HEADER,
+    Serialize,
+    SerializeFallback,
+    sequencer_service_name,
+)
+from repro.core import Runtime, wrap
+from repro.discovery import DiscoveryService
+from repro.sim import Address, LossProgram, Network
+
+from ..conftest import run
+
+
+def mcast_world(replicas=3, use_switch=False, clients=1):
+    """Replica hosts + client hosts behind one ToR."""
+    net = Network()
+    members = []
+    for index in range(replicas):
+        net.add_host(f"r{index}")
+        members.append(f"r{index}")
+    for index in range(clients):
+        net.add_host(f"c{index}")
+    dsc = net.add_host("dsc")
+    net.add_switch("tor")
+    for name in members + [f"c{i}" for i in range(clients)] + ["dsc"]:
+        net.add_link(name, "tor", latency=5e-6)
+    discovery = DiscoveryService(dsc)
+    if use_switch:
+        discovery.register(McastSwitchSequencer.meta, location="tor")
+
+    replica_runtimes = []
+    for name in members:
+        runtime = Runtime(net.hosts[name], discovery=discovery.address)
+        runtime.register_chunnel(SerializeFallback)
+        runtime.register_chunnel(McastSequencerFallback)
+        replica_runtimes.append(runtime)
+    client_runtimes = []
+    for index in range(clients):
+        runtime = Runtime(net.hosts[f"c{index}"], discovery=discovery.address)
+        runtime.register_chunnel(SerializeFallback)
+        if not use_switch:
+            # With thin clients (no fallback registered), the endpoints-BOTH
+            # host sequencer is infeasible and the switch sequencer wins.
+            runtime.register_chunnel(McastSequencerFallback)
+        client_runtimes.append(runtime)
+    return net, members, replica_runtimes, client_runtimes
+
+
+def start_replicas(net, members, replica_runtimes, group="g", port=7300):
+    """Each replica listens and records delivered (payload, seq) pairs."""
+    delivered = {name: [] for name in members}
+    listeners = []
+    for name, runtime in zip(members, replica_runtimes):
+        dag = wrap(Serialize() >> OrderedMcast(group=group, members=members))
+        listener = runtime.new(f"rsm-{name}", dag).listen(port=port)
+        listeners.append(listener)
+
+        def serve(env, listener=listener, name=name):
+            while True:
+                conn = yield listener.accept()
+
+                def handle(env, conn=conn, name=name):
+                    while True:
+                        msg = yield conn.recv()
+                        delivered[name].append(
+                            (
+                                msg.payload,
+                                msg.headers.get(SEQ_HEADER),
+                                bool(msg.headers.get(GAP_HEADER)),
+                            )
+                        )
+
+                env.process(handle(env))
+
+        net.env.process(serve(net.env))
+    return delivered, listeners
+
+
+class TestHostSequencer:
+    def test_all_replicas_receive_every_message(self):
+        net, members, replica_rts, client_rts = mcast_world()
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            for index in range(5):
+                conn.send({"op": index})
+            yield env.timeout(5e-3)
+
+        run(net.env, client(net.env))
+        for name in members:
+            payloads = [p["op"] for p, _seq, _gap in delivered[name]]
+            assert payloads == [0, 1, 2, 3, 4]
+
+    def test_sequence_numbers_are_global_and_contiguous(self):
+        net, members, replica_rts, client_rts = mcast_world()
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            for index in range(4):
+                conn.send({"op": index})
+            yield env.timeout(5e-3)
+
+        run(net.env, client(net.env))
+        for name in members:
+            seqs = [seq for _p, seq, _gap in delivered[name]]
+            assert seqs == [1, 2, 3, 4]
+
+    def test_sequencer_registered_on_lowest_member(self):
+        net, members, replica_rts, client_rts = mcast_world()
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            conn.send({"op": 0})
+            yield env.timeout(2e-3)
+            records = net.names.resolve(sequencer_service_name("g"))
+            return [r.address.host for r in records]
+
+        hosts = run(net.env, client(net.env))
+        assert hosts == ["r0"]  # min(members)
+
+    def test_two_clients_interleave_in_one_order(self):
+        net, members, replica_rts, client_rts = mcast_world(clients=2)
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env, index, runtime):
+            yield env.timeout(1e-3)
+            ep = runtime.new(
+                f"c{index}", wrap(Serialize() >> OrderedMcast(group="g"))
+            )
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            for op in range(3):
+                conn.send({"client": index, "op": op})
+                yield env.timeout(50e-6)
+
+        procs = [
+            net.env.process(client(net.env, i, rt))
+            for i, rt in enumerate(client_rts)
+        ]
+        net.env.run(until=0.1)
+        orders = {
+            name: [(p["client"], p["op"]) for p, _s, _g in delivered[name]]
+            for name in members
+        }
+        reference = orders[members[0]]
+        assert len(reference) == 6
+        for name in members[1:]:
+            assert orders[name] == reference  # identical global order
+
+    def test_members_argument_required_for_election(self, two_hosts):
+        from repro.errors import NegotiationError
+
+        server_rt = two_hosts.runtime("srv")
+        server_rt.register_chunnel(SerializeFallback)
+        server_rt.register_chunnel(McastSequencerFallback)
+        client_rt = two_hosts.runtime("cl")
+        client_rt.register_chunnel(SerializeFallback)
+        client_rt.register_chunnel(McastSequencerFallback)
+        dag = wrap(Serialize() >> OrderedMcast(group="bad"))  # no members
+        listener = server_rt.new("r", dag).listen(port=7300)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            ep = client_rt.new("c", wrap(Serialize() >> OrderedMcast(group="bad")))
+            yield from ep.connect([Address("srv", 7300)])
+
+        with pytest.raises(NegotiationError):
+            run(two_hosts.env, client(two_hosts.env))
+
+
+class TestSwitchSequencer:
+    def test_switch_program_orders_and_clones(self):
+        net, members, replica_rts, client_rts = mcast_world(use_switch=True)
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            node = conn.dag.find("ordered_mcast")[0]
+            impl = type(conn.impls[node]).__name__
+            for index in range(4):
+                conn.send({"op": index})
+            yield env.timeout(5e-3)
+            return impl
+
+        impl = run(net.env, client(net.env))
+        assert impl == "McastSwitchSequencer"
+        program = net.switches["tor"].programs[0]
+        assert program.messages_sequenced == 4
+        for name in members:
+            assert [p["op"] for p, _s, _g in delivered[name]] == [0, 1, 2, 3]
+
+    def test_switch_resources_consumed_once(self):
+        net, members, replica_rts, client_rts = mcast_world(use_switch=True)
+        delivered, _ = start_replicas(net, members, replica_rts)
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            conn.send({"op": 0})
+            yield env.timeout(2e-3)
+
+        run(net.env, client(net.env))
+        switch = net.switches["tor"]
+        assert len(switch.programs) == 1
+        assert switch.stage_pool.capacity - switch.stage_pool.available == 1
+
+    def test_lost_multicast_surfaces_as_gap(self):
+        net, members, replica_rts, client_rts = mcast_world(use_switch=True)
+        delivered, _ = start_replicas(net, members, replica_rts)
+        # Drop the first sequenced copy as it arrives at r1 (cloned copies
+        # leave the switch outward, so the drop happens at the host edge).
+        net.hosts["r1"].install_kernel_program(
+            LossProgram(
+                "loss",
+                predicate=lambda d: d.headers.get(SEQ_HEADER) == 1,
+                drop_first=1,
+            )
+        )
+
+        def client(env):
+            yield env.timeout(1e-3)
+            ep = client_rts[0].new("c", wrap(Serialize() >> OrderedMcast(group="g")))
+            conn = yield from ep.connect([Address(m, 7300) for m in members])
+            conn.send({"op": 0})
+            conn.send({"op": 1})
+            yield env.timeout(10e-3)  # beyond the gap flush timeout
+
+        run(net.env, client(net.env))
+        # r0/r2 got both in order; r1 missed seq 1 and flagged a gap on 2.
+        assert [s for _p, s, _g in delivered["r0"]] == [1, 2]
+        r1 = delivered["r1"]
+        assert len(r1) == 1
+        assert r1[0][1] == 2
+        assert r1[0][2] is True  # GAP flag set

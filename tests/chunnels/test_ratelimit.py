@@ -1,0 +1,123 @@
+"""Tests for the rate-limit Chunnel (token-bucket pacing)."""
+
+import pytest
+
+from repro.chunnels import RateLimit, RateLimitFallback
+from repro.core import wrap
+from repro.errors import ChunnelArgumentError
+
+from ..conftest import run
+from .helpers import build_pair, connect
+
+
+def make_pair(bytes_per_second, burst_bytes):
+    return build_pair(
+        wrap(RateLimit(bytes_per_second=bytes_per_second, burst_bytes=burst_bytes)),
+        client_impls=[RateLimitFallback],
+        server_impls=[RateLimitFallback],
+    )
+
+
+class TestRateLimit:
+    def test_spec_validation(self):
+        with pytest.raises(ChunnelArgumentError):
+            RateLimit(bytes_per_second=0)
+        with pytest.raises(ChunnelArgumentError):
+            RateLimit(bytes_per_second=100, burst_bytes=0)
+
+    def test_burst_passes_without_delay(self):
+        pair = make_pair(bytes_per_second=1e6, burst_bytes=10_000)
+
+        def scenario(env):
+            yield from connect(pair)
+            start = env.now
+            for _ in range(5):  # 5 × 1000 B fits the 10 kB bucket
+                pair.client_conn.send(b"x" * 1000, size=1000)
+            arrivals = []
+            for _ in range(5):
+                yield pair.server_conn.recv()
+                arrivals.append(env.now)
+            stage = pair.client_conn.stack.stages[0]
+            return arrivals[-1] - start, stage.messages_delayed
+
+        elapsed, delayed = run(pair.env, scenario(pair.env))
+        assert delayed == 0
+        assert elapsed < 1e-3  # no pacing delay, just transport latency
+
+    def test_sustained_rate_is_enforced(self):
+        pair = make_pair(bytes_per_second=1e6, burst_bytes=1000)
+
+        def scenario(env):
+            yield from connect(pair)
+            start = env.now
+            count = 10
+            for _ in range(count):  # 10 kB at 1 MB/s ⇒ ≥ ~9 ms of pacing
+                pair.client_conn.send(b"x" * 1000, size=1000)
+            for _ in range(count):
+                yield pair.server_conn.recv()
+            return env.now - start
+
+        elapsed = run(pair.env, scenario(pair.env))
+        # First message rides the bucket; 9 more need 1000 B of tokens each.
+        assert elapsed >= 9 * 1000 / 1e6
+
+    def test_delivery_order_preserved_under_pacing(self):
+        pair = make_pair(bytes_per_second=1e6, burst_bytes=500)
+
+        def scenario(env):
+            yield from connect(pair)
+            for index in range(6):
+                pair.client_conn.send(b"%d" % index, size=400)
+            got = []
+            for _ in range(6):
+                msg = yield pair.server_conn.recv()
+                got.append(bytes(msg.payload))
+            return got
+
+        assert run(pair.env, scenario(pair.env)) == [
+            b"0", b"1", b"2", b"3", b"4", b"5",
+        ]
+
+    def test_oversized_message_still_sent(self):
+        pair = make_pair(bytes_per_second=1e6, burst_bytes=100)
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"x" * 5000, size=5000)  # 50× the bucket
+            msg = yield pair.server_conn.recv()
+            return len(msg.payload)
+
+        assert run(pair.env, scenario(pair.env)) == 5000
+
+    def test_idle_refills_bucket(self):
+        pair = make_pair(bytes_per_second=1e6, burst_bytes=2000)
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"x" * 2000, size=2000)  # drain bucket
+            yield pair.server_conn.recv()
+            yield env.timeout(2000 / 1e6 + 1e-4)  # refill fully
+            start = env.now
+            pair.client_conn.send(b"x" * 2000, size=2000)
+            yield pair.server_conn.recv()
+            stage = pair.client_conn.stack.stages[0]
+            return env.now - start, stage.messages_delayed
+
+        elapsed, delayed = run(pair.env, scenario(pair.env))
+        assert delayed == 0  # second burst found a full bucket
+        assert elapsed < 1e-3
+
+    def test_receive_path_is_unaffected(self):
+        pair = make_pair(bytes_per_second=100, burst_bytes=64)  # brutal limit
+
+        def scenario(env):
+            yield from connect(pair)
+            # Server→client direction must not be paced by the client stage.
+            pair.server_conn.send(
+                b"fast" * 100, size=400, dst=None or pair.client_conn.local_address
+            )
+            start = env.now
+            yield pair.client_conn.recv()
+            return env.now - start
+
+        assert run(pair.env, scenario(pair.env)) < 1e-3

@@ -1,0 +1,245 @@
+"""Tests for reliable delivery and in-order delivery under loss/reorder."""
+
+import pytest
+
+from repro.chunnels import Ordered, OrderedFallback, Reliable, ReliableFallback
+from repro.core import wrap
+from repro.sim import LossProgram
+
+from ..conftest import run
+from .helpers import build_pair, connect
+
+
+def data_loss(predicate=None, drop_first=0, drop_rate=0.0, seed=0):
+    """A loss program scoped to reliability data frames (not acks)."""
+    default = predicate or (
+        lambda d: d.headers.get("rel_kind") == "data"
+    )
+    return LossProgram(
+        "loss", predicate=default, drop_first=drop_first, drop_rate=drop_rate,
+        seed=seed,
+    )
+
+
+class TestReliableDelivery:
+    def make(self, timeout=150e-6, max_retries=5):
+        return build_pair(
+            wrap(Reliable(timeout=timeout, max_retries=max_retries)),
+            client_impls=[ReliableFallback],
+            server_impls=[ReliableFallback],
+        )
+
+    def test_lossless_delivery(self):
+        pair = self.make()
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"payload", size=7)
+            msg = yield pair.server_conn.recv()
+            return msg.payload
+
+        assert run(pair.env, scenario(pair.env)) == b"payload"
+
+    def test_loss_is_recovered_by_retransmission(self):
+        pair = self.make()
+        pair.net.switches["tor"].install(data_loss(drop_first=1))
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"precious", size=8)
+            msg = yield pair.server_conn.recv()
+            stage = pair.client_conn.stack.stages[0]
+            return msg.payload, stage.retransmissions
+
+        payload, retransmissions = run(pair.env, scenario(pair.env))
+        assert payload == b"precious"
+        assert retransmissions >= 1
+
+    def test_random_loss_still_delivers_everything(self):
+        pair = self.make()
+        pair.net.switches["tor"].install(data_loss(drop_rate=0.3, seed=3))
+
+        def scenario(env):
+            yield from connect(pair)
+            for index in range(20):
+                pair.client_conn.send(b"m%02d" % index, size=16)
+            seen = set()
+            for _ in range(20):
+                msg = yield pair.server_conn.recv()
+                seen.add(bytes(msg.payload))
+            return seen
+
+        seen = run(pair.env, scenario(pair.env))
+        assert len(seen) == 20
+
+    def test_duplicates_are_suppressed(self):
+        """Dropping the *ack* forces a retransmission the receiver must
+        de-duplicate."""
+        pair = self.make()
+        pair.net.switches["tor"].install(
+            LossProgram(
+                "ack-loss",
+                predicate=lambda d: d.headers.get("rel_kind") == "ack",
+                drop_first=1,
+            )
+        )
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"once", size=4)
+            msg = yield pair.server_conn.recv()
+            # Wait out the retransmission; no second delivery may appear.
+            yield env.timeout(1e-3)
+            ok, extra = pair.server_conn.try_recv()
+            stage = pair.server_conn.stack.stages[0]
+            return msg.payload, ok, stage.duplicates_suppressed
+
+        payload, extra_delivery, suppressed = run(pair.env, scenario(pair.env))
+        assert payload == b"once"
+        assert not extra_delivery
+        assert suppressed >= 1
+
+    def test_gives_up_after_max_retries(self):
+        pair = self.make(timeout=50e-6, max_retries=2)
+        pair.net.switches["tor"].install(data_loss(drop_first=100))
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"doomed", size=6)
+            yield env.timeout(5e-3)
+            stage = pair.client_conn.stack.stages[0]
+            return stage.abandoned, stage.retransmissions
+
+        abandoned, retransmissions = run(pair.env, scenario(pair.env))
+        assert abandoned == 1
+        assert retransmissions == 2
+
+    def test_ack_does_not_reach_application(self):
+        pair = self.make()
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"x", size=1)
+            yield pair.server_conn.recv()
+            yield env.timeout(1e-3)
+            ok, _ = pair.client_conn.try_recv()
+            return ok
+
+        assert run(pair.env, scenario(pair.env)) is False
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            Reliable(timeout=0)
+        with pytest.raises(ValueError):
+            Reliable(max_retries=-1)
+
+
+class _Delayer(LossProgram):
+    """Not a dropper: reorders by bouncing the first datagram around."""
+
+
+class TestOrderedDelivery:
+    def make(self, flush_after=2e-3):
+        return build_pair(
+            wrap(Ordered(flush_after=flush_after)),
+            client_impls=[OrderedFallback],
+            server_impls=[OrderedFallback],
+        )
+
+    def test_in_order_stream_passes_through(self):
+        pair = self.make()
+
+        def scenario(env):
+            yield from connect(pair)
+            for index in range(5):
+                pair.client_conn.send(b"%d" % index, size=1)
+            got = []
+            for _ in range(5):
+                msg = yield pair.server_conn.recv()
+                got.append(bytes(msg.payload))
+            return got
+
+        assert run(pair.env, scenario(pair.env)) == [b"0", b"1", b"2", b"3", b"4"]
+
+    def test_reordered_arrivals_are_resequenced(self):
+        """Drop message 1 at the switch once; with a reliability layer it
+        would be retransmitted, but here we emulate late arrival by sending
+        it again manually — the receiver must still deliver in order."""
+        pair = self.make()
+        dropped = LossProgram(
+            "drop-seq-1",
+            predicate=lambda d: d.headers.get("ord_seq") == 1,
+            drop_first=1,
+        )
+        pair.net.switches["tor"].install(dropped)
+
+        def scenario(env):
+            yield from connect(pair)
+            stage = pair.client_conn.stack.stages[0]
+            pair.client_conn.send(b"first", size=5)  # dropped en route
+            pair.client_conn.send(b"second", size=6)  # buffered at receiver
+            yield env.timeout(5e-4)
+            # "Late" copy of seq 1 (e.g. a retransmission), injected below
+            # the ordering stage so it keeps its original sequence number.
+            from repro.core import Message
+
+            pair.client_conn.stack.send_from(
+                1, Message(payload=b"first", size=5, headers={"ord_seq": 1})
+            )
+            got = []
+            for _ in range(2):
+                msg = yield pair.server_conn.recv()
+                got.append(bytes(msg.payload))
+            server_stage = pair.server_conn.stack.stages[0]
+            return got, server_stage.out_of_order
+
+        got, out_of_order = run(pair.env, scenario(pair.env))
+        assert got == [b"first", b"second"]
+        assert out_of_order == 1
+
+    def test_gap_flush_releases_buffer(self):
+        pair = self.make(flush_after=3e-4)
+        pair.net.switches["tor"].install(
+            LossProgram(
+                "drop-seq-1",
+                predicate=lambda d: d.headers.get("ord_seq") == 1,
+                drop_first=1,
+            )
+        )
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"lost", size=4)
+            pair.client_conn.send(b"held", size=4)
+            msg = yield pair.server_conn.recv()
+            server_stage = pair.server_conn.stack.stages[0]
+            return bytes(msg.payload), server_stage.forced_flushes, env.now
+
+        payload, flushes, when = run(pair.env, scenario(pair.env))
+        assert payload == b"held"
+        assert flushes == 1
+        assert when >= 3e-4  # only after the flush timer
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            Ordered(flush_after=0)
+
+    def test_flush_after_none_holds_forever(self):
+        pair = self.make(flush_after=None)
+        pair.net.switches["tor"].install(
+            LossProgram(
+                "drop-seq-1",
+                predicate=lambda d: d.headers.get("ord_seq") == 1,
+                drop_first=1,
+            )
+        )
+
+        def scenario(env):
+            yield from connect(pair)
+            pair.client_conn.send(b"lost", size=4)
+            pair.client_conn.send(b"held", size=4)
+            yield env.timeout(5e-3)
+            ok, _ = pair.server_conn.try_recv()
+            return ok
+
+        assert run(pair.env, scenario(pair.env)) is False

@@ -1,0 +1,135 @@
+"""Integration tests: contended offloads degrade gracefully (§6).
+
+The paper's scenario: "two programs can benefit from offloading
+functionality to a P4 switch, but the switch only has capacity for one".
+Negotiation must give the switch to one application and bind the other to
+its next-best implementation — not fail the connection.
+"""
+
+import pytest
+
+from repro.chunnels import (
+    HashBytes,
+    SerializeFallback,
+    Shard,
+    ShardServerFallback,
+    ShardSwitch,
+    ShardXdp,
+)
+from repro.core import Runtime, wrap
+from repro.discovery import DiscoveryService
+from repro.sim import Address, Network, UdpSocket
+
+from ..conftest import run
+
+
+def contended_world(switch_stages=2):
+    """Two server apps on two hosts; one small switch; XDP as second tier.
+
+    Each ShardSwitch program needs 2 stages, so a ``switch_stages=2``
+    switch fits exactly one application's program.
+    """
+    net = Network()
+    net.add_host("srv-a")
+    net.add_host("srv-b")
+    net.add_host("cl")
+    dsc = net.add_host("dsc")
+    net.add_switch("tor", stages=switch_stages, sram_kb=4096)
+    for name in ("srv-a", "srv-b", "cl", "dsc"):
+        net.add_link(name, "tor", latency=5e-6)
+    discovery = DiscoveryService(dsc)
+    discovery.register(ShardSwitch.meta, location="tor")
+    discovery.register(ShardXdp.meta, location="srv-a")
+    discovery.register(ShardXdp.meta, location="srv-b")
+
+    servers = {}
+    for host in ("srv-a", "srv-b"):
+        runtime = Runtime(net.hosts[host], discovery=discovery.address)
+        runtime.register_chunnel(SerializeFallback)
+        runtime.register_chunnel(ShardServerFallback)
+        workers = []
+        for port in (7101, 7102):
+            sock = UdpSocket(net.hosts[host], port)
+            workers.append(sock.address)
+
+            def worker_loop(env, sock=sock):
+                while True:
+                    dgram = yield sock.recv()
+                    reply = dgram.headers.get("shard_reply_to")
+                    dst = (
+                        Address(reply[0], reply[1]) if reply else dgram.src
+                    )
+                    sock.send(b"ok", dst, size=2)
+
+            net.env.process(worker_loop(net.env, sock))
+        dag = wrap(Shard(choices=workers, shard_fn=HashBytes(0, 4)))
+        listener = runtime.new(f"kv-{host}", dag).listen(port=7100)
+        servers[host] = listener
+    client_rt = Runtime(net.hosts["cl"], discovery=discovery.address)
+    client_rt.register_chunnel(SerializeFallback)
+    return net, discovery, servers, client_rt
+
+
+class TestSwitchContention:
+    def connect_both(self, net, client_rt):
+        def scenario(env):
+            yield env.timeout(1e-4)
+            impls = []
+            for host in ("srv-a", "srv-b"):
+                conn = yield from client_rt.new(f"c-{host}").connect(
+                    Address(host, 7100)
+                )
+                node = conn.dag.find("shard")[0]
+                impls.append(type(conn.impls[node]).__name__)
+                conn.send(b"key1", size=4)
+                yield conn.recv()  # the data path actually works
+            return impls
+
+        return run(net.env, scenario(net.env))
+
+    def test_second_app_degrades_to_next_tier(self):
+        net, discovery, _servers, client_rt = contended_world(switch_stages=2)
+        impls = self.connect_both(net, client_rt)
+        # First app wins the switch; the second falls back to its XDP tier.
+        assert impls == ["ShardSwitch", "ShardXdp"]
+        # Exactly one program occupies the switch.
+        assert len(net.switches["tor"].programs) == 1
+
+    def test_enough_capacity_serves_both(self):
+        net, discovery, _servers, client_rt = contended_world(switch_stages=4)
+        impls = self.connect_both(net, client_rt)
+        assert impls == ["ShardSwitch", "ShardSwitch"]
+        assert len(net.switches["tor"].programs) == 2
+
+    def test_discovery_accounting_matches_device(self):
+        net, discovery, _servers, client_rt = contended_world(switch_stages=2)
+        self.connect_both(net, client_rt)
+        in_use = discovery.device_in_use("tor")
+        assert in_use["switch_stages"] == 2  # one program's footprint
+        assert discovery.reservations_denied >= 1
+
+    def test_released_capacity_is_reusable(self):
+        net, discovery, servers, client_rt = contended_world(switch_stages=2)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn_a = yield from client_rt.new("c-a").connect(
+                Address("srv-a", 7100)
+            )
+            node = conn_a.dag.find("shard")[0]
+            first = type(conn_a.impls[node]).__name__
+            # Tear down the first app's connection; its lease releases.
+            conn_a.close()
+            for server_conn in servers["srv-a"].connections:
+                server_conn.close()
+            yield env.timeout(1e-3)
+            conn_b = yield from client_rt.new("c-b").connect(
+                Address("srv-b", 7100)
+            )
+            node = conn_b.dag.find("shard")[0]
+            second = type(conn_b.impls[node]).__name__
+            return first, second
+
+        first, second = run(net.env, scenario(net.env))
+        assert first == "ShardSwitch"
+        assert second == "ShardSwitch"  # the freed slot was reused

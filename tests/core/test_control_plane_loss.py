@@ -1,0 +1,153 @@
+"""Robustness: negotiation and discovery under control-plane packet loss.
+
+The control protocol runs over datagrams; offers, accepts, and discovery
+queries can vanish.  Retransmission with reply caching must converge on
+exactly one connection and one reservation, never duplicates.
+"""
+
+import pytest
+
+from repro.chunnels import SerializeFallback, Serialize
+from repro.core import wrap
+from repro.errors import ConnectionTimeoutError
+from repro.sim import Address, LossProgram
+
+from ..conftest import run
+
+
+def install_ctl_loss(world, drop_first, kinds=("bertha.offer",)):
+    """Drop the first N control messages of the given kinds at the ToR."""
+
+    def is_ctl(dgram):
+        payload = dgram.payload
+        return isinstance(payload, dict) and payload.get("kind") in kinds
+
+    program = LossProgram("ctl-loss", predicate=is_ctl, drop_first=drop_first)
+    world.net.switches["tor"].install(program)
+    return program
+
+
+def echo(world, runtime, dag=None, port=7000):
+    listener = runtime.new("echo", dag).listen(port=port)
+
+    def serve(env):
+        while True:
+            conn = yield listener.accept()
+
+            def handle(env, conn=conn):
+                while not conn.closed:
+                    msg = yield conn.recv()
+                    conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+            env.process(handle(env))
+
+    world.env.process(serve(world.env))
+    return listener
+
+
+class TestNegotiationUnderLoss:
+    def test_lost_offer_is_retransmitted(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo(two_hosts, server_rt)
+        loss = install_ctl_loss(two_hosts, drop_first=2)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(
+                Address("srv", 7000), timeout=2e-4, retries=10
+            )
+            conn.send(b"after-loss", size=10)
+            reply = yield conn.recv()
+            return reply.payload, loss.dropped, len(listener.connections)
+
+        payload, dropped, connections = run(two_hosts.env, scenario(two_hosts.env))
+        assert payload == b"after-loss"
+        assert dropped == 2
+        assert connections == 1  # retries did not create duplicates
+
+    def test_lost_accept_is_recovered_from_cache(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo(two_hosts, server_rt)
+        loss = install_ctl_loss(
+            two_hosts, drop_first=1, kinds=("bertha.accept",)
+        )
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(
+                Address("srv", 7000), timeout=2e-4, retries=10
+            )
+            conn.send(b"ok", size=2)
+            reply = yield conn.recv()
+            return reply.payload, loss.dropped, len(listener.connections)
+
+        payload, dropped, connections = run(two_hosts.env, scenario(two_hosts.env))
+        assert payload == b"ok"
+        assert dropped == 1
+        # The retried offer hit the reply cache: still one connection.
+        assert connections == 1
+
+    def test_persistent_loss_times_out_cleanly(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo(two_hosts, server_rt)
+        install_ctl_loss(two_hosts, drop_first=10**6)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            yield from client_rt.new("c").connect(
+                Address("srv", 7000), timeout=1e-4, retries=3
+            )
+
+        with pytest.raises(ConnectionTimeoutError):
+            run(two_hosts.env, scenario(two_hosts.env))
+
+    def test_lost_discovery_reply_is_retried(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+        listener = echo(two_hosts, server_rt, dag=wrap(Serialize()))
+        loss = install_ctl_loss(
+            two_hosts, drop_first=1, kinds=("disc.query_reply",)
+        )
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.send({"alive": True})
+            reply = yield conn.recv()
+            return reply.payload, loss.dropped
+
+        payload, dropped = run(two_hosts.env, scenario(two_hosts.env))
+        assert payload == {"alive": True}
+        assert dropped == 1
+
+    def test_duplicate_accepts_are_harmless(self, two_hosts):
+        """Force the client to resend its offer after the accept was
+        already sent; the cached duplicate accept must be ignored by the
+        already-connected client."""
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo(two_hosts, server_rt)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            # Tight timeout: the client will usually resend at least once,
+            # producing duplicate accepts from the server's reply cache.
+            conn = yield from client_rt.new("c").connect(
+                Address("srv", 7000), timeout=40e-6, retries=10
+            )
+            for index in range(3):
+                conn.send(b"%d" % index, size=1)
+            got = []
+            for _ in range(3):
+                msg = yield conn.recv()
+                got.append(bytes(msg.payload))
+            return sorted(got), len(listener.connections)
+
+        got, connections = run(two_hosts.env, scenario(two_hosts.env))
+        assert got == [b"0", b"1", b"2"]
+        assert connections == 1

@@ -1,0 +1,109 @@
+"""Tests for client-side discovery caching (the ablation knob)."""
+
+import pytest
+
+from repro.sim import Address
+
+from ..conftest import run
+
+
+def echo(world, runtime, port=7000, service_name=None):
+    listener = runtime.new("echo").listen(port=port, service_name=service_name)
+
+    def serve(env):
+        while True:
+            conn = yield listener.accept()
+
+            def handle(env, conn=conn):
+                while not conn.closed:
+                    msg = yield conn.recv()
+                    conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+            env.process(handle(env))
+
+    world.env.process(serve(world.env))
+    return listener
+
+
+class TestClientDiscoveryCache:
+    def test_default_queries_every_connect(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo(two_hosts, server_rt)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            for _ in range(3):
+                conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+                conn.close()
+            return client_rt.discovery.round_trips
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == 3
+
+    def test_cache_skips_repeat_queries(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl", client_discovery_ttl=10.0)
+        echo(two_hosts, server_rt)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            for _ in range(3):
+                conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+                conn.close()
+            return client_rt.discovery.round_trips
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == 1
+
+    def test_cache_expires_after_ttl(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl", client_discovery_ttl=0.5)
+        echo(two_hosts, server_rt)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.close()
+            yield env.timeout(1.0)  # beyond the TTL
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.close()
+            return client_rt.discovery.round_trips
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == 2
+
+    def test_cached_connects_are_faster(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl", client_discovery_ttl=10.0)
+        echo(two_hosts, server_rt)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            start = env.now
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            first = env.now - start
+            conn.close()
+            start = env.now
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            second = env.now - start
+            conn.close()
+            return first, second
+
+        first, second = run(two_hosts.env, scenario(two_hosts.env))
+        assert second < first * 0.7  # one control RTT cheaper
+
+    def test_cache_keyed_by_service_name(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl", client_discovery_ttl=10.0)
+        echo(two_hosts, server_rt, service_name="svc-a")
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            conn = yield from client_rt.new("c").connect("svc-a")
+            conn.close()
+            # A different name must not hit the cached entry.
+            try:
+                yield from client_rt.new("c").connect("svc-b")
+            except Exception:
+                pass
+            return client_rt.discovery.round_trips
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == 2

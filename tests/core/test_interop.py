@@ -1,0 +1,118 @@
+"""Tests for connect_raw: interop with non-Bertha datagram peers (§4.1)."""
+
+import pytest
+
+from repro.chunnels import (
+    HashBytes,
+    RateLimit,
+    RateLimitFallback,
+    Reliable,
+    ReliableFallback,
+    Shard,
+    ShardClientFallback,
+)
+from repro.core import wrap
+from repro.errors import NoImplementationError
+from repro.sim import Address, UdpSocket
+
+from ..conftest import run
+
+
+def raw_echo(net, entity_name, port):
+    """A plain, non-Bertha UDP echo server."""
+    sock = UdpSocket(net.entity(entity_name), port)
+
+    def loop(env):
+        while True:
+            dgram = yield sock.recv()
+            sock.send(dgram.payload, dgram.src, size=dgram.size)
+
+    net.env.process(loop(net.env))
+    return sock
+
+
+class TestConnectRaw:
+    def test_bare_connection_to_plain_socket(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+        raw_echo(two_hosts.net, "srv", 9000)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            conn = client_rt.new("legacy").connect_raw(Address("srv", 9000))
+            start = env.now
+            conn.send(b"ping", size=4)
+            reply = yield conn.recv()
+            return reply.payload, env.now - start
+
+        payload, rtt = run(two_hosts.env, scenario(two_hosts.env))
+        assert payload == b"ping"
+        assert rtt < 100e-6  # no negotiation happened at all
+
+    def test_no_control_round_trips(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+        raw_echo(two_hosts.net, "srv", 9000)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            client_rt.new("legacy").connect_raw(Address("srv", 9000))
+            return client_rt.discovery.round_trips
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == 0
+
+    def test_client_side_chunnels_allowed(self, two_hosts):
+        """Client-push sharding works against plain-socket shards."""
+        client_rt = two_hosts.runtime("cl")
+        client_rt.register_chunnel(ShardClientFallback)
+        workers = [Address("srv", 9001), Address("srv", 9002)]
+        for address in workers:
+            raw_echo(two_hosts.net, "srv", address.port)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            dag = wrap(Shard(choices=workers, shard_fn=HashBytes(0, 4)))
+            conn = client_rt.new("legacy").connect_raw(workers[0])
+            conn.close()
+            conn = client_rt.new("legacy", dag).connect_raw(workers[0])
+            replies = set()
+            for index in range(12):
+                conn.send(b"%04d" % index, size=4)
+                msg = yield conn.recv()
+                replies.add(msg.src.port)
+            return replies
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == {9001, 9002}
+
+    def test_rate_limit_applies_unilaterally(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+        client_rt.register_chunnel(RateLimitFallback)
+        raw_echo(two_hosts.net, "srv", 9000)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            dag = wrap(RateLimit(bytes_per_second=1e6, burst_bytes=500))
+            conn = client_rt.new("legacy", dag).connect_raw(Address("srv", 9000))
+            start = env.now
+            for _ in range(5):
+                conn.send(b"x" * 500, size=500)
+            for _ in range(5):
+                yield conn.recv()
+            return env.now - start
+
+        elapsed = run(two_hosts.env, scenario(two_hosts.env))
+        assert elapsed >= 4 * 500 / 1e6  # pacing happened
+
+    def test_peer_cooperating_chunnels_rejected(self, two_hosts):
+        """Reliability needs the peer to ack; a raw peer cannot."""
+        client_rt = two_hosts.runtime("cl")
+        client_rt.register_chunnel(ReliableFallback)
+        endpoint = client_rt.new("legacy", wrap(Reliable()))
+        with pytest.raises(NoImplementationError):
+            endpoint.connect_raw(Address("srv", 9000))
+
+    def test_unregistered_chunnel_rejected(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")  # nothing registered
+        endpoint = client_rt.new(
+            "legacy", wrap(Shard(choices=[Address("srv", 9001)]))
+        )
+        with pytest.raises(NoImplementationError):
+            endpoint.connect_raw(Address("srv", 9001))

@@ -1,0 +1,115 @@
+"""Tests for the negotiation message formats (the §4.3 wire protocol)."""
+
+import pytest
+
+from repro.chunnels import Reliable, Serialize
+from repro.core import ImplMeta, Offer, ResourceVector, Scope, wrap
+from repro.core.negotiation import (
+    ACCEPT_KIND,
+    ERROR_KIND,
+    OFFER_KIND,
+    build_accept_message,
+    build_error_message,
+    build_offer_message,
+    parse_choice,
+    parse_offers,
+    parse_params,
+    raise_remote_error,
+)
+from repro.core.scope import Endpoints, Placement
+from repro.errors import (
+    IncompatibleDagError,
+    NegotiationError,
+    NoImplementationError,
+    ResourceExhaustedError,
+)
+
+
+def sample_offer(name="sw", origin="client"):
+    return Offer(
+        meta=ImplMeta(
+            chunnel_type="reliable",
+            name=name,
+            priority=10,
+            scope=Scope.GLOBAL,
+            endpoints=Endpoints.BOTH,
+            placement=Placement.HOST_SOFTWARE,
+            resources=ResourceVector(),
+        ),
+        origin=origin,
+    )
+
+
+class TestOfferMessage:
+    def test_roundtrip(self):
+        dag = wrap(Serialize() >> Reliable())
+        message = build_offer_message(
+            "conn-1", dag, {"reliable": [sample_offer()]}, "client-entity"
+        )
+        assert message["kind"] == OFFER_KIND
+        assert message["conn_id"] == "conn-1"
+        offers = parse_offers(message["offers"])
+        assert offers["reliable"][0] == sample_offer()
+        from repro.core import ChunnelDag
+
+        decoded = ChunnelDag.from_wire(message["dag"])
+        assert decoded.canonical_shape() == dag.canonical_shape()
+
+    def test_message_is_json_like(self):
+        """Control messages must contain only wire-encodable structures."""
+        import json
+
+        dag = wrap(Reliable())
+        message = build_offer_message(
+            "c", dag, {"reliable": [sample_offer()]}, "e"
+        )
+        json.dumps(message)  # raises if anything non-primitive leaked
+
+
+class TestAcceptMessage:
+    def test_roundtrip(self):
+        dag = wrap(Reliable())
+        node = dag.topological_order()[0]
+        message = build_accept_message(
+            "conn-2",
+            dag,
+            {node: sample_offer()},
+            data_host="srv",
+            data_port=40001,
+            transport="pipe",
+            params={"k": 1},
+        )
+        assert message["kind"] == ACCEPT_KIND
+        choice = parse_choice(message["choice"])
+        assert choice[node] == sample_offer()
+        assert parse_params(message["params"]) == {"k": 1}
+        assert message["transport"] == "pipe"
+
+    def test_empty_params(self):
+        message = build_accept_message(
+            "c", wrap(), {}, data_host="s", data_port=1, transport="udp"
+        )
+        assert parse_params(message["params"]) == {}
+
+
+class TestErrorMessage:
+    def test_error_kinds_survive_the_wire(self):
+        for error_cls in (
+            IncompatibleDagError,
+            NoImplementationError,
+            ResourceExhaustedError,
+        ):
+            message = build_error_message("c", error_cls("boom"))
+            assert message["kind"] == ERROR_KIND
+            with pytest.raises(error_cls):
+                raise_remote_error(message)
+
+    def test_unknown_error_type_becomes_negotiation_error(self):
+        message = build_error_message("c", ValueError("weird"))
+        with pytest.raises(NegotiationError):
+            raise_remote_error(message)
+
+    def test_error_text_preserved(self):
+        message = build_error_message("c", NoImplementationError("no shard impl"))
+        with pytest.raises(NoImplementationError, match="no shard impl"):
+            raise_remote_error(message)

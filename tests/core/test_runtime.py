@@ -1,0 +1,382 @@
+"""Integration tests: Runtime / Endpoint / Listener negotiation (§4)."""
+
+import pytest
+
+from repro.chunnels import (
+    LocalOrRemote,
+    LocalOrRemoteFallback,
+    Reliable,
+    ReliableFallback,
+    Serialize,
+    SerializeAccelerated,
+    SerializeFallback,
+)
+from repro.core import Runtime, wrap
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionTimeoutError,
+    IncompatibleDagError,
+    NegotiationError,
+    NoImplementationError,
+)
+from repro.sim import Address
+
+from ..conftest import run
+
+
+def echo_server(world, runtime, dag=None, port=7000, service_name=None):
+    """A one-connection-at-a-time echo server; returns the listener."""
+    endpoint = runtime.new("echo", dag)
+    listener = endpoint.listen(port=port, service_name=service_name)
+
+    def serve(env):
+        while True:
+            conn = yield listener.accept()
+
+            def handle(env, conn=conn):
+                while not conn.closed:
+                    msg = yield conn.recv()
+                    conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+            env.process(handle(env))
+
+    world.env.process(serve(world.env))
+    return listener
+
+
+class TestBasicConnect:
+    def test_connect_by_address(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo_server(two_hosts, server_rt)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.send(b"hello", size=5)
+            reply = yield conn.recv()
+            return reply.payload
+
+        assert run(two_hosts.env, client(two_hosts.env)) == b"hello"
+
+    def test_connect_by_service_name(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo_server(two_hosts, server_rt, service_name="echo-svc")
+
+        def client(env):
+            yield env.timeout(1e-3)
+            conn = yield from client_rt.new("c").connect("echo-svc")
+            conn.send(b"hi", size=2)
+            reply = yield conn.recv()
+            return reply.payload
+
+        assert run(two_hosts.env, client(two_hosts.env)) == b"hi"
+
+    def test_unknown_service_name_raises(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+
+        def client(env):
+            yield env.timeout(1e-4)
+            yield from client_rt.new("c").connect("ghost-svc")
+
+        with pytest.raises(NegotiationError):
+            run(two_hosts.env, client(two_hosts.env))
+
+    def test_connect_to_silent_port_times_out(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+
+        def client(env):
+            yield env.timeout(1e-4)
+            yield from client_rt.new("c").connect(
+                Address("srv", 9999), timeout=1e-4, retries=2
+            )
+
+        with pytest.raises(ConnectionTimeoutError):
+            run(two_hosts.env, client(two_hosts.env))
+
+    def test_empty_target_list_rejected(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+
+        def client(env):
+            yield env.timeout(0)
+            yield from client_rt.new("c").connect([])
+
+        with pytest.raises(NegotiationError):
+            run(two_hosts.env, client(two_hosts.env))
+
+
+class TestDagNegotiation:
+    def test_empty_client_adopts_server_dag(self, two_hosts):
+        """Listing 5: the set of Chunnels is dictated by the server."""
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+            rt.register_chunnel(ReliableFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Serialize() >> Reliable()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            assert conn.dag.chunnel_types() == ["serialize", "reliable"]
+            conn.send({"obj": True})
+            reply = yield conn.recv()
+            return reply.payload
+
+        assert run(two_hosts.env, client(two_hosts.env)) == {"obj": True}
+
+    def test_incompatible_dags_fail(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+            rt.register_chunnel(ReliableFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Serialize()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            yield from client_rt.new("c", wrap(Reliable())).connect(
+                Address("srv", 7000)
+            )
+
+        with pytest.raises(IncompatibleDagError):
+            run(two_hosts.env, client(two_hosts.env))
+
+    def test_no_implementation_fails(self, two_hosts):
+        """§4.3: the connection fails absent compatible implementations."""
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        # Server wants reliability but only the server registered it: an
+        # endpoints::Both chunnel cannot bind.
+        server_rt.register_chunnel(ReliableFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Reliable()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            yield from client_rt.new("c").connect(Address("srv", 7000))
+
+        with pytest.raises(NoImplementationError):
+            run(two_hosts.env, client(two_hosts.env))
+
+    def test_matching_dags_connect(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(ReliableFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Reliable()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c", wrap(Reliable())).connect(
+                Address("srv", 7000)
+            )
+            conn.send(b"x", size=1)
+            yield conn.recv()
+            return conn.dag.chunnel_types()
+
+        assert run(two_hosts.env, client(two_hosts.env)) == ["reliable"]
+
+
+class TestImplementationChoice:
+    def test_network_offer_beats_server_fallback(self, two_hosts):
+        """Discovery-registered accelerated impls win over fallbacks."""
+        two_hosts.discovery.register(SerializeAccelerated.meta, location="srv")
+        two_hosts.discovery.register(SerializeAccelerated.meta, location="cl")
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Serialize()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            node = conn.dag.find("serialize")[0]
+            return type(conn.impls[node]).__name__
+
+        # Client-registered fallback still wins under the default
+        # client-first policy; with priority-first, the accelerated one wins.
+        assert run(two_hosts.env, client(two_hosts.env)) == "SerializeFallback"
+
+    def test_priority_first_policy_picks_accelerated(self, two_hosts_smartnic):
+        from repro.core import PriorityFirstPolicy
+
+        two_hosts = two_hosts_smartnic  # the accelerated impl needs NIC slots
+        two_hosts.discovery.register(SerializeAccelerated.meta, location="srv")
+        server_rt = two_hosts.runtime("srv", policy=PriorityFirstPolicy())
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(Serialize()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            node = conn.dag.find("serialize")[0]
+            return type(conn.impls[node]).__name__
+
+        assert (
+            run(two_hosts.env, client(two_hosts.env)) == "SerializeAccelerated"
+        )
+
+    def test_reservation_is_taken_and_released(self, two_hosts_smartnic):
+        from repro.core import PriorityFirstPolicy
+
+        two_hosts = two_hosts_smartnic  # the accelerated impl needs NIC slots
+        two_hosts.discovery.register(
+            SerializeAccelerated.meta, location="srv"
+        )
+        server_rt = two_hosts.runtime("srv", policy=PriorityFirstPolicy())
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(SerializeFallback)
+        listener = echo_server(two_hosts, server_rt, dag=wrap(Serialize()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            in_use_during = two_hosts.discovery.device_in_use("srv")
+            conn.close()
+            for server_conn in listener.connections:
+                server_conn.close()
+            yield env.timeout(1e-3)  # releases are async
+            in_use_after = two_hosts.discovery.device_in_use("srv")
+            return in_use_during, in_use_after
+
+        during, after = run(two_hosts.env, client(two_hosts.env))
+        assert during["nic_slots"] == 1
+        assert after.is_zero
+
+
+class TestLocalFastPath:
+    def test_same_host_negotiates_pipes(self, one_host_two_containers):
+        world = one_host_two_containers
+        server_rt = world.runtime("cb")
+        client_rt = world.runtime("ca")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(LocalOrRemoteFallback)
+        echo_server(world, server_rt, dag=wrap(LocalOrRemote()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c", wrap(LocalOrRemote())).connect(
+                Address("cb", 7000)
+            )
+            conn.send(b"x", size=1)
+            yield conn.recv()
+            return conn.transport
+
+        assert run(world.env, client(world.env)) == "pipe"
+
+    def test_cross_host_stays_on_datagrams(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(LocalOrRemoteFallback)
+        echo_server(two_hosts, server_rt, dag=wrap(LocalOrRemote()))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            return conn.transport
+
+        assert run(two_hosts.env, client(two_hosts.env)) == "udp"
+
+
+class TestConnectionLifecycle:
+    def test_send_after_close_raises(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo_server(two_hosts, server_rt)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.close()
+            with pytest.raises(ConnectionClosedError):
+                conn.send(b"x", size=1)
+            return True
+
+        assert run(two_hosts.env, client(two_hosts.env))
+
+    def test_two_clients_get_separate_connections(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo_server(two_hosts, server_rt)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn1 = yield from client_rt.new("c1").connect(Address("srv", 7000))
+            conn2 = yield from client_rt.new("c2").connect(Address("srv", 7000))
+            assert conn1.peer != conn2.peer  # distinct data sockets
+            conn1.send(b"1", size=1)
+            conn2.send(b"2", size=1)
+            first = yield conn1.recv()
+            second = yield conn2.recv()
+            return first.payload, second.payload
+
+        assert run(two_hosts.env, client(two_hosts.env)) == (b"1", b"2")
+        assert len(listener.connections) == 2
+
+    def test_setup_time_includes_two_control_round_trips(self, two_hosts):
+        """§5: two extra IPC round trips; no per-message overhead after."""
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        echo_server(two_hosts, server_rt)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            before = client_rt.discovery.round_trips
+            start = env.now
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            setup = env.now - start
+            after = client_rt.discovery.round_trips
+            start = env.now
+            conn.send(b"x", size=1)
+            yield conn.recv()
+            rtt = env.now - start
+            return after - before, setup, rtt
+
+        discovery_rtts, setup, rtt = run(two_hosts.env, client(two_hosts.env))
+        assert discovery_rtts == 1  # plus the offer/accept exchange = 2 total
+        assert setup == pytest.approx(2 * rtt, rel=0.35)
+
+    def test_listener_close_stops_accepting(self, two_hosts):
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo_server(two_hosts, server_rt, service_name="svc")
+
+        def client(env):
+            yield env.timeout(1e-3)
+            listener.close()
+            yield env.timeout(1e-4)
+            assert two_hosts.net.names.resolve("svc") == []
+            try:
+                yield from client_rt.new("c").connect(
+                    Address("srv", 7000), timeout=1e-4, retries=2
+                )
+            except ConnectionTimeoutError:
+                return "refused"
+
+        assert run(two_hosts.env, client(two_hosts.env)) == "refused"
+
+    def test_client_retransmission_gets_cached_reply(self, two_hosts):
+        """Duplicate offers (client retries) must not create duplicate
+        connections."""
+        server_rt = two_hosts.runtime("srv")
+        client_rt = two_hosts.runtime("cl")
+        listener = echo_server(two_hosts, server_rt)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            # Aggressive timeout forces at least one retransmission; the
+            # negotiation must still converge on one connection.
+            conn = yield from client_rt.new("c").connect(
+                Address("srv", 7000), timeout=30e-6, retries=10
+            )
+            conn.send(b"x", size=1)
+            yield conn.recv()
+            return len(listener.connections)
+
+        assert run(two_hosts.env, client(two_hosts.env)) == 1

@@ -1,0 +1,219 @@
+"""Integration tests: the §6 DAG optimizer running inside negotiation."""
+
+import pytest
+
+from repro.chunnels import (
+    Encrypt,
+    EncryptFallback,
+    Http2,
+    Http2Fallback,
+    LocalOrRemote,
+    LocalOrRemoteFallback,
+    Ordered,
+    OrderedFallback,
+    Reliable,
+    ReliableFallback,
+    Serialize,
+    SerializeFallback,
+    Tcp,
+    TcpFallback,
+    TlsSmartNic,
+)
+from repro.core import DagOptimizer, Runtime, wrap
+from repro.sim import Address
+
+from ..conftest import run
+
+
+def echo_forever(world, listener):
+    def serve(env):
+        while True:
+            conn = yield listener.accept()
+
+            def handle(env, conn=conn):
+                while not conn.closed:
+                    msg = yield conn.recv()
+                    conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+            env.process(handle(env))
+
+    world.env.process(serve(world.env))
+
+
+class TestLiveReorderAndMerge:
+    def test_merge_binds_nic_tls_engine(self, two_hosts_smartnic):
+        """encrypt |> http2 |> tcp against a NIC offering only TLS: the
+        listener reorders, merges to http2 |> tls, and binds the engine."""
+        world = two_hosts_smartnic
+        world.discovery.register(TlsSmartNic.meta, location="srv")
+        server_rt = world.runtime("srv", optimizer=DagOptimizer())
+        client_rt = world.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(EncryptFallback)
+            rt.register_chunnel(Http2Fallback)
+            rt.register_chunnel(TcpFallback)
+        dag = wrap(Encrypt() >> Http2() >> Tcp())
+        listener = server_rt.new("opt", dag).listen(port=7000)
+        echo_forever(world, listener)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.send(b"payload", size=7)
+            reply = yield conn.recv()
+            return conn.dag.chunnel_types(), reply.payload
+
+        types, payload = run(world.env, client(world.env))
+        assert types == ["http2", "tls"]
+        assert payload == b"payload"
+        assert listener.optimizations
+        kinds = {s.kind for opt in listener.optimizations for s in opt.steps}
+        assert "reorder" in kinds and "merge" in kinds
+
+    def test_optimizer_falls_back_when_merge_cannot_bind(self, two_hosts):
+        """No TLS implementation anywhere: the optimizer's merged DAG fails
+        to bind and negotiation silently retries the original DAG."""
+        world = two_hosts
+        server_rt = world.runtime("srv", optimizer=DagOptimizer())
+        client_rt = world.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(EncryptFallback)
+            rt.register_chunnel(TcpFallback)
+        dag = wrap(Encrypt() >> Tcp())
+        listener = server_rt.new("opt", dag).listen(port=7000)
+        echo_forever(world, listener)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            conn.send(b"x", size=1)
+            reply = yield conn.recv()
+            return conn.dag.chunnel_types(), reply.payload
+
+        types, payload = run(world.env, client(world.env))
+        assert types == ["encrypt", "tcp"]
+        assert payload == b"x"
+
+    def test_no_optimizer_means_no_transformation(self, two_hosts_smartnic):
+        world = two_hosts_smartnic
+        world.discovery.register(TlsSmartNic.meta, location="srv")
+        server_rt = world.runtime("srv")  # no optimizer
+        client_rt = world.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(EncryptFallback)
+            rt.register_chunnel(Http2Fallback)
+            rt.register_chunnel(TcpFallback)
+        dag = wrap(Encrypt() >> Http2() >> Tcp())
+        listener = server_rt.new("plain", dag).listen(port=7000)
+        echo_forever(world, listener)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            return conn.dag.chunnel_types()
+
+        assert run(world.env, client(world.env)) == ["encrypt", "http2", "tcp"]
+
+
+class TestLiveSpecialization:
+    def build(self, world, optimizer):
+        server_rt = world.runtime("cb", optimizer=optimizer)
+        client_rt = world.runtime("ca")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(LocalOrRemoteFallback)
+            rt.register_chunnel(SerializeFallback)
+            rt.register_chunnel(ReliableFallback)
+            rt.register_chunnel(OrderedFallback)
+        dag = wrap(
+            Serialize() >> Reliable() >> Ordered() >> LocalOrRemote()
+        )
+        listener = server_rt.new("spec", dag).listen(port=7000)
+        echo_forever(world, listener)
+        return client_rt, listener
+
+    def test_redundant_chunnels_dropped_over_pipes(self, one_host_two_containers):
+        """Same-host connection: pipes are reliable and in-order, so the
+        reliable and ordered stages are specialized away (§6)."""
+        world = one_host_two_containers
+        client_rt, listener = self.build(world, DagOptimizer())
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("cb", 7000))
+            conn.send({"n": 1})
+            reply = yield conn.recv()
+            return conn.transport, conn.dag.chunnel_types(), reply.payload
+
+        transport, types, payload = run(world.env, client(world.env))
+        assert transport == "pipe"
+        assert types == ["serialize", "local_or_remote"]
+        assert payload == {"n": 1}
+        kinds = {s.kind for opt in listener.optimizations for s in opt.steps}
+        assert "specialize" in kinds
+
+    def test_cross_host_keeps_reliability(self, two_hosts):
+        world = two_hosts
+        server_rt = world.runtime("srv", optimizer=DagOptimizer())
+        client_rt = world.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(LocalOrRemoteFallback)
+            rt.register_chunnel(SerializeFallback)
+            rt.register_chunnel(ReliableFallback)
+        dag = wrap(Serialize() >> Reliable() >> LocalOrRemote())
+        listener = server_rt.new("spec", dag).listen(port=7000)
+        echo_forever(world, listener)
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            return conn.transport, conn.dag.chunnel_types()
+
+        transport, types = run(world.env, client(world.env))
+        assert transport == "udp"
+        assert "reliable" in types  # not specialized away across hosts
+
+    def test_specialized_connection_is_cheaper(self, one_host_two_containers):
+        """Dropping the redundant stages saves real per-message CPU time."""
+
+        def rtt_with(optimizer):
+            from repro.discovery import DiscoveryService
+            from repro.sim import Network
+
+            net = Network()
+            host = net.add_host("box")
+            host.add_container("ca")
+            host.add_container("cb")
+            discovery = DiscoveryService(host)
+            server_rt = Runtime(
+                net.entity("cb"), discovery=discovery.address, optimizer=optimizer
+            )
+            client_rt = Runtime(net.entity("ca"), discovery=discovery.address)
+            for rt in (server_rt, client_rt):
+                rt.register_chunnel(LocalOrRemoteFallback)
+                rt.register_chunnel(SerializeFallback)
+                rt.register_chunnel(ReliableFallback)
+            dag = wrap(Serialize() >> Reliable() >> LocalOrRemote())
+            listener = server_rt.new("s", dag).listen(port=7000)
+
+            def serve(env):
+                conn = yield listener.accept()
+                while True:
+                    msg = yield conn.recv()
+                    conn.send(msg.payload, dst=msg.src)
+
+            net.env.process(serve(net.env))
+
+            def client(env):
+                yield env.timeout(1e-4)
+                conn = yield from client_rt.new("c").connect(Address("cb", 7000))
+                start = env.now
+                for _ in range(20):
+                    conn.send({"x": 1})
+                    yield conn.recv()
+                return (env.now - start) / 20
+
+            proc = net.env.process(client(net.env))
+            net.env.run(until=1.0)
+            return proc.value
+
+        assert rtt_with(DagOptimizer()) < rtt_with(None)

@@ -1,0 +1,172 @@
+"""Tests for multi-resource offload scheduling (§6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DrfScheduler,
+    FirstFitScheduler,
+    OffloadRequest,
+    PriorityScheduler,
+    ResourceVector,
+)
+
+
+def req(tenant, name, stages, sram=64, priority=0):
+    return OffloadRequest(
+        tenant, name, ResourceVector(stages=stages, sram=sram), priority=priority
+    )
+
+
+CAPACITY = ResourceVector(stages=12, sram=4096)
+
+
+class TestFirstFit:
+    def test_grants_in_arrival_order(self):
+        allocation = FirstFitScheduler().plan(
+            [req("A", "a1", 8), req("B", "b1", 8)], CAPACITY
+        )
+        assert [r.name for r in allocation.granted] == ["a1"]
+        assert [r.name for r in allocation.denied] == ["b1"]
+
+    def test_later_smaller_request_can_still_fit(self):
+        allocation = FirstFitScheduler().plan(
+            [req("A", "a1", 8), req("B", "b1", 8), req("B", "b2", 4)],
+            CAPACITY,
+        )
+        assert {r.name for r in allocation.granted} == {"a1", "b2"}
+
+    def test_early_arrival_starves_late_tenant(self):
+        """The §6 problem: the greedy first tenant takes the whole switch."""
+        requests = [req("A", f"a{i}", 4) for i in range(3)] + [
+            req("B", "b1", 3),
+            req("B", "b2", 3),
+        ]
+        allocation = FirstFitScheduler().plan(requests, CAPACITY)
+        assert allocation.tenants_served() == {"A"}
+
+
+class TestPriority:
+    def test_higher_priority_wins(self):
+        allocation = PriorityScheduler().plan(
+            [req("A", "low", 8, priority=1), req("B", "high", 8, priority=9)],
+            CAPACITY,
+        )
+        assert [r.name for r in allocation.granted] == ["high"]
+
+    def test_ties_break_by_arrival(self):
+        allocation = PriorityScheduler().plan(
+            [req("A", "first", 8, priority=5), req("B", "second", 8, priority=5)],
+            CAPACITY,
+        )
+        assert [r.name for r in allocation.granted] == ["first"]
+
+    def test_priorities_alone_cannot_balance(self):
+        """The paper: 'Chunnel priorities alone are insufficient'."""
+        requests = [req("A", f"a{i}", 4, priority=9) for i in range(3)] + [
+            req("B", "b1", 3, priority=8)
+        ]
+        allocation = PriorityScheduler().plan(requests, CAPACITY)
+        assert allocation.tenants_served() == {"A"}
+
+
+class TestDrf:
+    def test_both_tenants_served_under_contention(self):
+        requests = [req("A", f"a{i}", 4) for i in range(3)] + [
+            req("B", "b1", 3),
+            req("B", "b2", 3),
+        ]
+        allocation = DrfScheduler().plan(requests, CAPACITY)
+        assert allocation.tenants_served() == {"A", "B"}
+
+    def test_shares_are_balanced(self):
+        requests = [req("A", f"a{i}", 4) for i in range(3)] + [
+            req("B", "b1", 3),
+            req("B", "b2", 3),
+        ]
+        allocation = DrfScheduler().plan(requests, CAPACITY)
+        share_a = allocation.tenant_share("A", CAPACITY)
+        share_b = allocation.tenant_share("B", CAPACITY)
+        assert abs(share_a - share_b) < 0.35  # far better than starvation
+
+    def test_single_tenant_gets_everything_that_fits(self):
+        requests = [req("A", f"a{i}", 4) for i in range(4)]
+        allocation = DrfScheduler().plan(requests, CAPACITY)
+        assert len(allocation.granted) == 3  # 12 stages / 4 each
+
+    def test_fairness_cap_reserves_headroom(self):
+        scheduler = DrfScheduler(fairness_cap=0.5)
+        requests = [req("A", f"a{i}", 4) for i in range(3)]
+        allocation = scheduler.plan(requests, CAPACITY)
+        share = allocation.tenant_share("A", CAPACITY)
+        assert share <= 0.5 + 1e-9
+
+    def test_requests_within_tenant_granted_in_order(self):
+        requests = [req("A", "a1", 2), req("A", "a2", 2), req("A", "a3", 2)]
+        allocation = DrfScheduler().plan(requests, CAPACITY)
+        assert [r.name for r in allocation.granted] == ["a1", "a2", "a3"]
+
+    def test_admit_respects_capacity(self):
+        scheduler = DrfScheduler()
+        assert scheduler.admit(
+            None, "A", ResourceVector(stages=4), CAPACITY, ResourceVector()
+        )
+        assert not scheduler.admit(
+            None,
+            "A",
+            ResourceVector(stages=4),
+            CAPACITY,
+            ResourceVector(stages=10),
+        )
+
+    def test_admit_fairness_cap(self):
+        scheduler = DrfScheduler(fairness_cap=0.25)
+        assert not scheduler.admit(
+            None, "A", ResourceVector(stages=6), CAPACITY, ResourceVector()
+        )
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B", "C"]),
+                st.integers(min_value=1, max_value=6),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=10,
+        )
+    )
+    def test_no_scheduler_overcommits(self, raw_requests):
+        requests = [
+            req(tenant, f"r{i}", stages, priority=priority)
+            for i, (tenant, stages, priority) in enumerate(raw_requests)
+        ]
+        for scheduler in (
+            FirstFitScheduler(),
+            PriorityScheduler(),
+            DrfScheduler(),
+        ):
+            allocation = scheduler.plan(list(requests), CAPACITY)
+            assert allocation.in_use.fits_within(CAPACITY)
+            granted_and_denied = len(allocation.granted) + len(allocation.denied)
+            assert granted_and_denied == len(requests)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B"]),
+                st.integers(min_value=1, max_value=6),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_drf_serves_at_least_as_many_tenants_as_first_fit(self, raw):
+        requests = [
+            req(tenant, f"r{i}", stages) for i, (tenant, stages) in enumerate(raw)
+        ]
+        drf = DrfScheduler().plan(list(requests), CAPACITY)
+        first_fit = FirstFitScheduler().plan(list(requests), CAPACITY)
+        assert len(drf.tenants_served()) >= len(first_fit.tenants_served())

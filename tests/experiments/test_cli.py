@@ -1,0 +1,46 @@
+"""Smoke tests for the experiment CLI (python -m repro.experiments)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestCli:
+    def test_fig4_command(self):
+        out = run_cli("fig4")
+        assert "Figure 4" in out
+        assert "pipe" in out and "udp" in out
+        assert "switch at t=4" in out
+
+    def test_fig3_command_prints_all_systems(self):
+        out = run_cli("fig3")
+        for system in ("bertha", "pipes", "tcp", "udp"):
+            assert system in out
+        assert "setup_p50" in out
+
+    def test_unknown_experiment_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "fig99"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+        assert "invalid choice" in result.stderr
+
+    def test_help(self):
+        out = run_cli("--help")
+        assert "--full" in out
+        for name in ("fig3", "fig4", "fig5", "ablations", "all"):
+            assert name in out

@@ -1,0 +1,352 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_fresh_event_is_pending(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+        assert event.ok is None
+
+    def test_succeed_sets_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        env.run()
+        assert event.processed
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("x")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_unwaited_failure_surfaces(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError, match="lost"):
+            env.run()
+
+    def test_succeed_with_delay(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("later", delay=3.5)
+        env.run()
+        assert env.now == 3.5
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(2.5)
+        env.run()
+        assert env.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+
+        def proc(env):
+            value = yield env.timeout(1, value="tick")
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "tick"
+
+
+class TestProcess:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+        assert not p.is_alive
+
+    def test_processes_interleave_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            order.append((name, env.now))
+
+        env.process(proc(env, "b", 2))
+        env.process(proc(env, "a", 1))
+        env.run()
+        assert order == [("a", 1), ("b", 2)]
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(3)
+            return 7
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return value * 2
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == 14
+        assert env.now == 3
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("inner boom")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught inner boom"
+
+    def test_uncaught_process_exception_raises_at_run(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise KeyError("unhandled")
+
+        env.process(failing(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_yielding_non_event_is_an_error(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_interrupt_mid_wait(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        def interrupter(env, target):
+            yield env.timeout(5)
+            target.interrupt("wake up")
+
+        target = env.process(sleeper(env))
+        env.process(interrupter(env, target))
+        env.run()
+        assert target.value == ("interrupted", "wake up", 5)
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        p.interrupt("too late")  # must not raise
+        assert not p.is_alive
+
+    def test_interrupted_process_does_not_resume_twice(self):
+        env = Environment()
+        resumed = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                pass
+            resumed.append(env.now)
+            yield env.timeout(50)
+
+        target = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(1)
+            target.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        # Resumed exactly once (at the interrupt), not again at t=10.
+        assert resumed == [1]
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(2, value="b")
+            results = yield env.all_of([t1, t2])
+            return sorted(results.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["a", "b"]
+        assert env.now == 2
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1, value="fast")
+            t2 = env.timeout(10, value="slow")
+            results = yield env.any_of([t1, t2])
+            return list(results.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["fast"]
+
+    def test_empty_all_of_succeeds_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0
+
+    def test_all_of_fails_on_sub_failure(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise RuntimeError("sub failed")
+
+        def proc(env):
+            try:
+                yield env.all_of([env.process(failing(env)), env.timeout(5)])
+            except RuntimeError:
+                return "failed fast"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "failed fast"
+
+
+class TestEnvironmentRun:
+    def test_run_until_time_stops_early(self):
+        env = Environment()
+        fired = []
+        env.timeout(1).add_callback(lambda e: fired.append(1))
+        env.timeout(10).add_callback(lambda e: fired.append(10))
+        env.run(until=5)
+        assert fired == [1]
+        assert env.now == 5
+
+    def test_run_until_event_returns_its_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            return "answer"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "answer"
+
+    def test_run_until_untriggerable_event_deadlocks(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=orphan)
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+        for index in range(5):
+            env.timeout(1).add_callback(
+                lambda e, index=index: order.append(index)
+            )
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_determinism_across_runs(self):
+        def build():
+            env = Environment()
+            trace = []
+
+            def proc(env, name, delays):
+                for delay in delays:
+                    yield env.timeout(delay)
+                    trace.append((name, env.now))
+
+            env.process(proc(env, "x", [1, 1, 1]))
+            env.process(proc(env, "y", [0.5, 2]))
+            env.run()
+            return trace
+
+        assert build() == build()
+
+    def test_step_on_empty_heap_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4)
+        assert env.peek() == 4

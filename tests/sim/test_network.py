@@ -1,0 +1,328 @@
+"""Tests for topology, routing, delivery, programs-in-path, and naming."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.sim import (
+    Address,
+    CostModel,
+    Datagram,
+    LossProgram,
+    Network,
+    PacketAction,
+    PacketProgram,
+    ProgramResult,
+    SmartNic,
+    UdpSocket,
+)
+
+
+def star(n_hosts=2, latency=5e-6):
+    """n hosts behind one switch."""
+    net = Network()
+    for index in range(n_hosts):
+        net.add_host(f"h{index}")
+    net.add_switch("sw")
+    for index in range(n_hosts):
+        net.add_link(f"h{index}", "sw", latency=latency)
+    return net
+
+
+class TestTopology:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(AddressError):
+            net.add_host("a")
+        with pytest.raises(AddressError):
+            net.add_switch("a")
+
+    def test_link_to_unknown_node_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(AddressError):
+            net.add_link("a", "ghost")
+
+    def test_route_is_shortest_by_latency(self):
+        net = Network()
+        for name in ("a", "b"):
+            net.add_host(name)
+        net.add_switch("fast")
+        net.add_switch("slow")
+        net.add_link("a", "fast", latency=1e-6)
+        net.add_link("fast", "b", latency=1e-6)
+        net.add_link("a", "slow", latency=50e-6)
+        net.add_link("slow", "b", latency=50e-6)
+        assert net.route("a", "b") == ["a", "fast", "b"]
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(AddressError):
+            net.route("a", "b")
+
+    def test_route_cache_invalidated_by_new_link(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s1")
+        net.add_link("a", "s1", latency=10e-6)
+        net.add_link("s1", "b", latency=10e-6)
+        assert net.route("a", "b") == ["a", "s1", "b"]
+        net.add_switch("s2")
+        net.add_link("a", "s2", latency=1e-6)
+        net.add_link("s2", "b", latency=1e-6)
+        assert net.route("a", "b") == ["a", "s2", "b"]
+
+    def test_container_shares_host_links(self):
+        net = star(2)
+        ct = net.hosts["h0"].add_container("ct")
+        assert net.entity("ct").host is net.hosts["h0"]
+
+
+class TestDelivery:
+    def ping(self, net, src_entity, dst_entity, dst_port=5000, size=64):
+        """Send one datagram; returns (delivered dgram or None, rtt)."""
+        env = net.env
+        result = {}
+
+        def server(env):
+            sock = UdpSocket(net.entity(dst_entity), dst_port)
+            dgram = yield sock.recv()
+            result["dgram"] = dgram
+            result["at"] = env.now
+
+        def client(env):
+            sock = UdpSocket(net.entity(src_entity))
+            sock.send(b"x" * size, Address(dst_entity, dst_port), size=size)
+            yield env.timeout(0)
+
+        env.process(server(env))
+        env.process(client(env))
+        env.run(until=1.0)
+        return result
+
+    def test_cross_host_delivery(self):
+        net = star(2)
+        result = self.ping(net, "h0", "h1")
+        assert result["dgram"].payload == b"x" * 64
+        assert net.delivered == 1
+
+    def test_hop_trace_records_path(self):
+        net = star(2)
+        result = self.ping(net, "h0", "h1")
+        hops = result["dgram"].hops
+        assert any(h.startswith("switch:sw") for h in hops)
+        assert any(h.startswith("nic:h1") for h in hops)
+        assert hops[-1].startswith("socket:")
+
+    def test_same_host_skips_nic(self):
+        net = Network()
+        host = net.add_host("box")
+        host.add_container("ca")
+        host.add_container("cb")
+        result = self.ping(net, "ca", "cb")
+        assert not any(h.startswith("nic:") for h in result["dgram"].hops)
+
+    def test_unbound_port_counts_drop(self):
+        net = star(2)
+        env = net.env
+        sock = UdpSocket(net.hosts["h0"])
+        sock.send(b"x", Address("h1", 9999), size=10)
+        env.run(until=1.0)
+        assert net.dropped_unbound == 1
+        assert net.delivered == 0
+
+    def test_unknown_entity_counts_drop(self):
+        net = star(2)
+        sock = UdpSocket(net.hosts["h0"])
+        sock.send(b"x", Address("nowhere", 1), size=10)
+        net.env.run(until=1.0)
+        assert net.dropped_no_entity == 1
+
+    def test_transmit_from_unknown_entity_raises(self):
+        net = star(2)
+        with pytest.raises(AddressError):
+            net.transmit(
+                Datagram(src=Address("ghost", 1), dst=Address("h1", 1), size=1)
+            )
+
+    def test_latency_components_add_up(self):
+        net = star(2, latency=5e-6)
+        result = self.ping(net, "h0", "h1", size=64)
+        # tx stack + 2 links + switch + NIC + rx stack; all defaults known.
+        cost = CostModel()
+        expected = (
+            cost.stack_cost(64)
+            + 2 * (5e-6 + 64 / (10 * 125_000_000.0))
+            + net.switches["sw"].forward_latency
+            + 0.5e-6  # NIC rx per packet
+            + cost.stack_cost(64)
+        )
+        assert result["at"] == pytest.approx(expected, rel=1e-6)
+
+    def test_delivery_to_closed_socket_is_dropped_silently(self):
+        net = star(2)
+        env = net.env
+        sock_rx = UdpSocket(net.hosts["h1"], 5000)
+        sock_rx.close()
+        sock_tx = UdpSocket(net.hosts["h0"])
+        sock_tx.send(b"x", Address("h1", 5000), size=1)
+        env.run(until=1.0)
+        assert net.delivered == 0
+
+
+class _RewriteProgram(PacketProgram):
+    """Redirects port 7000 to port 7001."""
+
+    def __init__(self):
+        super().__init__("rewrite")
+
+    def match(self, dgram):
+        return dgram.dst.port == 7000
+
+    def handle(self, dgram):
+        dgram.dst = Address(dgram.dst.host, 7001)
+        return ProgramResult(action=PacketAction.REDIRECT)
+
+
+class TestProgramsInPath:
+    def test_switch_program_redirects(self):
+        net = star(2)
+        net.switches["sw"].install(_RewriteProgram())
+        env = net.env
+        received = []
+
+        def server(env):
+            sock = UdpSocket(net.hosts["h1"], 7001)
+            dgram = yield sock.recv()
+            received.append(dgram)
+
+        def client(env):
+            sock = UdpSocket(net.hosts["h0"])
+            sock.send(b"x", Address("h1", 7000), size=8)
+            yield env.timeout(0)
+
+        env.process(server(env))
+        env.process(client(env))
+        env.run(until=1.0)
+        assert len(received) == 1
+        assert received[0].dst.port == 7001
+
+    def test_switch_loss_program_drops(self):
+        net = star(2)
+        net.switches["sw"].install(LossProgram("loss", drop_first=1))
+        env = net.env
+        sock_rx = UdpSocket(net.hosts["h1"], 7000)
+        sock_tx = UdpSocket(net.hosts["h0"])
+        sock_tx.send(b"1", Address("h1", 7000), size=1)
+        sock_tx.send(b"2", Address("h1", 7000), size=1)
+        env.run(until=1.0)
+        assert net.dropped_by_program == 1
+        assert sock_rx.received == 1
+
+    def test_kernel_program_runs_only_for_wire_traffic(self):
+        net = Network()
+        host = net.add_host("box")
+        host.add_container("ca")
+        host.add_container("cb")
+        counted = LossProgram("count", drop_rate=0.0)
+        host.install_kernel_program(counted)
+        env = net.env
+        UdpSocket(net.entity("cb"), 5000)
+        sock = UdpSocket(net.entity("ca"))
+        sock.send(b"x", Address("cb", 5000), size=1)
+        env.run(until=1.0)
+        assert counted.matched == 0  # loopback traffic bypasses XDP
+
+    def test_smartnic_program_runs_before_kernel_program(self):
+        net = Network()
+        net.add_host("h0")
+        host = net.add_host(
+            "h1", nic=SmartNic(net.env, name="h1.nic")
+        )
+        net.add_switch("sw")
+        net.add_link("h0", "sw")
+        net.add_link("h1", "sw")
+        order = []
+
+        class Tap(PacketProgram):
+            def __init__(self, name):
+                super().__init__(name)
+
+            def match(self, dgram):
+                return True
+
+            def handle(self, dgram):
+                order.append(self.name)
+                return ProgramResult(action=PacketAction.PASS)
+
+        host.smartnic.install(Tap("nic"))
+        host.install_kernel_program(Tap("xdp"))
+        UdpSocket(host, 5000)
+        sock = UdpSocket(net.hosts["h0"])
+        sock.send(b"x", Address("h1", 5000), size=1)
+        net.env.run(until=1.0)
+        assert order == ["nic", "xdp"]
+
+    def test_forwarding_loop_detected(self):
+        # hA — s1 — s2 — hB, with programs on the two switches bouncing the
+        # datagram's destination back and forth between the hosts forever.
+        net = Network()
+        net.add_host("hA")
+        net.add_host("hB")
+        net.add_switch("s1")
+        net.add_switch("s2")
+        net.add_link("hA", "s1")
+        net.add_link("s1", "s2")
+        net.add_link("s2", "hB")
+
+        class Flip(PacketProgram):
+            def __init__(self, name, target):
+                super().__init__(name)
+                self.target = target
+
+            def match(self, dgram):
+                return True
+
+            def handle(self, dgram):
+                dgram.dst = Address(self.target, 7000)
+                return ProgramResult(action=PacketAction.REDIRECT)
+
+        net.switches["s1"].install(Flip("to-b", "hB"))
+        net.switches["s2"].install(Flip("to-a", "hA"))
+        sock = UdpSocket(net.hosts["hA"])
+        sock.send(b"x", Address("hB", 7000), size=1)
+        with pytest.raises(AddressError, match="loop"):
+            net.env.run(until=1.0)
+
+
+class TestNameService:
+    def test_register_resolve_unregister(self):
+        net = star(2)
+        addr = Address("h1", 7000)
+        net.names.register("svc", addr)
+        assert [r.address for r in net.names.resolve("svc")] == [addr]
+        net.names.unregister("svc", addr)
+        assert net.names.resolve("svc") == []
+
+    def test_resolution_order_is_registration_order(self):
+        net = star(3)
+        net.names.register("svc", Address("h1", 1))
+        net.names.register("svc", Address("h2", 1))
+        addresses = [r.address.host for r in net.names.resolve("svc")]
+        assert addresses == ["h1", "h2"]
+
+    def test_resolve_local_finds_same_host_instance(self):
+        net = star(2)
+        ct = net.hosts["h0"].add_container("ct")
+        net.names.register("svc", Address("h1", 1))
+        net.names.register("svc", Address("ct", 1))
+        local = net.names.resolve_local("svc", "h0")
+        assert local is not None
+        assert local.address.host == "ct"
+
+    def test_resolve_unknown_name_is_empty(self):
+        net = star(1)
+        assert net.names.resolve("ghost") == []

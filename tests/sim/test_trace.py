@@ -1,0 +1,127 @@
+"""Tests for the tracing utilities (taps and path summaries)."""
+
+import pytest
+
+from repro.sim import (
+    Address,
+    Datagram,
+    Network,
+    TapProgram,
+    UdpSocket,
+    summarize_paths,
+)
+
+
+def star():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_switch("sw")
+    net.add_link("a", "sw", latency=5e-6)
+    net.add_link("b", "sw", latency=5e-6)
+    return net
+
+
+def send_n(net, n, size=64, headers=None):
+    received = []
+
+    def server(env):
+        sock = UdpSocket(net.hosts["b"], 7000)
+        for _ in range(n):
+            dgram = yield sock.recv()
+            received.append(dgram)
+
+    def client(env):
+        sock = UdpSocket(net.hosts["a"])
+        for index in range(n):
+            sock.send(
+                b"x" * size,
+                Address("b", 7000),
+                size=size,
+                headers=dict(headers or {}, seq=index),
+            )
+            yield env.timeout(10e-6)
+
+    net.env.process(server(net.env))
+    net.env.process(client(net.env))
+    net.env.run(until=1.0)
+    return received
+
+
+class TestTapProgram:
+    def test_tap_records_without_altering(self):
+        net = star()
+        tap = TapProgram("probe", net.env, header_keys=("seq",))
+        net.switches["sw"].install(tap)
+        received = send_n(net, 3)
+        assert len(received) == 3  # traffic unaffected
+        assert tap.observed == 3
+        assert [dict(r.headers)["seq"] for r in tap.records] == [0, 1, 2]
+
+    def test_tap_predicate_scopes_capture(self):
+        net = star()
+        tap = TapProgram(
+            "probe", net.env, predicate=lambda d: d.headers.get("seq") == 1
+        )
+        net.switches["sw"].install(tap)
+        send_n(net, 3)
+        assert tap.observed == 1
+
+    def test_max_records_caps_memory(self):
+        net = star()
+        tap = TapProgram("probe", net.env, max_records=2)
+        net.switches["sw"].install(tap)
+        send_n(net, 5)
+        assert tap.observed == 5
+        assert len(tap.records) == 2
+
+    def test_bytes_observed(self):
+        net = star()
+        tap = TapProgram("probe", net.env)
+        net.switches["sw"].install(tap)
+        send_n(net, 4, size=100)
+        assert tap.bytes_observed() == 400
+
+    def test_records_carry_addresses_and_time(self):
+        net = star()
+        tap = TapProgram("probe", net.env)
+        net.switches["sw"].install(tap)
+        send_n(net, 1)
+        record = tap.records[0]
+        assert record.dst == "b:7000"
+        assert record.time > 0
+
+
+class TestPathSummary:
+    def test_summarize_counts_elements(self):
+        net = star()
+        received = send_n(net, 4)
+        summary = summarize_paths(received)
+        assert summary.datagrams == 4
+        assert summary.hits("switch:sw") == 4
+        assert summary.hits("nic:b") == 4
+        assert summary.used_element("socket:")
+
+    def test_program_hits_extracted(self):
+        dgram = Datagram(
+            src=Address("a", 1),
+            dst=Address("b", 2),
+            size=1,
+            hops=["program:xdp-shard:[x]@srv", "socket:b:2"],
+        )
+        summary = summarize_paths([dgram])
+        assert summary.program_hits["xdp-shard:[x]"] == 1
+
+    def test_dominant_path(self):
+        net = star()
+        received = send_n(net, 3)
+        summary = summarize_paths(received)
+        dominant = summary.dominant_path()
+        assert dominant is not None
+        assert summary.path_signatures[dominant] == 3
+
+    def test_empty_summary(self):
+        summary = summarize_paths([])
+        assert summary.datagrams == 0
+        assert summary.dominant_path() is None
+        assert not summary.used_element("switch:")

@@ -1,0 +1,271 @@
+"""Tests for the UDP / loopback-TCP / pipe transports and cost models."""
+
+import pytest
+
+from repro.errors import AddressError, ConnectionClosedError, TransportError
+from repro.sim import (
+    Address,
+    CostModel,
+    Network,
+    PipeSocket,
+    TcpLoopbackSocket,
+    UdpSocket,
+)
+
+
+def one_host_world():
+    net = Network()
+    host = net.add_host("box")
+    host.add_container("ca")
+    host.add_container("cb")
+    return net
+
+
+def rtt(net, client_sock, server_sock, size=64):
+    """Echo once; return the measured round trip."""
+    env = net.env
+    result = {}
+
+    def server(env):
+        dgram = yield server_sock.recv()
+        server_sock.send(dgram.payload, dgram.src, size=dgram.size)
+
+    def client(env):
+        start = env.now
+        client_sock.send(b"x" * size, server_sock.address, size=size)
+        yield client_sock.recv()
+        result["rtt"] = env.now - start
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run(until=1.0)
+    return result["rtt"]
+
+
+class TestCostModel:
+    def test_stack_cost_components(self):
+        cost = CostModel(udp_per_msg=5e-6, udp_per_byte=1e-9)
+        assert cost.stack_cost(1000) == pytest.approx(6e-6)
+
+    def test_tcp_adds_extra(self):
+        cost = CostModel()
+        assert cost.tcp_loopback_cost(0) > cost.stack_cost(0)
+
+    def test_jitter_zero_is_exact(self):
+        cost = CostModel(jitter=0)
+        assert cost.stack_cost(100) == cost.stack_cost(100)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        cost_a = CostModel(jitter=0.1, jitter_seed=1)
+        cost_b = CostModel(jitter=0.1, jitter_seed=1)
+        draws_a = [cost_a.stack_cost(100) for _ in range(20)]
+        draws_b = [cost_b.stack_cost(100) for _ in range(20)]
+        assert draws_a == draws_b
+        base = CostModel().stack_cost(100)
+        assert all(0.9 * base <= d <= 1.1 * base for d in draws_a)
+        assert len(set(draws_a)) > 1
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            CostModel(jitter=1.5)
+
+
+class TestUdpSocket:
+    def test_ephemeral_port_allocation(self):
+        net = one_host_world()
+        s1 = UdpSocket(net.entity("ca"))
+        s2 = UdpSocket(net.entity("ca"))
+        assert s1.port != s2.port
+
+    def test_bind_conflict(self):
+        net = one_host_world()
+        UdpSocket(net.entity("ca"), 5000)
+        with pytest.raises(AddressError):
+            UdpSocket(net.entity("ca"), 5000)
+
+    def test_containers_have_separate_port_spaces(self):
+        net = one_host_world()
+        UdpSocket(net.entity("ca"), 5000)
+        UdpSocket(net.entity("cb"), 5000)  # no conflict
+
+    def test_loopback_udp_rtt(self):
+        net = one_host_world()
+        server = UdpSocket(net.entity("cb"), 5000)
+        client = UdpSocket(net.entity("ca"))
+        cost = CostModel()
+        expected = 2 * (2 * cost.stack_cost(64) + cost.loopback_latency)
+        assert rtt(net, client, server) == pytest.approx(expected, rel=1e-6)
+
+    def test_send_after_close_raises(self):
+        net = one_host_world()
+        sock = UdpSocket(net.entity("ca"))
+        sock.close()
+        with pytest.raises(ConnectionClosedError):
+            sock.send(b"x", Address("cb", 1), size=1)
+
+    def test_recv_after_close_raises(self):
+        net = one_host_world()
+        sock = UdpSocket(net.entity("ca"))
+        sock.close()
+        with pytest.raises(ConnectionClosedError):
+            sock.recv()
+
+    def test_close_releases_port(self):
+        net = one_host_world()
+        sock = UdpSocket(net.entity("ca"), 5000)
+        sock.close()
+        UdpSocket(net.entity("ca"), 5000)  # rebindable
+
+    def test_extra_delay_is_charged(self):
+        net = one_host_world()
+        server = UdpSocket(net.entity("cb"), 5000)
+        env = net.env
+        times = {}
+
+        def srv(env):
+            yield server.recv()
+            times["arrived"] = env.now
+
+        env.process(srv(env))
+        client = UdpSocket(net.entity("ca"))
+        client.send(b"x", server.address, size=1)
+        env.run(until=1.0)
+        baseline = times["arrived"]
+
+        net2 = one_host_world()
+        server2 = UdpSocket(net2.entity("cb"), 5000)
+        times2 = {}
+
+        def srv2(env):
+            yield server2.recv()
+            times2["arrived"] = env.now
+
+        net2.env.process(srv2(net2.env))
+        client2 = UdpSocket(net2.entity("ca"))
+        client2.send(b"x", server2.address, size=1, extra_delay=10e-6)
+        net2.env.run(until=1.0)
+        assert times2["arrived"] == pytest.approx(baseline + 10e-6)
+
+
+class TestPipeSocket:
+    def test_pipe_rtt_is_ipc_cost(self):
+        net = one_host_world()
+        server = PipeSocket(net.entity("cb"), 5000)
+        client = PipeSocket(net.entity("ca"))
+        cost = CostModel()
+        assert rtt(net, client, server) == pytest.approx(
+            2 * cost.ipc_cost(64), rel=1e-6
+        )
+
+    def test_pipe_faster_than_loopback_udp(self):
+        net = one_host_world()
+        pipe_server = PipeSocket(net.entity("cb"), 5000)
+        pipe_client = PipeSocket(net.entity("ca"))
+        pipe_rtt = rtt(net, pipe_client, pipe_server)
+
+        net2 = one_host_world()
+        udp_server = UdpSocket(net2.entity("cb"), 5000)
+        udp_client = UdpSocket(net2.entity("ca"))
+        udp_rtt = rtt(net2, udp_client, udp_server)
+        assert pipe_rtt < udp_rtt / 2
+
+    def test_cross_host_pipe_rejected(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b")
+        PipeSocket(net.hosts["b"], 5000)
+        sock = PipeSocket(net.hosts["a"])
+        with pytest.raises(TransportError):
+            sock.send(b"x", Address("b", 5000), size=1)
+
+    def test_unbound_pipe_destination_raises(self):
+        net = one_host_world()
+        sock = PipeSocket(net.entity("ca"))
+        with pytest.raises(AddressError):
+            sock.send(b"x", Address("cb", 9999), size=1)
+
+    def test_pipe_records_hop(self):
+        net = one_host_world()
+        server = PipeSocket(net.entity("cb"), 5000)
+        client = PipeSocket(net.entity("ca"))
+        env = net.env
+        got = {}
+
+        def srv(env):
+            dgram = yield server.recv()
+            got["hops"] = dgram.hops
+
+        env.process(srv(env))
+        client.send(b"x", server.address, size=1)
+        env.run(until=1.0)
+        assert got["hops"] == ["pipe:box"]
+
+
+class TestTcpLoopbackSocket:
+    def test_handshake_then_data(self):
+        net = one_host_world()
+        server = TcpLoopbackSocket(net.entity("cb"), 5000, listening=True)
+        client = TcpLoopbackSocket(net.entity("ca"))
+        env = net.env
+        result = {}
+
+        def srv(env):
+            dgram = yield server.recv()
+            server.send(dgram.payload, dgram.src, size=dgram.size)
+
+        def cli(env):
+            yield from client.handshake(server.address)
+            result["handshake_done"] = env.now
+            start = env.now
+            client.send(b"x" * 64, server.address, size=64)
+            yield client.recv()
+            result["rtt"] = env.now - start
+
+        env.process(srv(env))
+        env.process(cli(env))
+        env.run(until=1.0)
+        assert result["handshake_done"] > 0
+        assert server.handshakes_answered == 1
+        cost = CostModel()
+        expected = 2 * (2 * cost.tcp_loopback_cost(64) + cost.loopback_latency)
+        assert result["rtt"] == pytest.approx(expected, rel=1e-6)
+
+    def test_syn_never_reaches_application(self):
+        net = one_host_world()
+        server = TcpLoopbackSocket(net.entity("cb"), 5000, listening=True)
+        client = TcpLoopbackSocket(net.entity("ca"))
+        env = net.env
+
+        def cli(env):
+            yield from client.handshake(server.address)
+
+        env.process(cli(env))
+        env.run(until=1.0)
+        assert len(server.store) == 0
+
+    def test_non_listening_socket_ignores_syn(self):
+        net = one_host_world()
+        server = TcpLoopbackSocket(net.entity("cb"), 5000, listening=False)
+        client = TcpLoopbackSocket(net.entity("ca"))
+        env = net.env
+
+        def cli(env):
+            client._send_raw(b"", server.address, 0, {"tcp_ctl": "syn"})
+            yield env.timeout(1e-3)
+
+        env.process(cli(env))
+        env.run(until=1.0)
+        assert server.handshakes_answered == 0
+
+    def test_tcp_slower_than_udp(self):
+        net = one_host_world()
+        tcp_server = TcpLoopbackSocket(net.entity("cb"), 5000, listening=True)
+        tcp_client = TcpLoopbackSocket(net.entity("ca"))
+        tcp = rtt(net, tcp_client, tcp_server)
+
+        net2 = one_host_world()
+        udp_server = UdpSocket(net2.entity("cb"), 5000)
+        udp_client = UdpSocket(net2.entity("ca"))
+        udp = rtt(net2, udp_client, udp_server)
+        assert tcp > udp

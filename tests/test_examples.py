@@ -1,0 +1,74 @@
+"""Smoke tests: every example script must run clean and say what it claims.
+
+Examples are documentation that executes; these tests keep them honest as
+the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "sharded_kv.py",
+            "ordered_multicast.py",
+            "local_fastpath.py",
+            "dag_optimizer.py",
+            "legacy_interop.py",
+        } <= names
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "chunnels: ['serialize', 'reliable']" in out
+        assert "connected in" in out
+        assert "{'echo': {'n': 1}}" in out
+
+    def test_sharded_kv(self):
+        out = run_example("sharded_kv.py")
+        assert "ShardClientFallback" in out
+        assert "ShardXdp" in out
+        assert "ShardServerFallback" in out
+        assert "No application code changed" in out
+
+    def test_ordered_multicast(self):
+        out = run_example("ordered_multicast.py")
+        assert "McastSequencerFallback" in out
+        assert "McastSwitchSequencer" in out
+        assert "alice=70" in out  # the CAS applied consistently
+
+    def test_local_fastpath(self):
+        out = run_example("local_fastpath.py")
+        assert "transport=pipe" in out
+        assert "transport=udp" in out
+        assert "local replica started" in out
+        assert "via pipe" in out
+
+    def test_dag_optimizer(self):
+        out = run_example("dag_optimizer.py")
+        assert "3.0x PCIe traffic" in out
+        assert "http2 |> tls" in out
+
+    def test_legacy_interop(self):
+        out = run_example("legacy_interop.py")
+        assert "0 control RTTs" in out
+        assert "sharded across ['legacy-1', 'legacy-2']" in out
+        assert "reliability rejected" in out

@@ -1,0 +1,144 @@
+"""Tests for percentiles, boxplot summaries, and time series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    BoxplotSummary,
+    LatencyRecorder,
+    TimeSeries,
+    format_table,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1))
+    def test_bounded_by_min_max(self, values):
+        for p in (5, 50, 95):
+            result = percentile(values, p)
+            assert min(values) <= result <= max(values)
+
+
+class TestBoxplotSummary:
+    def test_ordering_invariant(self):
+        summary = BoxplotSummary.from_values([5, 1, 9, 3, 7, 2, 8])
+        assert (
+            summary.p5 <= summary.p25 <= summary.p50 <= summary.p75 <= summary.p95
+        )
+
+    def test_count_and_mean(self):
+        summary = BoxplotSummary.from_values([2, 4, 6])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxplotSummary.from_values([])
+
+    def test_scaled(self):
+        summary = BoxplotSummary.from_values([1, 2, 3]).scaled(1e6)
+        assert summary.p50 == pytest.approx(2e6)
+        assert summary.count == 3
+
+    def test_as_row(self):
+        row = BoxplotSummary.from_values([1.0]).as_row()
+        assert row["p50"] == 1.0
+        assert row["n"] == 1
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=2))
+    def test_five_numbers_monotone(self, values):
+        summary = BoxplotSummary.from_values(values)
+        quintet = [summary.p5, summary.p25, summary.p50, summary.p75, summary.p95]
+        assert quintet == sorted(quintet)
+
+
+class TestLatencyRecorder:
+    def test_record_and_summarize(self):
+        recorder = LatencyRecorder()
+        for value in (1, 2, 3):
+            recorder.record("a", value)
+        assert recorder.count("a") == 3
+        assert recorder.summary("a").p50 == 2
+
+    def test_extend(self):
+        recorder = LatencyRecorder()
+        recorder.extend("x", [1, 2])
+        assert recorder.values("x") == [1, 2]
+
+    def test_labels_in_insertion_order(self):
+        recorder = LatencyRecorder()
+        recorder.record("z", 1)
+        recorder.record("a", 1)
+        assert recorder.labels() == ["z", "a"]
+
+    def test_summaries_covers_all_labels(self):
+        recorder = LatencyRecorder()
+        recorder.record("a", 1)
+        recorder.record("b", 2)
+        assert set(recorder.summaries()) == {"a", "b"}
+
+
+class TestTimeSeries:
+    def test_binning(self):
+        series = TimeSeries()
+        for t in (0.1, 0.2, 1.1, 1.9, 3.5):
+            series.record(t, t * 10)
+        bins = series.bins(width=1.0)
+        assert [b[0] for b in bins] == [0.1, 1.1, 3.1]
+        assert bins[0][1].count == 2
+
+    def test_empty_bins(self):
+        assert TimeSeries().bins(1.0) == []
+
+    def test_invalid_width(self):
+        series = TimeSeries()
+        series.record(0, 1)
+        with pytest.raises(ValueError):
+            series.bins(0)
+
+    def test_split_at(self):
+        series = TimeSeries()
+        series.record(1, 10)
+        series.record(2, 20)
+        series.record(3, 30)
+        before, after = series.split_at(2)
+        assert before == [10]
+        assert after == [20, 30]
+
+    def test_len(self):
+        series = TimeSeries()
+        series.record(0, 0)
+        assert len(series) == 1
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        text = format_table([{"a": 1, "b": 2.5}], columns=["a", "b"])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_missing_cell_is_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text

@@ -1,0 +1,119 @@
+"""Public-API hygiene: exports resolve, errors form one hierarchy, and the
+advertised entry points behave."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.chunnels",
+            "repro.discovery",
+            "repro.sim",
+            "repro.apps",
+            "repro.workloads",
+            "repro.baselines",
+            "repro.experiments",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.{name} is exported but missing"
+            )
+
+    def test_top_level_exposes_subpackages(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("name", errors.__all__)
+    def test_every_error_derives_from_bertha_error(self, name):
+        error_cls = getattr(errors, name)
+        assert issubclass(error_cls, errors.BerthaError)
+
+    def test_negotiation_errors_are_catchable_as_one(self):
+        for cls in (
+            errors.IncompatibleDagError,
+            errors.NoImplementationError,
+            errors.ResourceExhaustedError,
+            errors.ConnectionTimeoutError,
+        ):
+            assert issubclass(cls, errors.NegotiationError)
+
+    def test_transport_errors_are_catchable_as_one(self):
+        for cls in (errors.AddressError, errors.ConnectionClosedError):
+            assert issubclass(cls, errors.TransportError)
+
+
+class TestSmartNicOffloadsNegotiate:
+    """The TOE-class implementations actually win under the right policy."""
+
+    @pytest.mark.parametrize(
+        "impl_name, spec_factory, fallback",
+        [
+            ("ReliableToe", "Reliable", "ReliableFallback"),
+            ("TcpToe", "Tcp", "TcpFallback"),
+            ("TlsSmartNic", "Tls", "TlsFallback"),
+        ],
+    )
+    def test_offload_binds_on_smartnic_host(
+        self, two_hosts_smartnic, impl_name, spec_factory, fallback
+    ):
+        import repro.chunnels as chunnels
+        from repro.core import PriorityFirstPolicy, wrap
+        from repro.sim import Address
+
+        from .conftest import run
+
+        world = two_hosts_smartnic
+        impl_cls = getattr(chunnels, impl_name)
+        fallback_cls = getattr(chunnels, fallback)
+        spec_cls = getattr(chunnels, spec_factory)
+        world.discovery.register(impl_cls.meta, location="srv")
+        world.discovery.register(impl_cls.meta, location="cl")
+        server_rt = world.runtime("srv", policy=PriorityFirstPolicy())
+        client_rt = world.runtime("cl")
+        for rt in (server_rt, client_rt):
+            rt.register_chunnel(fallback_cls)
+        listener = server_rt.new("s", wrap(spec_cls())).listen(port=7000)
+
+        def serve(env):
+            conn = yield listener.accept()
+            msg = yield conn.recv()
+            conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+        world.env.process(serve(world.env))
+
+        def client(env):
+            yield env.timeout(1e-4)
+            conn = yield from client_rt.new("c").connect(Address("srv", 7000))
+            node = conn.dag.topological_order()[0]
+            conn.send(b"offloaded", size=9)
+            reply = yield conn.recv()
+            return type(conn.impls[node]).__name__, reply.payload
+
+        chosen, payload = run(world.env, client(world.env))
+        assert chosen == impl_name
+        assert payload == b"offloaded"
+
+
+class TestFig5Validation:
+    def test_unknown_scenario_rejected(self):
+        from repro.experiments import Fig5Config, run_fig5_scenario
+
+        with pytest.raises(ValueError):
+            run_fig5_scenario("serverless", 1000, Fig5Config())
