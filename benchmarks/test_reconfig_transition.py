@@ -1,0 +1,57 @@
+"""Benchmark: live reconfiguration — transition pause and steady-state cost.
+
+Two claims:
+
+* The mid-connection transition is a bounded pause (one control round
+  trip), and the p95 step (offloaded → fallback → offloaded) matches the
+  degradation the negotiation priorities predict.
+* Arming the reconfiguration machinery costs *nothing* until a transition
+  actually runs: the latency stream with ``auto_reconfig`` on is
+  bit-identical to the stream without it (exact equality — the simulator
+  is deterministic, and epoch 0 stamps no header).
+"""
+
+import pytest
+
+from repro.experiments import ReconfigConfig, run_epoch_overhead, run_reconfig
+
+CONFIG = ReconfigConfig(
+    duration=12.0,
+    revoke_at=4.0,
+    restore_at=8.0,
+    offered_load=2_000,
+    bucket=0.5,
+)
+
+
+def test_reconfig_transition(benchmark, record_result):
+    result = benchmark.pedantic(lambda: run_reconfig(CONFIG), rounds=1, iterations=1)
+    record_result("reconfig_transition", result.render())
+
+    # Zero loss across both transitions.
+    assert result.zero_loss
+
+    # The step: degraded plateau above baseline, full recovery after.
+    p95 = result.phase_p95
+    assert p95["degraded"] > 1.2 * p95["baseline"]
+    assert p95["recovered"] == pytest.approx(p95["baseline"], rel=0.05)
+
+    # Bounded pause: one control round trip over 5 us links, well under
+    # the engine's ack timeout (no retries needed).
+    assert len(result.pause_times) == 2
+    assert all(0 < pause < 1e-3 for pause in result.pause_times)
+
+
+def test_epoch_stamp_steady_state_overhead(benchmark, record_result):
+    overhead = benchmark.pedantic(
+        lambda: run_epoch_overhead(requests=2000), rounds=1, iterations=1
+    )
+    text = (
+        f"n={overhead['n']} requests, reconfig armed vs absent\n"
+        f"latency streams identical: {overhead['identical']}\n"
+        f"max |delta|: {overhead['max_abs_delta_us']:.6f} us"
+    )
+    record_result("reconfig_epoch_overhead", text)
+    # Zero added per-message latency when no transition is in flight.
+    assert overhead["identical"]
+    assert overhead["max_abs_delta_us"] == 0.0

@@ -1,0 +1,89 @@
+"""Live reconfiguration: losing (and regaining) an offload mid-connection.
+
+A KV client talks to a server whose negotiation picked the XDP shard
+offload.  Mid-stream, the operator revokes the XDP record — the discovery
+push triggers a live transition and the connection degrades to the
+userspace sharder without dropping a request.  When the record comes back,
+the server's upgrade poll transitions the same connection back onto the
+fast path.  The application code on both sides is oblivious throughout.
+
+Run:  python examples/live_reconfig.py
+"""
+
+from repro.apps import KvClient, KvServer
+from repro.chunnels import SerializeFallback, ShardServerFallback, ShardXdp
+from repro.core import Runtime
+from repro.discovery import DiscoveryService
+from repro.sim import Address, Network
+
+
+def main():
+    net = Network()
+    net.add_host("srv")
+    net.add_host("cl")
+    dsc = net.add_host("dsc")
+    net.add_switch("tor")
+    for host in ("srv", "cl", "dsc"):
+        net.add_link(host, "tor", latency=5e-6)
+    discovery = DiscoveryService(dsc)
+    record = discovery.register(ShardXdp.meta, location="srv")
+
+    server_rt = Runtime(net.hosts["srv"], discovery=discovery.address)
+    server_rt.register_chunnel(SerializeFallback)
+    server_rt.register_chunnel(ShardServerFallback)
+    client_rt = Runtime(net.hosts["cl"], discovery=discovery.address)
+    client_rt.register_chunnel(SerializeFallback)
+
+    # auto_reconfig subscribes every accepted connection to revocation
+    # pushes and device-failure events for the offloads it negotiated.
+    server = KvServer(server_rt, port=7100, shards=3, auto_reconfig=True)
+    env = net.env
+
+    def shard_impl(conn):
+        return type(conn.impls[conn.dag.find("shard")[0]]).__name__
+
+    def client(env):
+        yield env.timeout(1e-4)
+        kv = KvClient(client_rt)
+        conn = yield from kv.connect(Address("srv", 7100))
+        print(f"negotiated shard implementation: {shard_impl(conn)}")
+
+        for index in range(20):
+            yield from kv.put(f"user{index:04d}", b"profile")
+
+        print("operator revokes the XDP record mid-stream...")
+        discovery.revoke(record.record_id, reason="offload reclaimed")
+        responses = []
+        for index in range(20):
+            responses.append((yield from kv.get(f"user{index:04d}")))
+        lost = sum(1 for r in responses if r["status"] != "ok")
+        print(
+            f"degraded to: {shard_impl(conn)} "
+            f"(epoch {conn.epoch}, {lost} of {len(responses)} requests lost)"
+        )
+
+        print("operator re-registers the XDP implementation...")
+        discovery.register(ShardXdp.meta, location="srv")
+        server_conn = server.listener.connections[0]
+        outcome = yield server_rt.reconfig.request_transition(
+            server_conn, reason="offload restored"
+        )
+        yield from kv.get("user0000")
+        print(
+            f"upgrade transition: {outcome}; back on {shard_impl(conn)} "
+            f"(epoch {conn.epoch})"
+        )
+
+        manager = server_rt.reconfig
+        print(
+            f"server engine: {manager.transitions_committed} committed, "
+            f"pauses {[f'{p * 1e6:.1f} us' for p in manager.pause_times]}"
+        )
+        print("No requests were lost across either transition.")
+
+    proc = env.process(client(env))
+    env.run(until=proc)
+
+
+if __name__ == "__main__":
+    main()

@@ -254,6 +254,7 @@ class KvServer:
         service_name: Optional[str] = None,
         shard_server_cost: float = 8.0e-6,
         extra_dag: Optional[ChunnelDag] = None,
+        auto_reconfig: bool = False,
     ):
         self.runtime = runtime
         self.workers = [
@@ -275,7 +276,9 @@ class KvServer:
         if extra_dag is not None:
             dag = dag >> extra_dag
         self.endpoint = runtime.new("my-kv-srv", dag)
-        self.listener = self.endpoint.listen(port=port, service_name=service_name)
+        self.listener = self.endpoint.listen(
+            port=port, service_name=service_name, auto_reconfig=auto_reconfig
+        )
 
     @property
     def address(self) -> Address:

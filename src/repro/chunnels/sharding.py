@@ -50,7 +50,7 @@ from ..core.resources import (
 )
 from ..core.scope import Endpoints, Placement, Scope
 from ..core.stack import SetupContext
-from ..core.wire import register_wire_type
+from ..core.wire import CTL_HEADER, register_wire_type
 from ..errors import ChunnelArgumentError
 from ..sim.datagram import Address, Datagram
 from ..sim.programs import PacketAction, PacketProgram, ProgramResult
@@ -269,14 +269,34 @@ class _SharedSharder:
 
         self.queue = Store(env, name="sharder")
         self.requests_forwarded = 0
+        #: Connections currently using this sharder; the last teardown
+        #: stops the process (live reconfiguration swaps sharders in and
+        #: out mid-run, so it cannot loop forever).
+        self.refs = 0
+        self._stopping = False
+        self._busy = False
         self._proc = env.process(self._run(), name="shard.fallback")
 
     def submit(self, stage: ChunnelStage, msg: Message) -> None:
         self.queue.put((stage, msg))
 
+    def stop(self) -> None:
+        """Stop once the queue drains (immediately when idle)."""
+        self._stopping = True
+        if self._proc.is_alive and not self._busy and len(self.queue) == 0:
+            self._proc.interrupt("sharder stopped")
+
     def _run(self):
+        from ..sim.eventloop import Interrupt
+
         while True:
-            stage, msg = yield self.queue.get()
+            if self._stopping and len(self.queue) == 0:
+                return
+            try:
+                stage, msg = yield self.queue.get()
+            except Interrupt:
+                return
+            self._busy = True
             yield self.env.timeout(self.spec.args["server_cost"])
             index = self.spec.shard_fn.bucket(
                 msg.payload, msg.headers, len(self.spec.choices)
@@ -288,6 +308,7 @@ class _SharedSharder:
                 forward.headers[REPLY_TO_HEADER] = [msg.src.host, msg.src.port]
             self.requests_forwarded += 1
             stage.send_below(forward)
+            self._busy = False
 
 
 class _ServerShardStage(ChunnelStage):
@@ -318,16 +339,31 @@ class ShardServerFallback(ChunnelImpl):
         description="userspace sharder process at the server",
     )
 
+    def _shared_key(self) -> str:
+        spec: Shard = self.spec
+        return f"sharder:[{','.join(str(a) for a in spec.choices)}]"
+
     def setup(self, ctx: SetupContext) -> None:
         if not ctx.is_server:
             return
-        spec: Shard = self.spec
-        key = f"sharder:[{','.join(str(a) for a in spec.choices)}]"
+        key = self._shared_key()
         sharder = ctx.shared.get(key)
-        if sharder is None:
-            sharder = _SharedSharder(ctx.env, spec)
+        if sharder is None or sharder._stopping:
+            sharder = _SharedSharder(ctx.env, self.spec)
             ctx.shared[key] = sharder
+        sharder.refs += 1
         self._sharder = sharder
+
+    def teardown(self, ctx: SetupContext) -> None:
+        sharder = getattr(self, "_sharder", None)
+        if sharder is None or not ctx.is_server:
+            return
+        self._sharder = None
+        sharder.refs -= 1
+        if sharder.refs <= 0:
+            sharder.stop()
+            if ctx.shared.get(self._shared_key()) is sharder:
+                ctx.shared.pop(self._shared_key(), None)
 
     def make_stage(self, role: Role) -> Optional[ChunnelStage]:
         if role is not Role.SERVER:
@@ -353,6 +389,8 @@ class XdpShardProgram(PacketProgram):
         self.redirected = 0
 
     def match(self, dgram: Datagram) -> bool:
+        if dgram.headers.get(CTL_HEADER):
+            return False  # control traffic falls through to the socket
         return dgram.dst.port in self.watched_ports
 
     def handle(self, dgram: Datagram) -> ProgramResult:
@@ -434,6 +472,8 @@ class SwitchShardProgram(PacketProgram):
         self.redirected = 0
 
     def match(self, dgram: Datagram) -> bool:
+        if dgram.headers.get(CTL_HEADER):
+            return False  # control traffic falls through to the socket
         return (
             dgram.dst.host == self.server_entity
             and dgram.dst.port in self.watched_ports

@@ -10,20 +10,28 @@ A connection may have several peers (ordered multicast connects to a whole
 replica group, Listing 2) and its messages may be steered per-message by
 routing Chunnels (sharding), so ``send`` accepts an optional explicit
 destination and received messages expose their source.
+
+Connections are also *live-reconfigurable*: the runtime's reconfiguration
+engine (:mod:`repro.reconfig`) can renegotiate the implementation choice
+mid-stream and swap in a new Chunnel stack.  The connection keeps one stack
+per **epoch** so in-flight messages stamped with an older epoch still find
+the stack that knows how to process them; see PROTOCOL.md §"Live
+reconfiguration".
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from ..errors import ConnectionClosedError, TransportError
 from ..sim.datagram import Address, Datagram
 from ..sim.eventloop import Event, Interrupt
 from ..sim.resources import Store
-from .chunnel import ChunnelImpl, Message, Role
+from .chunnel import ChunnelImpl, ChunnelStage, Message, Offer, Role
 from .dag import ChunnelDag
 from .stack import ChunnelStack, SetupContext
+from .wire import CTL_HEADER, EPOCH_HEADER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.transport import SimSocket
@@ -33,6 +41,9 @@ __all__ = ["Connection"]
 
 _conn_counter = itertools.count(1)
 
+#: Control datagrams are tiny; their simulated wire size.
+_CTL_SIZE = 64
+
 
 def next_conn_id(entity_name: str) -> str:
     """A fresh connection identifier (debuggable, globally unique)."""
@@ -40,7 +51,7 @@ def next_conn_id(entity_name: str) -> str:
 
 
 class Connection:
-    """A live connection: stack + data socket + peer set."""
+    """A live connection: stack(s) + data socket + peer set."""
 
     def __init__(
         self,
@@ -50,12 +61,16 @@ class Connection:
         role: Role,
         dag: ChunnelDag,
         impls: dict[int, ChunnelImpl],
-        stack_stages,
+        stack_stages: Union[list, dict],
         socket: "SimSocket",
         peers: Iterable[Address] = (),
         transport: str = "udp",
         params: Optional[dict] = None,
         setup_contexts: Optional[list[SetupContext]] = None,
+        choice: Optional[dict[int, Offer]] = None,
+        client_entity: str = "",
+        server_entity: str = "",
+        negotiation_state: Optional[dict] = None,
     ):
         self.runtime = runtime
         self.name = name
@@ -73,14 +88,47 @@ class Connection:
         self.messages_received = 0
         self.established_at = runtime.env.now
         self._setup_contexts = list(setup_contexts or [])
+        #: The negotiated per-node binding (needed to re-decide later).
+        self.choice: dict[int, Offer] = dict(choice or {})
+        self.client_entity = client_entity or (
+            runtime.entity.name if role is Role.CLIENT else ""
+        )
+        self.server_entity = server_entity or (
+            runtime.entity.name if role is Role.SERVER else ""
+        )
+        #: Server-side: what the engine needs to renegotiate (the client's
+        #: original offer message, the policy context, the reservation
+        #: owner).  Empty on clients and raw connections.
+        self.negotiation_state = dict(negotiation_state or {})
+        #: Live-reconfiguration state.
+        self.epoch = 0
+        self.transitions = 0
+        self.last_src: Optional[Address] = None
+        self._send_paused = False
+        self._send_buffer: list[Message] = []
+        self._reroute_buffer: list[Message] = []
         self._pcie, self._pcie_crossings = self._pcie_profile(
             dag, impls, transport
         )
+        if isinstance(stack_stages, dict):
+            self._stage_map: Optional[dict[int, Optional[ChunnelStage]]] = dict(
+                stack_stages
+            )
+            stages = [
+                self._stage_map[node_id]
+                for node_id in dag.topological_order()
+                if self._stage_map[node_id] is not None
+            ]
+        else:
+            self._stage_map = None
+            stages = list(stack_stages)
         self.stack = ChunnelStack(
-            runtime.env, stack_stages, transmit=self._transmit, deliver=self._deliver
+            runtime.env, stages, transmit=self._transmit, deliver=self._deliver
         )
         self.stack.connection = self
-        self.stack.start()
+        self._stacks: dict[int, ChunnelStack] = {0: self.stack}
+        self._started_stages: set[int] = set()
+        self._start_new_stages(self.stack)
         self._pump = runtime.env.process(
             self._pump_loop(), name=f"{conn_id}.pump"
         )
@@ -123,6 +171,11 @@ class Connection:
             dst=dst,
         )
         self.messages_sent += 1
+        if self._send_paused:
+            # A transition is committing: hold the message until the new
+            # stack is live so it is processed by exactly one epoch.
+            self._send_buffer.append(msg)
+            return
         self.stack.send(msg)
 
     def recv(self) -> Event:
@@ -134,6 +187,164 @@ class Connection:
     def try_recv(self) -> tuple[bool, Optional[Message]]:
         """Non-blocking receive."""
         return self.inbox.try_get()
+
+    def send_ctl(
+        self, body: dict, dst: Optional[Address] = None, size: int = _CTL_SIZE
+    ) -> None:
+        """Send an in-band control datagram (bypasses the Chunnel stack).
+
+        The peer's pump intercepts it before stack processing; offload
+        programs pass control traffic through to the socket.
+        """
+        dst = dst or self.peer or self.last_src
+        if dst is None:
+            raise TransportError(
+                f"{self.conn_id}: no control destination (no peer and no "
+                "traffic source seen yet)"
+            )
+        self.socket.send(
+            body, dst, size=size, headers={CTL_HEADER: body.get("kind", "ctl")}
+        )
+
+    # -- live reconfiguration ------------------------------------------------------
+    def prepare_transition(self, epoch: int, stages: list) -> ChunnelStack:
+        """Build and start the stack for a new epoch (not yet current).
+
+        Stage objects carried over from the current stack re-home to the
+        new one (state continuity); only genuinely new stages are started.
+        """
+        stack = ChunnelStack(
+            self.env, stages, transmit=self._transmit, deliver=self._deliver
+        )
+        stack.connection = self
+        stack.epoch = epoch
+        self._stacks[epoch] = stack
+        self._start_new_stages(stack)
+        return stack
+
+    def pause_sends(self) -> None:
+        """Buffer application sends while a transition is in flight."""
+        self._send_paused = True
+
+    def resume_sends(self) -> None:
+        """Flush buffered sends through the (possibly new) current stack."""
+        self._send_paused = False
+        buffered, self._send_buffer = self._send_buffer, []
+        for msg in buffered:
+            self.stack.send(msg)
+
+    def commit_transition(
+        self,
+        epoch: int,
+        *,
+        dag: ChunnelDag,
+        impls: dict[int, ChunnelImpl],
+        choice: dict[int, Offer],
+        contexts: list[SetupContext],
+        stage_map: Optional[dict] = None,
+    ) -> int:
+        """Make ``epoch`` the current stack; returns the previous epoch.
+
+        The caller (the reconfiguration engine) is responsible for tearing
+        down replaced implementations and retiring the old epoch's stack
+        after a grace period.
+        """
+        old_epoch = self.epoch
+        self.epoch = epoch
+        self.stack = self._stacks[epoch]
+        self.dag = dag
+        self.impls = impls
+        self.choice = dict(choice)
+        self._setup_contexts = list(contexts)
+        if stage_map is not None:
+            self._stage_map = dict(stage_map)
+        self._pcie, self._pcie_crossings = self._pcie_profile(
+            dag, impls, self.transport
+        )
+        self.transitions += 1
+        self._flush_reroute()
+        self.resume_sends()
+        return old_epoch
+
+    def abort_transition(self, epoch: int) -> None:
+        """Discard a prepared epoch (rollback) and resume the old stack."""
+        stack = self._stacks.pop(epoch, None)
+        if stack is not None:
+            self._dispose_stack(stack)
+            # Carried-over stages re-homed to the aborted stack; point them
+            # back at the stack that remains current.
+            self._reattach(self.stack)
+        self._flush_reroute()
+        self.resume_sends()
+
+    def mark_broken(self, epoch: Optional[int] = None) -> None:
+        """Route messages stamped with ``epoch`` (default: current) to the
+        newest stack — its device is gone, its stack can no longer serve."""
+        stack = self._stacks.get(self.epoch if epoch is None else epoch)
+        if stack is not None:
+            stack.broken = True
+
+    def retire_epoch(self, epoch: int, grace: float = 0.0) -> None:
+        """Drop an old epoch's stack once stragglers have drained."""
+        if grace <= 0:
+            self._retire_now(epoch)
+            return
+
+        def _wait():
+            yield self.env.timeout(grace)
+            self._retire_now(epoch)
+
+        self.env.process(_wait(), name=f"{self.conn_id}.retire-{epoch}")
+
+    def _retire_now(self, epoch: int) -> None:
+        if epoch == self.epoch or self.closed:
+            return
+        stack = self._stacks.pop(epoch, None)
+        if stack is not None:
+            self._dispose_stack(stack)
+
+    def _stack_for(self, epoch: int) -> ChunnelStack:
+        """The stack that should process a message stamped with ``epoch``.
+
+        Unknown epochs (already retired, or never seen) and broken epochs
+        route to the newest stack — the only one guaranteed to be backed by
+        live implementations.
+        """
+        stack = self._stacks.get(epoch)
+        if stack is None or stack.broken:
+            return self._stacks[max(self._stacks)]
+        return stack
+
+    def _start_new_stages(self, stack: ChunnelStack) -> None:
+        for stage in stack.stages:
+            if id(stage) not in self._started_stages:
+                self._started_stages.add(id(stage))
+                stage.start()
+
+    def _dispose_stack(self, stack: ChunnelStack) -> None:
+        """Stop the stages of a dropped stack that no other stack shares."""
+        live = {
+            id(stage)
+            for other in self._stacks.values()
+            for stage in other.stages
+        }
+        for stage in reversed(stack.stages):
+            if id(stage) not in live and id(stage) in self._started_stages:
+                self._started_stages.discard(id(stage))
+                stage.stop()
+
+    @staticmethod
+    def _reattach(stack: ChunnelStack) -> None:
+        for index, stage in enumerate(stack.stages):
+            stage.attach(stack, index)
+
+    def _flush_reroute(self) -> None:
+        """Process messages held while every live stack was broken."""
+        pending, self._reroute_buffer = self._reroute_buffer, []
+        for msg in pending:
+            delivered, _charge = self.stack.receive(msg)
+            for out in delivered:
+                self._deliver(out)
 
     # -- plumbing ------------------------------------------------------------------
     def _pcie_profile(self, dag: ChunnelDag, impls, transport: str):
@@ -191,13 +402,28 @@ class Connection:
                 dgram: Datagram = yield self.socket.recv()
             except (Interrupt, ConnectionClosedError):
                 return
+            self.last_src = dgram.src
+            headers = dict(dgram.headers)
+            ctl_kind = headers.get(CTL_HEADER)
+            if ctl_kind is not None:
+                # In-band control (TRANSITION and friends): handled by the
+                # reconfiguration engine, never enters the Chunnel stack.
+                self.runtime.reconfig.handle_ctl(self, ctl_kind, dgram)
+                continue
             msg = Message(
                 payload=dgram.payload,
                 size=dgram.size,
-                headers=dict(dgram.headers),
+                headers=headers,
                 src=dgram.src,
             )
-            delivered, charge = self.stack.receive(msg)
+            stack = self._stack_for(headers.get(EPOCH_HEADER, 0))
+            if stack.broken:
+                # Even the newest stack lost its device (the failure was
+                # just detected): hold the message until the replacement
+                # stack commits — zero loss, bounded delay.
+                self._reroute_buffer.append(msg)
+                continue
+            delivered, charge = stack.receive(msg)
             if charge > 0:
                 yield self.env.timeout(charge)
             for out in delivered:
@@ -209,7 +435,13 @@ class Connection:
         if self.closed:
             return
         self.closed = True
-        self.stack.stop()
+        stopped: set[int] = set()
+        for epoch in sorted(self._stacks, reverse=True):
+            for stage in reversed(self._stacks[epoch].stages):
+                if id(stage) in stopped:
+                    continue
+                stopped.add(id(stage))
+                stage.stop()
         for node_id, impl in self.impls.items():
             ctx = self._context_for(node_id)
             if ctx is not None:
@@ -233,6 +465,6 @@ class Connection:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Connection {self.conn_id} role={self.role.value} "
-            f"peers={[str(p) for p in self.peers]} tx={self.messages_sent} "
-            f"rx={self.messages_received}>"
+            f"epoch={self.epoch} peers={[str(p) for p in self.peers]} "
+            f"tx={self.messages_sent} rx={self.messages_received}>"
         )

@@ -37,16 +37,29 @@ __all__ = [
     "OFFER_KIND",
     "ACCEPT_KIND",
     "ERROR_KIND",
+    "TRANSITION_KIND",
+    "TRANSITION_ACK_KIND",
+    "TRANSITION_REQUEST_KIND",
     "build_offer_message",
     "build_accept_message",
     "build_error_message",
+    "build_transition_message",
+    "build_transition_ack",
     "feasible_offers",
     "decide",
+    "decide_with_reservations",
 ]
 
 OFFER_KIND = "bertha.offer"
 ACCEPT_KIND = "bertha.accept"
 ERROR_KIND = "bertha.error"
+#: Server→client (in-band, over the data socket): adopt a new stack epoch.
+TRANSITION_KIND = "bertha.transition"
+#: Client→server: the epoch is (or could not be) live on the client.
+TRANSITION_ACK_KIND = "bertha.transition_ack"
+#: Client→server: please renegotiate this connection (client-initiated
+#: reconfiguration; the decision still runs on the server, like establishment).
+TRANSITION_REQUEST_KIND = "bertha.transition_request"
 
 Reserver = Callable[[Offer], bool]
 
@@ -92,6 +105,42 @@ def build_accept_message(
         "data_port": data_port,
         "transport": transport,
         "params": encode(params or {}),
+    }
+
+
+def build_transition_message(
+    conn_id: str,
+    epoch: int,
+    dag: ChunnelDag,
+    choice: dict[int, Offer],
+    reason: str = "",
+) -> dict:
+    """The server→client live-reconfiguration announcement (PROTOCOL.md
+    §"Live reconfiguration").  Carries the full new binding so the client
+    can build the epoch's stack without another negotiation round."""
+    return {
+        "kind": TRANSITION_KIND,
+        "conn_id": conn_id,
+        "epoch": epoch,
+        "dag": dag.to_wire(),
+        "choice": {str(node): offer.to_wire() for node, offer in choice.items()},
+        "reason": reason,
+    }
+
+
+def build_transition_ack(
+    conn_id: str,
+    epoch: int,
+    ok: bool,
+    error: Optional[str] = None,
+) -> dict:
+    """The client→server transition acknowledgement (or refusal)."""
+    return {
+        "kind": TRANSITION_ACK_KIND,
+        "conn_id": conn_id,
+        "epoch": epoch,
+        "ok": ok,
+        "error": error,
     }
 
 
@@ -251,3 +300,57 @@ def decide(
             )
         choice[node_id] = chosen
     return choice
+
+
+def decide_with_reservations(
+    runtime,
+    dag: ChunnelDag,
+    candidates: dict[str, list[Offer]],
+    ctx: PolicyContext,
+    owner: str,
+    rounds: int = 8,
+    excluded: Optional[set] = None,
+):
+    """Generator: run :func:`decide`, confirming reservations with discovery.
+
+    Offers whose reservation is denied are excluded and the decision is
+    recomputed, so contention for an offload degrades to the next-ranked
+    implementation instead of failing the connection (§6).  ``excluded``
+    seeds the exclusion set with ``(meta.name, record_id)`` pairs — live
+    reconfiguration uses it to steer away from failed or revoked offloads.
+
+    Returns ``(choice, confirmed)`` where ``confirmed`` is the list of
+    ``(record_id, owner)`` reservations this decision holds.
+    """
+    excluded = set(excluded or ())
+    for _round in range(rounds):
+        pool = {
+            ctype: [
+                o for o in offers if (o.meta.name, o.record_id) not in excluded
+            ]
+            for ctype, offers in candidates.items()
+        }
+        choice = decide(dag, pool, runtime.policy, ctx, reserve=None)
+        confirmed: list[tuple[str, str]] = []
+        denied: Optional[Offer] = None
+        for node_id, offer in sorted(choice.items()):
+            if offer.record_id is None or offer.meta.resources.is_zero:
+                continue
+            # Group-shared Chunnels (e.g. ordered multicast) reserve under
+            # a group-scoped owner so the shared device program is
+            # accounted once across all members.
+            node_owner = dag.nodes[node_id].reservation_scope() or owner
+            ok = yield from runtime.discovery.reserve(offer.record_id, node_owner)
+            if not ok:
+                denied = offer
+                break
+            confirmed.append((offer.record_id, node_owner))
+        if denied is None:
+            return choice, confirmed
+        for record_id, node_owner in confirmed:
+            yield from runtime.discovery.release(record_id, node_owner)
+        excluded.add((denied.meta.name, denied.record_id))
+    raise NoImplementationError(
+        f"reservation thrashing: could not confirm a stable implementation "
+        f"choice in {rounds} rounds"
+    )

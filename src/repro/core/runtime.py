@@ -48,7 +48,7 @@ from .negotiation import (
     build_accept_message,
     build_error_message,
     build_offer_message,
-    decide,
+    decide_with_reservations,
     parse_choice,
     parse_offers,
     parse_params,
@@ -56,7 +56,7 @@ from .negotiation import (
 )
 from .policy import DefaultPolicy, Policy, PolicyContext
 from .registry import ChunnelRegistry, ImplCatalog, catalog as default_catalog
-from .stack import SetupContext, build_stages, instantiate_impls
+from .stack import SetupContext, build_stage_map, instantiate_impls
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.host import NetEntity
@@ -125,6 +125,7 @@ class Runtime:
         #: Optional §6 DAG optimizer; when set, listeners reorder/merge/
         #: specialize the unified DAG before choosing implementations.
         self.optimizer = optimizer
+        self._reconfig = None
         if discovery is None:
             self.discovery = NullDiscoveryClient(entity)
         elif isinstance(discovery, Address):
@@ -160,6 +161,15 @@ class Runtime:
             name=f"release:{record_id}",
         )
 
+    @property
+    def reconfig(self):
+        """The process's live-reconfiguration engine (created on demand)."""
+        if self._reconfig is None:
+            from ..reconfig.engine import ReconfigManager
+
+            self._reconfig = ReconfigManager(self)
+        return self._reconfig
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Runtime on {self.entity.name!r} registry={len(self.registry)}>"
 
@@ -179,6 +189,7 @@ class Endpoint:
         self,
         port: Optional[int] = None,
         service_name: Optional[str] = None,
+        auto_reconfig: bool = False,
     ) -> "Listener":
         """Start accepting connections (the paper's ``.listen``).
 
@@ -186,8 +197,15 @@ class Endpoint:
         cluster name service so clients can connect by name — resolution
         happens per client connection, which is what lets clients discover
         a newly-started closer instance (Figure 4).
+
+        ``auto_reconfig`` subscribes every accepted connection to the
+        runtime's reconfiguration engine: offload revocations and device
+        failures then trigger automatic mid-stream renegotiation instead
+        of silently degrading service (:mod:`repro.reconfig`).
         """
-        return Listener(self, port=port, service_name=service_name)
+        return Listener(
+            self, port=port, service_name=service_name, auto_reconfig=auto_reconfig
+        )
 
     # ------------------------------------------------------------------
     # Client side
@@ -297,7 +315,7 @@ class Endpoint:
             impls[node_id].setup(ctx)
             contexts.append(ctx)
         socket = _make_data_socket(runtime.entity, transport)
-        stages = build_stages(dag, impls, Role.CLIENT)
+        stage_map = build_stage_map(dag, impls, Role.CLIENT)
         connection = Connection(
             runtime=runtime,
             name=self.name,
@@ -305,15 +323,22 @@ class Endpoint:
             role=Role.CLIENT,
             dag=dag,
             impls=impls,
-            stack_stages=stages,
+            stack_stages=stage_map,
             socket=socket,
             peers=peers,
             transport=transport,
             params=params,
             setup_contexts=contexts,
+            choice=choice,
+            client_entity=runtime.entity.name,
+            server_entity=server_entity,
         )
         for node_id, ctx in zip(dag.topological_order(), contexts):
             impls[node_id].after_establish(ctx, connection)
+        # Tell the server our data address (offload programs pass control
+        # datagrams through), so it can initiate live transitions even when
+        # the data path never reaches its socket.
+        connection.send_ctl({"kind": "bertha.hello", "conn_id": conn_id})
         return connection
 
     def connect_raw(self, target: Address) -> Connection:
@@ -376,7 +401,7 @@ class Endpoint:
             impls[node_id].setup(ctx)
             contexts.append(ctx)
         socket = UdpSocket(runtime.entity)
-        stages = build_stages(dag, impls, Role.CLIENT)
+        stage_map = build_stage_map(dag, impls, Role.CLIENT)
         connection = Connection(
             runtime=runtime,
             name=self.name,
@@ -384,11 +409,14 @@ class Endpoint:
             role=Role.CLIENT,
             dag=dag,
             impls=impls,
-            stack_stages=stages,
+            stack_stages=stage_map,
             socket=socket,
             peers=[target],
             transport="udp",
             setup_contexts=contexts,
+            choice=choice,
+            client_entity=runtime.entity.name,
+            server_entity=target.host,
         )
         for node_id, ctx in zip(dag.topological_order(), contexts):
             impls[node_id].after_establish(ctx, connection)
@@ -456,12 +484,14 @@ class Listener:
         endpoint: Endpoint,
         port: Optional[int] = None,
         service_name: Optional[str] = None,
+        auto_reconfig: bool = False,
     ):
         self.endpoint = endpoint
         self.runtime = endpoint.runtime
         self.env = self.runtime.env
         self.ctl = UdpSocket(self.runtime.entity, port)
         self.service_name = service_name
+        self.auto_reconfig = auto_reconfig
         self.accepted: Store = Store(self.env, name=f"{endpoint.name}.accepted")
         self.connections: list[Connection] = []
         self.optimizations: list = []  # OptimizationResults applied (§6)
@@ -684,7 +714,7 @@ class Listener:
             contexts.append(setup_ctx)
         transport = params.get("transport", "udp")
         socket = _make_data_socket(runtime.entity, transport)
-        stages = build_stages(dag, impls, Role.SERVER)
+        stage_map = build_stage_map(dag, impls, Role.SERVER)
         connection = Connection(
             runtime=runtime,
             name=self.endpoint.name,
@@ -692,15 +722,21 @@ class Listener:
             role=Role.SERVER,
             dag=dag,
             impls=impls,
-            stack_stages=stages,
+            stack_stages=stage_map,
             socket=socket,
             peers=[],
             transport=transport,
             params=params,
             setup_contexts=contexts,
+            choice=choice,
+            client_entity=client_entity,
+            server_entity=runtime.entity.name,
+            negotiation_state={"message": message, "ctx": ctx, "owner": owner},
         )
         for node_id, setup_ctx in zip(dag.topological_order(), contexts):
             impls[node_id].after_establish(setup_ctx, connection)
+        if self.auto_reconfig:
+            runtime.reconfig.watch(connection)
         self.connections.append(connection)
         self.accepted.put(connection)
         return build_accept_message(
@@ -738,47 +774,13 @@ class Listener:
         ctx: PolicyContext,
         owner: str,
     ):
-        """Generator: run `decide`, confirming reservations with discovery.
-
-        Offers whose reservation is denied are excluded and the decision is
-        recomputed, so contention for an offload degrades to the next-ranked
-        implementation instead of failing the connection (§6).
-        """
-        excluded: set[tuple[str, Optional[str]]] = set()
-        for _round in range(8):
-            pool = {
-                ctype: [
-                    o
-                    for o in offers
-                    if (o.meta.name, o.record_id) not in excluded
-                ]
-                for ctype, offers in candidates.items()
-            }
-            choice = decide(dag, pool, self.runtime.policy, ctx, reserve=None)
-            confirmed: list[tuple[str, str]] = []
-            denied: Optional[Offer] = None
-            for node_id, offer in sorted(choice.items()):
-                if offer.record_id is None or offer.meta.resources.is_zero:
-                    continue
-                # Group-shared Chunnels (e.g. ordered multicast) reserve
-                # under a group-scoped owner so the shared device program
-                # is accounted once across all members.
-                node_owner = dag.nodes[node_id].reservation_scope() or owner
-                ok = yield from self.runtime.discovery.reserve(
-                    offer.record_id, node_owner
-                )
-                if not ok:
-                    denied = offer
-                    break
-                confirmed.append((offer.record_id, node_owner))
-            if denied is None:
-                return choice, confirmed
-            for record_id, node_owner in confirmed:
-                yield from self.runtime.discovery.release(record_id, node_owner)
-            excluded.add((denied.meta.name, denied.record_id))
-        raise NoImplementationError(
-            "reservation thrashing: could not confirm a stable implementation "
-            "choice in 8 rounds"
+        """Generator: delegate to
+        :func:`repro.core.negotiation.decide_with_reservations` (shared with
+        the live-reconfiguration engine)."""
+        return (
+            yield from decide_with_reservations(
+                self.runtime, dag, candidates, ctx, owner
+            )
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

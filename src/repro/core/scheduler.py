@@ -93,6 +93,25 @@ class OffloadScheduler(abc.ABC):
         """
         return (in_use + need).fits_within(capacity)
 
+    def select_victims(
+        self,
+        record: "ImplementationRecord",
+        owner: str,
+        need: ResourceVector,
+        capacity: ResourceVector,
+        in_use: ResourceVector,
+        leases: list,
+    ) -> list:
+        """Leases to preempt so a denied reservation could be admitted.
+
+        Called by the discovery service after :meth:`admit` says no.
+        ``leases`` is ``[(lease, lease_record), ...]`` for every live lease
+        at the same device.  Returning a non-empty list revokes those leases
+        (their holders are notified and expected to reconfigure away); the
+        admission is then retried.  The default preempts nothing.
+        """
+        return []
+
 
 class FirstFitScheduler(OffloadScheduler):
     """Grant requests in arrival order while they fit."""
@@ -127,6 +146,27 @@ class PriorityScheduler(OffloadScheduler):
             else:
                 allocation.denied.append(request)
         return allocation
+
+    def select_victims(self, record, owner, need, capacity, in_use, leases):
+        """Preempt strictly-lower-priority leases, least important first.
+
+        Only returns victims if evicting them actually makes the request
+        fit — a higher-priority arrival never evicts peers for nothing.
+        """
+        victims = []
+        freed = ResourceVector()
+        ordered = sorted(
+            leases,
+            key=lambda pair: (pair[1].meta.priority, pair[0].granted_at),
+        )
+        for lease, lease_record in ordered:
+            if lease_record.meta.priority >= record.meta.priority:
+                break
+            victims.append(lease)
+            freed = freed + lease_record.meta.resources
+            if ((in_use - freed) + need).fits_within(capacity):
+                return victims
+        return []
 
 
 class DrfScheduler(OffloadScheduler):

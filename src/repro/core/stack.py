@@ -25,6 +25,7 @@ from ..errors import NegotiationError
 from .chunnel import ChunnelImpl, ChunnelSpec, ChunnelStage, Message, Offer, Role
 from .dag import ChunnelDag
 from .registry import ImplCatalog
+from .wire import EPOCH_HEADER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..sim.eventloop import Environment
@@ -32,7 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..sim.network import Network
     from .runtime import Runtime
 
-__all__ = ["SetupContext", "ChunnelStack", "instantiate_impls", "build_stages"]
+__all__ = [
+    "SetupContext",
+    "ChunnelStack",
+    "instantiate_impls",
+    "build_stages",
+    "build_stage_map",
+]
 
 
 @dataclass
@@ -111,6 +118,21 @@ def build_stages(
     return stages
 
 
+def build_stage_map(
+    dag: ChunnelDag, impls: dict[int, ChunnelImpl], role: Role
+) -> dict[int, Optional[ChunnelStage]]:
+    """Per-node stages for ``role`` (None where the impl runs elsewhere).
+
+    Live reconfiguration needs the node→stage association so an unchanged
+    node's stage object — and its in-flight state — carries over into the
+    next epoch's stack instead of being rebuilt.
+    """
+    return {
+        node_id: impls[node_id].make_stage(role)
+        for node_id in dag.topological_order()
+    }
+
+
 class ChunnelStack:
     """The per-side data path: ordered stages between app and transport.
 
@@ -138,6 +160,13 @@ class ChunnelStack:
         #: Back-reference set by the owning Connection (stages that need the
         #: peer set — e.g. multicast fan-out — read it via Stage.connection).
         self.connection = None
+        #: Live-reconfiguration epoch.  0 (the establishment stack) stamps
+        #: nothing, so a connection that never transitions has an unchanged
+        #: wire format; later epochs stamp EPOCH_HEADER on every transmit.
+        self.epoch = 0
+        #: Set when the epoch's offload device failed: stale messages still
+        #: carrying this epoch must be routed to the newest stack instead.
+        self.broken = False
         for index, stage in enumerate(self.stages):
             stage.attach(self, index)
 
@@ -191,6 +220,8 @@ class ChunnelStack:
         else:
             charge = self._take_charge()
         for out in outputs:
+            if self.epoch:
+                out.headers[EPOCH_HEADER] = self.epoch
             self._transmit(out, charge)
             charge = 0.0  # cost is paid once, before the first transmission
 

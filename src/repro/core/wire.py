@@ -18,9 +18,27 @@ from typing import Any, Callable
 
 from ..errors import BerthaError
 
-__all__ = ["encode", "decode", "register_wire_type", "WireError"]
+__all__ = [
+    "encode",
+    "decode",
+    "register_wire_type",
+    "WireError",
+    "EPOCH_HEADER",
+    "CTL_HEADER",
+]
 
 _KIND_KEY = "__kind__"
+
+#: Data-plane header carrying the sender's stack epoch.  Absent on messages
+#: from a connection that has never transitioned (epoch 0 is implicit), so
+#: the steady-state wire format — and its cost — is unchanged.  See
+#: PROTOCOL.md §"Live reconfiguration".
+EPOCH_HEADER = "bertha_epoch"
+
+#: Data-plane header marking a datagram as an in-band control message
+#: (TRANSITION and its acknowledgement).  The receiving connection's pump
+#: intercepts these before they reach the Chunnel stack.
+CTL_HEADER = "bertha_ctl"
 
 
 class WireError(BerthaError):

@@ -88,6 +88,12 @@ class DiscoveryClientBase:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    def watch(self, record_id: str, address: Address):
+        """Generator → None.  Subscribe ``address`` to revocation pushes
+        (``disc.revoked`` / ``disc.lease_revoked``) for ``record_id``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
 
 class RemoteDiscoveryClient(DiscoveryClientBase):
     """Talks to the discovery service over the network."""
@@ -191,6 +197,17 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
             size=_SMALL_REQUEST_SIZE,
         )
 
+    def watch(self, record_id, address):
+        yield from self._rpc(
+            {
+                "kind": "disc.watch",
+                "record_id": record_id,
+                "host": address.host,
+                "port": address.port,
+            },
+            size=_SMALL_REQUEST_SIZE,
+        )
+
 
 class DirectDiscoveryClient(DiscoveryClientBase):
     """Zero-cost calls into a co-located service object."""
@@ -228,6 +245,11 @@ class DirectDiscoveryClient(DiscoveryClientBase):
         return None
         yield  # pragma: no cover
 
+    def watch(self, record_id, address):
+        self.service.add_watch(record_id, address)
+        return None
+        yield  # pragma: no cover
+
 
 class NullDiscoveryClient(DiscoveryClientBase):
     """No discovery service: local fallbacks only, names from the cluster."""
@@ -262,4 +284,8 @@ class NullDiscoveryClient(DiscoveryClientBase):
     def unregister_name(self, name, address):
         self.entity.network.names.unregister(name, address)
         return None
+        yield  # pragma: no cover
+
+    def watch(self, record_id, address):
+        return None  # no service, nothing will ever push
         yield  # pragma: no cover

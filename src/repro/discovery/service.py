@@ -65,6 +65,13 @@ class DiscoveryService:
         self.queries_served = 0
         self.reservations_granted = 0
         self.reservations_denied = 0
+        #: Watch subscriptions: record_id -> addresses to notify when the
+        #: record is revoked or one of its leases is preempted.  This is the
+        #: push channel live reconfiguration rides on.
+        self._watchers: dict[str, set[Address]] = {}
+        self.revocations = 0
+        self.leases_expired = 0
+        self.leases_preempted = 0
         self._server = self.env.process(self._serve(), name="discovery.serve")
 
     # ------------------------------------------------------------------
@@ -87,9 +94,52 @@ class DiscoveryService:
         return record
 
     def unregister(self, record_id: str) -> None:
-        """Remove a record; existing leases keep their resources until
-        released."""
-        self._records.pop(record_id, None)
+        """Remove a record and expire its leases.
+
+        A lease on a record that no longer exists can never be re-validated
+        or released against capacity math (the record's resource vector is
+        gone), so keeping it would pin device resources forever.  Expiry
+        returns the resources and notifies any watchers so lease holders can
+        reconfigure away from the dead implementation.
+        """
+        record = self._records.pop(record_id, None)
+        if record is None:
+            return
+        for key in [k for k in self._leases if k[0] == record_id]:
+            del self._leases[key]
+            if not record.meta.resources.is_zero:
+                in_use = self.device_in_use(record.location)
+                self._in_use[record.location] = in_use - record.meta.resources
+            self.leases_expired += 1
+        self._notify_watchers(record_id, "disc.revoked")
+        self._watchers.pop(record_id, None)
+
+    def revoke(self, record_id: str, reason: str = "operator") -> None:
+        """Operator fault injection: withdraw a record mid-flight.
+
+        Identical to :meth:`unregister` (leases expire, watchers are
+        pushed a ``disc.revoked`` notification) but counted separately and
+        carrying a reason, so experiments can distinguish deliberate
+        revocation from ordinary deregistration.
+        """
+        if record_id in self._records:
+            self.revocations += 1
+        self.unregister(record_id)
+
+    # -- watch subscriptions ----------------------------------------------------
+    def add_watch(self, record_id: str, address: Address) -> None:
+        """Subscribe ``address`` to revocation events for ``record_id``."""
+        self._watchers.setdefault(record_id, set()).add(address)
+
+    def _notify_watchers(
+        self, record_id: str, kind: str, extra: Optional[dict] = None
+    ) -> None:
+        """Fire-and-forget push datagrams to a record's watchers."""
+        for address in sorted(self._watchers.get(record_id, ())):
+            body = {"kind": kind, "record_id": record_id}
+            if extra:
+                body.update(extra)
+            self.socket.send(body, address, size=64)
 
     def records_for(self, chunnel_types: Iterable[str]) -> list[ImplementationRecord]:
         """Enabled records matching any of ``chunnel_types``."""
@@ -168,6 +218,9 @@ class DiscoveryService:
                 if self.scheduler is not None
                 else (in_use + need).fits_within(capacity)
             )
+            if not admitted and self.scheduler is not None:
+                admitted = self._try_preempt(record, owner, need, capacity)
+                in_use = self.device_in_use(record.location)
             if not admitted:
                 self.reservations_denied += 1
                 return False
@@ -191,6 +244,49 @@ class DiscoveryService:
         if record is not None and not record.meta.resources.is_zero:
             in_use = self.device_in_use(record.location)
             self._in_use[record.location] = in_use - record.meta.resources
+
+    def _try_preempt(
+        self,
+        record: "ImplementationRecord",
+        owner: str,
+        need: ResourceVector,
+        capacity: ResourceVector,
+    ) -> bool:
+        """Ask the scheduler for victims; evict them and retry admission.
+
+        Evicted lease holders get a ``disc.lease_revoked`` push (if they
+        watch the record) and are expected to transition off the device —
+        the scheduler-revocation trigger of graceful degradation.
+        """
+        lease_pairs = [
+            (lease, self._records[lease.record_id])
+            for lease in self.leases_at(record.location)
+            if lease.record_id in self._records
+        ]
+        victims = self.scheduler.select_victims(
+            record,
+            owner,
+            need,
+            capacity,
+            self.device_in_use(record.location),
+            lease_pairs,
+        )
+        if not victims:
+            return False
+        for lease in victims:
+            victim_record = self._records.get(lease.record_id)
+            self._leases.pop(lease.key(), None)
+            if victim_record is not None and not victim_record.meta.resources.is_zero:
+                in_use = self.device_in_use(victim_record.location)
+                self._in_use[victim_record.location] = (
+                    in_use - victim_record.meta.resources
+                )
+            self.leases_preempted += 1
+            self._notify_watchers(
+                lease.record_id, "disc.lease_revoked", {"owner": lease.owner}
+            )
+        in_use = self.device_in_use(record.location)
+        return self.scheduler.admit(record, owner, need, capacity, in_use)
 
     def leases_at(self, location: str) -> list[Lease]:
         """All live leases whose record sits at ``location``."""
@@ -249,6 +345,12 @@ class DiscoveryService:
         if kind == "disc.release":
             self.release(request["record_id"], request["owner"])
             return {"kind": "disc.release_reply", "ok": True}
+        if kind == "disc.watch":
+            self.add_watch(
+                request["record_id"],
+                Address(request["host"], request["port"]),
+            )
+            return {"kind": "disc.watch_reply", "ok": True}
         if kind == "disc.register_name":
             self.register_name(
                 request["name"], Address(request["host"], request["port"])

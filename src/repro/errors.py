@@ -18,6 +18,7 @@ __all__ = [
     "NoImplementationError",
     "ResourceExhaustedError",
     "ConnectionTimeoutError",
+    "ReconfigurationError",
     "DiscoveryError",
     "RegistrationError",
     "AddressError",
@@ -66,6 +67,10 @@ class ResourceExhaustedError(NegotiationError):
 
 class ConnectionTimeoutError(NegotiationError):
     """The peer did not answer negotiation messages in time."""
+
+
+class ReconfigurationError(NegotiationError):
+    """A live stack transition could not be started or completed."""
 
 
 class DiscoveryError(BerthaError):

@@ -19,6 +19,12 @@ from .ablations import (
     run_serialization_comparison,
 )
 from .fig3 import Fig3Config, Fig3Result, run_fig3
+from .reconfig import (
+    ReconfigConfig,
+    ReconfigResult,
+    run_epoch_overhead,
+    run_reconfig,
+)
 from .fig4 import Fig4Config, Fig4Result, run_fig4
 from .fig5 import SCENARIOS, Fig5Config, Fig5Result, run_fig5, run_fig5_scenario
 
@@ -31,6 +37,8 @@ __all__ = [
     "Fig5Result",
     "NegotiationOverheadResult",
     "OptimizerAblationResult",
+    "ReconfigConfig",
+    "ReconfigResult",
     "SCENARIOS",
     "SchedulerAblationResult",
     "run_fig3",
@@ -38,7 +46,9 @@ __all__ = [
     "run_fig5",
     "run_caching_ablation",
     "run_consensus_comparison",
+    "run_epoch_overhead",
     "run_fig5_scenario",
+    "run_reconfig",
     "run_negotiation_overhead",
     "run_optimizer_ablation",
     "run_scheduler_ablation",

@@ -30,6 +30,7 @@ from .ablations import (
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
+from .reconfig import ReconfigConfig, run_epoch_overhead, run_reconfig
 
 
 def _timed(label: str, fn):
@@ -122,10 +123,33 @@ def cmd_ablations(_full: bool) -> None:
     )
 
 
+def cmd_reconfig(full: bool) -> None:
+    config = (
+        ReconfigConfig()
+        if not full
+        else ReconfigConfig(offered_load=10_000, bucket=0.25)
+    )
+    result = _timed(
+        "Live reconfiguration: offload revoked at "
+        f"t={config.revoke_at:.0f}s, restored at t={config.restore_at:.0f}s",
+        lambda: run_reconfig(config),
+    )
+    print(result.render())
+    overhead = _timed(
+        "Steady-state overhead of arming reconfiguration", run_epoch_overhead
+    )
+    print(
+        f"latency samples identical: {overhead['identical']} "
+        f"(n={overhead['n']}, max delta "
+        f"{overhead['max_abs_delta_us']:.3f} us)"
+    )
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
+    "reconfig": cmd_reconfig,
     "ablations": cmd_ablations,
 }
 

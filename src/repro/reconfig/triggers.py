@@ -1,0 +1,210 @@
+"""Reconfiguration triggers: who notices that a binding has gone stale.
+
+Three independent signal sources feed the transition engine:
+
+``DiscoveryWatcher``
+    Control-plane pushes.  The discovery service notifies subscribed
+    addresses when a record is unregistered/revoked (``disc.revoked``) or a
+    lease is preempted by the offload scheduler (``disc.lease_revoked``).
+
+``DeviceFailureDetector``
+    Data-plane failures.  Simulated NICs and programmable switches expose
+    ``fail()``/``recover()`` fault injection; the detector fans their
+    synchronous state-change callbacks out to per-location subscribers.
+
+``LoadMonitor``
+    Performance degradation.  Polls simulated service-station queue depths
+    and fires a callback when a threshold is crossed (with hysteresis:
+    re-arms only after the queue drains below half the threshold).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..errors import ConnectionClosedError
+from ..sim.datagram import Address
+from ..sim.eventloop import Interrupt
+from ..sim.transport import UdpSocket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.runtime import Runtime
+    from ..sim.network import Network
+
+__all__ = ["DeviceFailureDetector", "DiscoveryWatcher", "LoadMonitor"]
+
+
+class DeviceFailureDetector:
+    """Fan out device ``fail()``/``recover()`` events by location.
+
+    A *location* is a discovery-record location: a switch name or an entity
+    name (whose host's NIC is the watched device).
+    """
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._callbacks: dict[str, list[Callable]] = {}
+        self._hooked: set[str] = set()
+        self.events = 0
+
+    def device(self, location: str):
+        """The failable device at ``location`` (switch or NIC), or None."""
+        switch = self.network.switches.get(location)
+        if switch is not None:
+            return switch
+        entity = self.network.entities.get(location)
+        if entity is not None:
+            return entity.host.nic
+        return None
+
+    def watch(
+        self, location: str, callback: Callable[[str, object, bool, str], None]
+    ) -> bool:
+        """Subscribe ``callback(location, device, failed, reason)``.
+
+        Returns False when no failable device exists at ``location``.
+        """
+        device = self.device(location)
+        if device is None:
+            return False
+        self._callbacks.setdefault(location, []).append(callback)
+        if location not in self._hooked:
+            self._hooked.add(location)
+            device.on_state_change(
+                lambda dev, failed, reason, loc=location: self._dispatch(
+                    loc, dev, failed, reason
+                )
+            )
+        return True
+
+    def _dispatch(self, location: str, device, failed: bool, reason: str) -> None:
+        self.events += 1
+        for callback in list(self._callbacks.get(location, [])):
+            callback(location, device, failed, reason)
+
+
+class DiscoveryWatcher:
+    """Receive discovery revocation pushes for watched records.
+
+    Lazily opens one datagram socket per runtime; the service sends
+    fire-and-forget ``disc.revoked``/``disc.lease_revoked`` datagrams to it
+    (see :meth:`repro.discovery.service.DiscoveryService.add_watch`).
+    """
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self._socket: Optional[UdpSocket] = None
+        self._proc = None
+        self._callbacks: dict[str, list[Callable]] = {}
+        self.notifications = 0
+
+    @property
+    def address(self) -> Address:
+        self._ensure()
+        return self._socket.address
+
+    def _ensure(self) -> None:
+        if self._socket is None:
+            self._socket = UdpSocket(self.runtime.entity)
+            self._proc = self.env.process(
+                self._listen(),
+                name=f"{self.runtime.entity.name}.disc-watch",
+            )
+
+    def watch_record(
+        self, record_id: str, callback: Callable[[str, str, dict], None]
+    ) -> None:
+        """Subscribe ``callback(record_id, kind, body)`` to pushes for one
+        record; registers the watch with the discovery service on first use.
+        """
+        self._ensure()
+        first = record_id not in self._callbacks
+        self._callbacks.setdefault(record_id, []).append(callback)
+        if first:
+            self.env.process(
+                self.runtime.discovery.watch(record_id, self._socket.address),
+                name=f"disc-watch:{record_id}",
+            )
+
+    def _listen(self):
+        while True:
+            try:
+                dgram = yield self._socket.recv()
+            except (Interrupt, ConnectionClosedError):
+                return
+            body = dgram.payload
+            if not isinstance(body, dict):
+                continue
+            record_id = body.get("record_id")
+            self.notifications += 1
+            for callback in list(self._callbacks.get(record_id, [])):
+                callback(record_id, body.get("kind", ""), body)
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("discovery watcher stopped")
+        if self._socket is not None:
+            self._socket.close()
+
+
+class LoadMonitor:
+    """Threshold alarms over simulated service-station queue depths.
+
+    ``watch_station`` arms a callback that fires when the station's queue
+    depth reaches ``threshold``; it re-arms once the depth falls back to
+    half the threshold (hysteresis), so a persistently overloaded station
+    fires once per overload episode, not once per poll.
+    """
+
+    def __init__(self, env, interval: float = 1e-3):
+        self.env = env
+        self.interval = interval
+        self._watches: list[dict] = []
+        self._proc = None
+        self._stopped = False
+        self.samples = 0
+        self.alarms = 0
+
+    def watch_station(
+        self,
+        name: str,
+        station,
+        threshold: int,
+        callback: Callable[[str, object, int], None],
+    ) -> None:
+        """``callback(name, station, depth)`` when depth >= threshold."""
+        self._watches.append(
+            {
+                "name": name,
+                "station": station,
+                "threshold": threshold,
+                "callback": callback,
+                "armed": True,
+            }
+        )
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name="load-monitor")
+
+    def _run(self):
+        while not self._stopped:
+            try:
+                yield self.env.timeout(self.interval)
+            except Interrupt:
+                return
+            self.samples += 1
+            for watch in self._watches:
+                depth = watch["station"].queue_depth
+                if watch["armed"] and depth >= watch["threshold"]:
+                    watch["armed"] = False
+                    self.alarms += 1
+                    watch["callback"](watch["name"], watch["station"], depth)
+                elif not watch["armed"] and depth <= watch["threshold"] / 2:
+                    watch["armed"] = True
+
+    def stop(self) -> None:
+        """Stop polling (required: the poll loop otherwise keeps the
+        simulation's event heap non-empty forever)."""
+        self._stopped = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("load monitor stopped")

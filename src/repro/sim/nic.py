@@ -50,6 +50,35 @@ class Nic:
             servers=queues,
             name=f"{name}.rx",
         )
+        #: Fault-injection state: a failed device stops running its
+        #: installed programs (the programmable fast path dies) but keeps
+        #: forwarding/receiving — a dead port would make live
+        #: reconfiguration moot, while a wedged offload engine is exactly
+        #: the failure the reconfig subsystem degrades around.
+        self.failed = False
+        self.failures = 0
+        self._state_watchers: list = []
+
+    def on_state_change(self, callback) -> None:
+        """Subscribe ``callback(device, failed, reason)`` to fail/recover."""
+        self._state_watchers.append(callback)
+
+    def fail(self, reason: str = "injected-failure") -> None:
+        """Mark the device failed; synchronously notifies watchers."""
+        if self.failed:
+            return
+        self.failed = True
+        self.failures += 1
+        for callback in list(self._state_watchers):
+            callback(self, True, reason)
+
+    def recover(self, reason: str = "recovered") -> None:
+        """Clear the failure; synchronously notifies watchers."""
+        if not self.failed:
+            return
+        self.failed = False
+        for callback in list(self._state_watchers):
+            callback(self, False, reason)
 
     @property
     def packets_received(self) -> int:
@@ -122,7 +151,13 @@ class SmartNic(Nic):
         self.slots.release(slots)
 
     def matching_programs(self, dgram: Datagram) -> list[PacketProgram]:
-        """Programs that want to process ``dgram``, in install order."""
+        """Programs that want to process ``dgram``, in install order.
+
+        A failed device runs nothing: its programs stay installed (the
+        bookkeeping survives for teardown) but no longer touch traffic.
+        """
+        if self.failed:
+            return []
         return [p for p in self.programs if p.match(dgram)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -79,6 +79,7 @@ class Station:
         self.total_wait = 0.0
         self.total_service = 0.0
         self.busy_until = env.now
+        self.jobs_in_system = 0
 
     def service_time(self, job: Any = None) -> float:
         """The service time this station would charge ``job``."""
@@ -98,9 +99,23 @@ class Station:
         self.total_wait += start - now
         self.total_service += duration
         self.busy_until = max(self.busy_until, done_at)
+        self.jobs_in_system += 1
         completion = Event(self.env)
+        completion.add_callback(self._job_done)
         completion.succeed(job, delay=done_at - now)
         return completion
+
+    def _job_done(self, _event: Event) -> None:
+        self.jobs_in_system -= 1
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a server right now (excludes those in service).
+
+        Load monitors (``repro.reconfig.triggers.LoadMonitor``) poll this to
+        detect a saturating station before latency collapses.
+        """
+        return max(0, self.jobs_in_system - self.servers)
 
     def delay_for(self, job: Any = None) -> float:
         """Queueing + service delay ``job`` would see if submitted now.

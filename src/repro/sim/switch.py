@@ -59,6 +59,34 @@ class ProgrammableSwitch:
         self.programs: list[PacketProgram] = []
         self._footprints: dict[PacketProgram, SwitchProgramFootprint] = {}
         self.datagrams_forwarded = 0
+        #: Fault-injection state: a failed switch keeps forwarding (the
+        #: fixed-function ASIC survives) but its match-action programs stop
+        #: running — the failure mode live reconfiguration degrades around.
+        self.failed = False
+        self.failures = 0
+        self._state_watchers: list = []
+
+    # -- fault injection -----------------------------------------------------
+    def on_state_change(self, callback) -> None:
+        """Subscribe ``callback(device, failed, reason)`` to fail/recover."""
+        self._state_watchers.append(callback)
+
+    def fail(self, reason: str = "injected-failure") -> None:
+        """Mark the switch's programmable stages failed; notify watchers."""
+        if self.failed:
+            return
+        self.failed = True
+        self.failures += 1
+        for callback in list(self._state_watchers):
+            callback(self, True, reason)
+
+    def recover(self, reason: str = "recovered") -> None:
+        """Clear the failure; synchronously notifies watchers."""
+        if not self.failed:
+            return
+        self.failed = False
+        for callback in list(self._state_watchers):
+            callback(self, False, reason)
 
     # -- program management -------------------------------------------------
     def can_fit(self, footprint: SwitchProgramFootprint) -> bool:
@@ -102,7 +130,13 @@ class ProgrammableSwitch:
 
     # -- data path ------------------------------------------------------------
     def matching_programs(self, dgram: Datagram) -> list[PacketProgram]:
-        """Programs that want to process ``dgram``, in install order."""
+        """Programs that want to process ``dgram``, in install order.
+
+        A failed switch runs none: programs stay installed for teardown
+        bookkeeping but no longer touch transiting traffic.
+        """
+        if self.failed:
+            return []
         return [p for p in self.programs if p.match(dgram)]
 
     def record_forward(self, dgram: Datagram) -> None:

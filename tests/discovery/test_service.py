@@ -258,3 +258,95 @@ class TestClientFlavours:
         assert result.offers["shard"] == []
         assert result.instances == [Address("srv", 7000)]
         assert ok is True
+
+
+class TestLeaseExpiryAndWatch:
+    """Regression: unregister must expire leases, and watchers must hear."""
+
+    def test_unregister_expires_leases_and_frees_resources(self):
+        _net, service = world()
+        record = service.register(ShardSwitch.meta, location="tor")
+        assert service.reserve(record.record_id, "appA")
+        assert service.reserve(record.record_id, "appB")
+        assert not service.device_in_use("tor").is_zero
+
+        service.unregister(record.record_id)
+
+        assert service.leases_at("tor") == []
+        assert service.device_in_use("tor").is_zero
+        assert service.leases_expired == 2
+        # The record is gone for good: nothing to reserve any more.
+        assert not service.reserve(record.record_id, "appC")
+
+    def test_revoke_pushes_to_watchers(self):
+        net, service = world()
+        from repro.sim import UdpSocket
+
+        record = service.register(ShardXdp.meta, location="srv")
+        sock = UdpSocket(net.hosts["cl"], 4000)
+        service.add_watch(record.record_id, sock.address)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            service.revoke(record.record_id, reason="test")
+            push = yield sock.recv()
+            return push.payload
+
+        body = run(net.env, scenario(net.env))
+        assert body["kind"] == "disc.revoked"
+        assert body["record_id"] == record.record_id
+        assert service.revocations == 1
+
+    def test_revoke_unknown_record_is_noop(self):
+        _net, service = world()
+        service.revoke("rec-404")
+        assert service.revocations == 0
+
+    def test_priority_scheduler_preempts_and_notifies(self):
+        from repro.core import PriorityScheduler
+        from repro.sim import UdpSocket
+
+        net, service = world()
+        service.scheduler = PriorityScheduler()
+        # Three low-priority sequencer leases occupy 3 of 4 switch stages.
+        low = service.register(McastSwitchSequencer.meta, location="tor")
+        for owner in ("a", "b", "c"):
+            assert service.reserve(low.record_id, owner)
+        sock = UdpSocket(net.hosts["cl"], 4001)
+        service.add_watch(low.record_id, sock.address)
+
+        # A priority-90 shard program needs 2 stages: one victim suffices.
+        high = service.register(ShardSwitch.meta, location="tor")
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            granted = service.reserve(high.record_id, "shard-app")
+            push = yield sock.recv()
+            return granted, push.payload
+
+        granted, body = run(net.env, scenario(net.env))
+        assert granted
+        assert service.leases_preempted == 1
+        assert body["kind"] == "disc.lease_revoked"
+        assert body["record_id"] == low.record_id
+        assert body["owner"] == "a"  # oldest equal-priority lease evicted
+        # Survivors: two sequencers + the shard program = 4 of 4 stages.
+        assert service.device_in_use("tor")["switch_stages"] == 4
+
+    def test_watch_over_the_wire(self):
+        net, service = world()
+        record = service.register(ShardXdp.meta, location="srv")
+        client = RemoteDiscoveryClient(net.hosts["cl"], service.address)
+        from repro.sim import UdpSocket
+
+        sock = UdpSocket(net.hosts["cl"], 4002)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            yield from client.watch(record.record_id, sock.address)
+            service.revoke(record.record_id)
+            push = yield sock.recv()
+            return push.payload
+
+        body = run(net.env, scenario(net.env))
+        assert body["kind"] == "disc.revoked"

@@ -44,3 +44,12 @@ class TestCli:
         assert "--full" in out
         for name in ("fig3", "fig4", "fig5", "ablations", "all"):
             assert name in out
+
+
+class TestReconfigCli:
+    def test_reconfig_command(self):
+        out = run_cli("reconfig")
+        assert "Live reconfiguration" in out
+        assert "zero loss" in out
+        assert "server-fallback" in out
+        assert "latency samples identical: True" in out

@@ -182,3 +182,73 @@ class TestAblationShapes:
         rows = run_serialization_comparison(requests=40, value_size=4096)
         by_impl = {row["implementation"]: row["mean_rtt_us"] for row in rows}
         assert by_impl["fpga"] < by_impl["sw"]
+
+
+@pytest.fixture(scope="module")
+def reconfig_result():
+    from repro.experiments import ReconfigConfig, run_reconfig
+
+    return run_reconfig(
+        ReconfigConfig(
+            duration=3.0,
+            revoke_at=1.0,
+            restore_at=2.0,
+            offered_load=1000,
+            bucket=0.25,
+            phase_margin=0.3,
+            poll_interval=0.1,
+        )
+    )
+
+
+class TestReconfigShapes:
+    def test_zero_loss_through_both_transitions(self, reconfig_result):
+        """The acceptance bar: revocation mid-stream loses nothing."""
+        assert reconfig_result.zero_loss
+        assert reconfig_result.offered > 0
+
+    def test_p95_steps_up_then_recovers(self, reconfig_result):
+        p95 = reconfig_result.phase_p95
+        assert p95["degraded"] > 1.2 * p95["baseline"]
+        assert p95["recovered"] == pytest.approx(p95["baseline"], rel=0.05)
+
+    def test_transitions_happen_at_the_right_times(self, reconfig_result):
+        config = reconfig_result.config
+        commits = [
+            t for t, event, _ in reconfig_result.transitions if event == "committed"
+        ]
+        assert len(commits) == 2
+        degrade, upgrade = commits
+        assert config.revoke_at <= degrade <= config.revoke_at + 0.1
+        assert (
+            config.restore_at
+            <= upgrade
+            <= config.restore_at + 2 * config.poll_interval
+        )
+
+    def test_impl_timeline_round_trips_to_xdp(self, reconfig_result):
+        impls = [impl for _t, impl in reconfig_result.impl_timeline]
+        assert impls[0] == "ShardXdp"
+        assert any("server-fallback" in i for i in impls)
+        assert impls[-1] == "ShardXdp"
+
+    def test_pauses_are_bounded(self, reconfig_result):
+        assert len(reconfig_result.pause_times) == 2
+        assert all(0 < p < 1e-3 for p in reconfig_result.pause_times)
+
+    def test_rows_render(self, reconfig_result):
+        rows = reconfig_result.rows()
+        assert len(rows) >= 10
+        assert "p95_us" in reconfig_result.render()
+
+
+class TestEpochOverheadShape:
+    def test_arming_reconfiguration_is_free(self):
+        from repro.experiments import run_epoch_overhead
+
+        overhead = run_epoch_overhead(requests=300)
+        assert overhead["n"] == 300
+        # Exact equality: the sim is deterministic and epoch 0 stamps
+        # nothing, so the latency streams are bit-identical.
+        assert overhead["identical"]
+        assert overhead["max_abs_delta_us"] == 0.0

@@ -1,0 +1,149 @@
+"""Unit tests for the three reconfiguration trigger sources."""
+
+from repro.chunnels import SerializeFallback, ShardXdp
+from repro.reconfig import DeviceFailureDetector, DiscoveryWatcher, LoadMonitor
+from repro.sim import Network
+
+from ..conftest import run
+
+
+class TestDeviceFailureDetector:
+    def test_switch_and_nic_events_fan_out(self, two_hosts):
+        detector = DeviceFailureDetector(two_hosts.net)
+        seen = []
+        assert detector.watch("tor", lambda *a: seen.append(("w1",) + a))
+        assert detector.watch("tor", lambda *a: seen.append(("w2",) + a))
+        assert detector.watch("srv", lambda *a: seen.append(("nic",) + a))
+
+        tor = two_hosts.net.switches["tor"]
+        tor.fail("cable pulled")
+        tor.recover()
+        two_hosts.net.hosts["srv"].nic.fail()
+
+        assert [(e[0], e[1], e[3]) for e in seen] == [
+            ("w1", "tor", True),
+            ("w2", "tor", True),
+            ("w1", "tor", False),
+            ("w2", "tor", False),
+            ("nic", "srv", True),
+        ]
+        assert seen[0][4] == "cable pulled"
+        assert detector.events == 3  # per device event, not per callback
+
+    def test_unknown_location_is_not_watchable(self, two_hosts):
+        detector = DeviceFailureDetector(two_hosts.net)
+        assert not detector.watch("atlantis", lambda *a: None)
+
+    def test_failed_switch_still_forwards(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("sw")
+        net.add_link("a", "sw", latency=1e-6)
+        net.add_link("b", "sw", latency=1e-6)
+        from repro.sim import UdpSocket
+
+        sender = UdpSocket(net.entity("a"), 1000)
+        receiver = UdpSocket(net.entity("b"), 2000)
+        net.switches["sw"].fail()
+
+        def scenario(env):
+            sender.send(b"ping", receiver.address, size=4)
+            dgram = yield receiver.recv()
+            return bytes(dgram.payload)
+
+        assert run(net.env, scenario(net.env)) == b"ping"
+        # ...but its programmability is gone while failed.
+        assert net.switches["sw"].matching_programs is not None
+
+
+class TestDiscoveryWatcher:
+    def test_revocation_push_reaches_callback(self, two_hosts):
+        runtime = two_hosts.runtime("cl")
+        record = two_hosts.discovery.register(ShardXdp.meta, location="srv")
+        watcher = DiscoveryWatcher(runtime)
+        events = []
+        watcher.watch_record(
+            record.record_id, lambda rid, kind, body: events.append((rid, kind))
+        )
+
+        def scenario(env):
+            yield env.timeout(1e-3)  # let the watch RPC register
+            two_hosts.discovery.revoke(record.record_id)
+            yield env.timeout(1e-3)  # push datagram in flight
+            return list(events)
+
+        got = run(two_hosts.env, scenario(two_hosts.env))
+        assert got == [(record.record_id, "disc.revoked")]
+        assert watcher.notifications == 1
+        watcher.stop()
+
+    def test_unwatched_records_do_not_notify(self, two_hosts):
+        runtime = two_hosts.runtime("cl")
+        watched = two_hosts.discovery.register(ShardXdp.meta, location="srv")
+        other = two_hosts.discovery.register(
+            SerializeFallback.meta, location="srv"
+        )
+        watcher = DiscoveryWatcher(runtime)
+        events = []
+        watcher.watch_record(
+            watched.record_id, lambda rid, kind, body: events.append(kind)
+        )
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            two_hosts.discovery.revoke(other.record_id)
+            yield env.timeout(1e-3)
+            return list(events)
+
+        assert run(two_hosts.env, scenario(two_hosts.env)) == []
+        watcher.stop()
+
+
+class _FakeStation:
+    def __init__(self, depth=0):
+        self.queue_depth = depth
+
+
+class TestLoadMonitor:
+    def test_threshold_alarm_with_hysteresis(self):
+        net = Network()
+        env = net.env
+        station = _FakeStation()
+        monitor = LoadMonitor(env, interval=1e-3)
+        alarms = []
+        monitor.watch_station(
+            "st", station, threshold=4, callback=lambda *a: alarms.append(a[2])
+        )
+
+        def scenario(env):
+            station.queue_depth = 5
+            yield env.timeout(2e-3)  # poll fires once
+            first = len(alarms)
+            yield env.timeout(5e-3)  # still overloaded: no re-fire
+            held = len(alarms)
+            station.queue_depth = 2  # <= threshold/2: re-arms
+            yield env.timeout(2e-3)
+            station.queue_depth = 6
+            yield env.timeout(2e-3)
+            monitor.stop()
+            return first, held, len(alarms)
+
+        first, held, final = run(env, scenario(env))
+        assert (first, held, final) == (1, 1, 2)
+        assert alarms == [5, 6]
+        assert monitor.alarms == 2
+        assert monitor.samples >= 10
+
+    def test_stop_drains_the_poll_loop(self):
+        net = Network()
+        monitor = LoadMonitor(net.env, interval=1e-3)
+        monitor.watch_station("st", _FakeStation(), 1, lambda *a: None)
+
+        def scenario(env):
+            yield env.timeout(5e-3)
+            monitor.stop()
+
+        run(net.env, scenario(net.env))
+        net.env.run()  # heap must drain — would spin forever otherwise
+        assert not monitor._proc.is_alive

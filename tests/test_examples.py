@@ -72,3 +72,10 @@ class TestExamples:
         assert "0 control RTTs" in out
         assert "sharded across ['legacy-1', 'legacy-2']" in out
         assert "reliability rejected" in out
+
+    def test_live_reconfig(self):
+        out = run_example("live_reconfig.py")
+        assert "negotiated shard implementation: ShardXdp" in out
+        assert "degraded to: ShardServerFallback (epoch 1, 0 of 20 requests lost)" in out
+        assert "back on ShardXdp (epoch 2)" in out
+        assert "No requests were lost" in out
