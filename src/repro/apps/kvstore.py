@@ -306,9 +306,11 @@ class KvClient:
         self.endpoint = runtime.new(name)  # wrap!() — no chunnels
         self.conn = None
 
-    def connect(self, target):
-        """Generator: establish the negotiated connection."""
-        conn = yield from self.endpoint.connect(target)
+    def connect(self, target, **kwargs):
+        """Generator: establish the negotiated connection.  ``kwargs`` pass
+        through to :meth:`Endpoint.connect` (timeout/retries — lossy-network
+        runs need a larger retransmission budget)."""
+        conn = yield from self.endpoint.connect(target, **kwargs)
         self.conn = conn
         return conn
 

@@ -39,15 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["Connection"]
 
-_conn_counter = itertools.count(1)
-
 #: Control datagrams are tiny; their simulated wire size.
 _CTL_SIZE = 64
 
 
-def next_conn_id(entity_name: str) -> str:
-    """A fresh connection identifier (debuggable, globally unique)."""
-    return f"{entity_name}/conn-{next(_conn_counter)}"
+def next_conn_id(entity) -> str:
+    """A fresh connection identifier, unique within the entity's network.
+
+    The counter lives on the entity (not module-global) so repeated
+    simulations in one process produce byte-identical connection ids —
+    negotiation messages are sized from their content, and a process-wide
+    counter would leak one run's id lengths into the next run's timings.
+    """
+    entity._conn_counter = getattr(entity, "_conn_counter", itertools.count(1))
+    return f"{entity.name}/conn-{next(entity._conn_counter)}"
 
 
 class Connection:
@@ -84,6 +89,10 @@ class Connection:
         self.params = dict(params or {})
         self.inbox = Store(runtime.env, name=f"{conn_id}.inbox")
         self.closed = False
+        #: True when establishment fell back to fallback-only stacks
+        #: because discovery was unreachable (see
+        #: :class:`repro.errors.DegradedEstablishmentWarning`).
+        self.degraded = False
         self.messages_sent = 0
         self.messages_received = 0
         self.established_at = runtime.env.now

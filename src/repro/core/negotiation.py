@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import (
+    ConnectionTimeoutError,
     IncompatibleDagError,
     NegotiationError,
     NoImplementationError,
@@ -340,7 +341,15 @@ def decide_with_reservations(
             # a group-scoped owner so the shared device program is
             # accounted once across all members.
             node_owner = dag.nodes[node_id].reservation_scope() or owner
-            ok = yield from runtime.discovery.reserve(offer.record_id, node_owner)
+            try:
+                ok = yield from runtime.discovery.reserve(
+                    offer.record_id, node_owner
+                )
+            except ConnectionTimeoutError:
+                # Discovery unreachable: an unconfirmable reservation is a
+                # denial, steering the decision toward resource-free
+                # fallbacks rather than failing the whole negotiation.
+                ok = False
             if not ok:
                 denied = offer
                 break
@@ -348,7 +357,10 @@ def decide_with_reservations(
         if denied is None:
             return choice, confirmed
         for record_id, node_owner in confirmed:
-            yield from runtime.discovery.release(record_id, node_owner)
+            try:
+                yield from runtime.discovery.release(record_id, node_owner)
+            except ConnectionTimeoutError:
+                runtime.release_failures += 1
         excluded.add((denied.meta.name, denied.record_id))
     raise NoImplementationError(
         f"reservation thrashing: could not confirm a stable implementation "

@@ -29,8 +29,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
+import warnings
+
 from ..errors import (
+    BerthaError,
     ConnectionTimeoutError,
+    DegradedEstablishmentWarning,
     NegotiationError,
     NoImplementationError,
 )
@@ -126,6 +130,13 @@ class Runtime:
         #: specialize the unified DAG before choosing implementations.
         self.optimizer = optimizer
         self._reconfig = None
+        #: Degraded-mode establishment metrics: connections that proceeded
+        #: with fallback-only stacks because discovery was unreachable.
+        self.degraded_establishments = 0
+        self.degraded_events: list[dict] = []
+        #: Fire-and-forget discovery releases that timed out (the lease
+        #: stays until the owner retries or the record is revoked).
+        self.release_failures = 0
         if discovery is None:
             self.discovery = NullDiscoveryClient(entity)
         elif isinstance(discovery, Address):
@@ -155,10 +166,33 @@ class Runtime:
         return Endpoint(self, name, dag)
 
     def spawn_release(self, record_id: str, owner: str) -> None:
-        """Asynchronously release a discovery reservation."""
-        self.env.process(
-            self.discovery.release(record_id, owner),
-            name=f"release:{record_id}",
+        """Asynchronously release a discovery reservation.
+
+        The release process swallows control-plane errors: nothing waits on
+        it, and an unwaited failure would crash the simulation.  A release
+        lost to a discovery outage leaves the lease held until the record
+        is revoked — counted in :attr:`release_failures`.
+        """
+
+        def _release():
+            try:
+                yield from self.discovery.release(record_id, owner)
+            except BerthaError:
+                self.release_failures += 1
+
+        self.env.process(_release(), name=f"release:{record_id}")
+
+    def record_degraded(self, conn_id: str, reason: str) -> None:
+        """Count (and warn about) a degraded-mode establishment."""
+        self.degraded_establishments += 1
+        self.degraded_events.append(
+            {"time": self.env.now, "conn_id": conn_id, "reason": reason}
+        )
+        warnings.warn(
+            f"{conn_id}: establishing degraded ({reason}); "
+            "proceeding with fallback-only stacks",
+            DegradedEstablishmentWarning,
+            stacklevel=3,
         )
 
     @property
@@ -224,7 +258,7 @@ class Endpoint:
         """
         runtime = self.runtime
         env = runtime.env
-        conn_id = next_conn_id(runtime.entity.name)
+        conn_id = next_conn_id(runtime.entity)
         # Round trip 1: discovery (implementation offers + name resolution).
         # With client-side caching enabled (non-default), a fresh cache
         # entry skips this round trip — at the cost of stale placement.
@@ -239,12 +273,36 @@ class Endpoint:
             cached = runtime._query_cache.get(cache_key)
             if cached is not None and (env.now - cached[0]) <= ttl:
                 disc = cached[1]
+        degraded = False
         if disc is None:
-            disc = yield from runtime.discovery.query(
-                sorted(query_types), service_name=service_name
-            )
-            if ttl is not None:
-                runtime._query_cache[cache_key] = (env.now, disc)
+            try:
+                disc = yield from runtime.discovery.query(
+                    sorted(query_types), service_name=service_name
+                )
+            except ConnectionTimeoutError:
+                # Degraded mode: discovery is unreachable.  Proceed with
+                # NullDiscoveryClient semantics — no network offers (so the
+                # negotiated stack is fallback-only) and name resolution
+                # straight from the cluster name service — and surface a
+                # warning metric instead of failing the connection.
+                from ..discovery.client import QueryResult
+
+                degraded = True
+                runtime.record_degraded(conn_id, "discovery query timed out")
+                instances = (
+                    [
+                        r.address
+                        for r in runtime.network.names.resolve(service_name)
+                    ]
+                    if service_name
+                    else []
+                )
+                disc = QueryResult(
+                    {t: [] for t in sorted(query_types)}, instances
+                )
+            else:
+                if ttl is not None:
+                    runtime._query_cache[cache_key] = (env.now, disc)
         network_offers = disc.offers
 
         if isinstance(target, str):
@@ -333,6 +391,7 @@ class Endpoint:
             client_entity=runtime.entity.name,
             server_entity=server_entity,
         )
+        connection.degraded = degraded
         for node_id, ctx in zip(dag.topological_order(), contexts):
             impls[node_id].after_establish(ctx, connection)
         # Tell the server our data address (offload programs pass control
@@ -357,7 +416,7 @@ class Endpoint:
         """
         runtime = self.runtime
         dag = self.dag
-        conn_id = next_conn_id(runtime.entity.name)
+        conn_id = next_conn_id(runtime.entity)
         choice: dict[int, "Offer"] = {}
         for node_id in dag.topological_order():
             spec = dag.nodes[node_id]
@@ -532,10 +591,29 @@ class Listener:
     # ------------------------------------------------------------------
     def _serve(self):
         if self.service_name:
-            yield from self.runtime.discovery.register_name(
-                self.service_name, self.address
-            )
-        yield from self._refresh_network_offers()
+            try:
+                yield from self.runtime.discovery.register_name(
+                    self.service_name, self.address
+                )
+            except ConnectionTimeoutError:
+                # Discovery outage at startup: register directly with the
+                # cluster name service (NullDiscoveryClient semantics) so
+                # clients can still find us, and note the degradation.
+                self.runtime.network.names.register(
+                    self.service_name, self.address
+                )
+                self.runtime.record_degraded(
+                    f"listener:{self.endpoint.name}",
+                    "name registration timed out",
+                )
+        try:
+            yield from self._refresh_network_offers()
+        except ConnectionTimeoutError:
+            # Serve with fallback-only offers for now; each client OFFER
+            # carries its own discovery view, so the candidate pool heals
+            # itself as soon as clients can reach discovery again.
+            self._network_offers = {}
+            self._network_offers_at = None
         while not self._closed:
             try:
                 dgram = yield self.ctl.recv()
@@ -573,8 +651,15 @@ class Listener:
         self._network_offers_at = self.env.now
 
     def _offers_stale(self) -> bool:
+        if self._network_offers_at is None:
+            # The initial refresh failed (discovery outage at startup).
+            # Retry on every accept regardless of TTL policy, so the offer
+            # pool heals as soon as discovery comes back — otherwise a
+            # listener started during an outage would serve fallback-only
+            # stacks forever.
+            return True
         ttl = self.runtime.discovery_ttl
-        if ttl is None or self._network_offers_at is None:
+        if ttl is None:
             return False
         return (self.env.now - self._network_offers_at) > ttl
 
@@ -660,7 +745,10 @@ class Listener:
         dag = ChunnelDag.unify(client_dag, self.endpoint.dag)
 
         if self._offers_stale():
-            yield from self._refresh_network_offers()
+            try:
+                yield from self._refresh_network_offers()
+            except ConnectionTimeoutError:
+                pass  # keep the stale cache; better than failing the accept
 
         ctx = self._policy_context(client_entity)
         owner = f"{runtime.entity.name}:{self.endpoint.name}"

@@ -21,6 +21,8 @@ from``):
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core.chunnel import Offer
@@ -96,7 +98,20 @@ class DiscoveryClientBase:
 
 
 class RemoteDiscoveryClient(DiscoveryClientBase):
-    """Talks to the discovery service over the network."""
+    """Talks to the discovery service over the network.
+
+    Retransmission uses capped exponential backoff with jitter: attempt
+    ``n`` waits ``timeout * backoff**n`` (clamped to ``max_timeout``),
+    scaled by a uniform ±``jitter`` fraction drawn from a per-client
+    seeded RNG (seeded from the entity name, so runs are deterministic
+    but clients don't retransmit in lockstep).
+
+    Requests carry both a per-call ``req_id`` and a per-send ``attempt``
+    tag the service echoes back, so a reply to attempt N arriving during
+    attempt N+1 is still accepted (same ``req_id``) but counted in
+    :attr:`late_replies` — making retransmit-induced round trips visible
+    in metrics instead of silently inflating :attr:`round_trips`.
+    """
 
     def __init__(
         self,
@@ -104,25 +119,55 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         service_address: Address,
         timeout: float = 2e-3,
         retries: int = 5,
+        backoff: float = 2.0,
+        max_timeout: float = 20e-3,
+        jitter: float = 0.2,
     ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 1:
+            raise ValueError("retries must be at least 1")
+        if backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
         self.entity = entity
         self.env = entity.env
         self.service_address = service_address
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.jitter = jitter
+        # crc32, not hash(): hash() is salted per process and would make
+        # the retransmit schedule nondeterministic across runs.
+        self._rng = random.Random(zlib.crc32(entity.name.encode()))
         self._req_counter = 0
         self.round_trips = 0
+        self.retransmits_total = 0
+        self.late_replies = 0
+        self.failures_total = 0
+
+    def _attempt_timeout(self, attempt: int) -> float:
+        base = min(self.timeout * self.backoff**attempt, self.max_timeout)
+        if not self.jitter:
+            return base
+        return base * (1 + self._rng.uniform(-self.jitter, self.jitter))
 
     def _rpc(self, request: dict, size: int):
-        """One request/response exchange with timeout-based retransmit."""
+        """One request/response exchange with backoff-based retransmit."""
         self._req_counter += 1
         request = dict(request)
-        request["req_id"] = f"{self.entity.name}-{self._req_counter}"
+        req_id = f"{self.entity.name}-{self._req_counter}"
+        request["req_id"] = req_id
         socket = UdpSocket(self.entity)
         try:
-            for _attempt in range(self.retries):
-                socket.send(request, self.service_address, size=size)
-                deadline = self.env.timeout(self.timeout)
+            for attempt in range(self.retries):
+                if attempt:
+                    self.retransmits_total += 1
+                request["attempt"] = attempt
+                socket.send(dict(request), self.service_address, size=size)
+                deadline = self.env.timeout(self._attempt_timeout(attempt))
                 receive = socket.recv()
                 yield self.env.any_of([receive, deadline])
                 if not receive.processed:
@@ -132,10 +177,13 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
                 reply = receive.value.payload
                 if (
                     isinstance(reply, dict)
-                    and reply.get("req_id") == request["req_id"]
+                    and reply.get("req_id") == req_id
                 ):
+                    if reply.get("attempt", attempt) != attempt:
+                        self.late_replies += 1
                     self.round_trips += 1
                     return reply
+            self.failures_total += 1
             raise ConnectionTimeoutError(
                 f"discovery service at {self.service_address} did not answer "
                 f"after {self.retries} attempts"

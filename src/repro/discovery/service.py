@@ -19,6 +19,8 @@ tooling and tests.
 
 from __future__ import annotations
 
+import itertools
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core.chunnel import ImplMeta, Offer
@@ -58,6 +60,11 @@ class DiscoveryService:
         self.socket = UdpSocket(entity, port)
         self.address = self.socket.address
         self._records: dict[str, ImplementationRecord] = {}
+        #: Per-service record ids (not the module-global fallback counter):
+        #: record ids ride inside sized negotiation messages, so a
+        #: process-global counter would make repeated simulations in one
+        #: process diverge by a wire byte once the count gains a digit.
+        self._record_ids = itertools.count(1)
         self._leases: dict[tuple[str, str], Lease] = {}
         self._in_use: dict[str, ResourceVector] = {}
         self._capacity_overrides: dict[str, ResourceVector] = {}
@@ -72,6 +79,19 @@ class DiscoveryService:
         self.revocations = 0
         self.leases_expired = 0
         self.leases_preempted = 0
+        #: At-most-once guard: req_id -> cached response body.  A client
+        #: retransmit whose original request *was* handled (only the reply
+        #: got lost) replays the cached verdict instead of re-executing the
+        #: mutation, so `disc.reserve`/`disc.register_name` cannot
+        #: double-allocate.  req_ids are globally unique per client call
+        #: (``<entity>-<counter>``), so a plain bounded FIFO suffices.
+        self._replies: OrderedDict[str, dict] = OrderedDict()
+        self._reply_cache_limit = 2048
+        self.requests_served = 0
+        self.duplicate_requests = 0
+        #: Chaos flag: while down the service answers nothing (see crash()).
+        self.down = False
+        self.crashes = 0
         self._server = self.env.process(self._serve(), name="discovery.serve")
 
     # ------------------------------------------------------------------
@@ -88,7 +108,10 @@ class DiscoveryService:
                 f"cannot register at unknown location {location!r}"
             )
         record = ImplementationRecord(
-            meta=meta, location=location, registered_by=registered_by
+            meta=meta,
+            location=location,
+            registered_by=registered_by,
+            record_id=f"rec-{next(self._record_ids)}",
         )
         self._records[record.record_id] = record
         return record
@@ -297,6 +320,73 @@ class DiscoveryService:
             and record.location == location
         ]
 
+    # -- crash/restart (chaos) ---------------------------------------------------
+    def crash(self) -> None:
+        """Kill the service process: in-flight and future requests vanish.
+
+        Durable state (records, leases, device accounting) survives — it
+        models stable storage — but volatile state does not: queued requests
+        are lost and the request dedup cache is cleared, which is exactly
+        the window the client-side retry and server-side refcount semantics
+        must tolerate.  The socket stays bound so a restart reuses the
+        address.
+        """
+        if self.down:
+            return
+        self.down = True
+        self.crashes += 1
+        self.socket.dropping = True
+        self.socket.store._items.clear()
+        self._replies.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed service back on the same address."""
+        if not self.down:
+            return
+        self.down = False
+        self.socket.dropping = False
+
+    # -- invariant audit ---------------------------------------------------------
+    def audit_leases(self) -> dict:
+        """Cross-check lease bookkeeping against per-device accounting.
+
+        Recomputes what :attr:`_in_use` *should* be from the live leases
+        (each distinct (record, owner) lease charges its record's resource
+        vector exactly once, regardless of refcount) and verifies both that
+        the incremental accounting matches and that no device is over
+        capacity.  The chaos experiment asserts ``ok`` after every run: a
+        double-applied `disc.reserve` would show up here as a mismatch.
+        """
+        expected: dict[str, ResourceVector] = {}
+        for (record_id, _owner) in self._leases:
+            record = self._records.get(record_id)
+            if record is None or record.meta.resources.is_zero:
+                continue
+            current = expected.get(record.location, ResourceVector())
+            expected[record.location] = current + record.meta.resources
+        mismatches = []
+        locations = set(expected) | set(self._in_use)
+        for location in sorted(locations):
+            want = expected.get(location, ResourceVector())
+            have = self._in_use.get(location, ResourceVector())
+            if want != have:
+                mismatches.append(
+                    {"location": location, "expected": want, "recorded": have}
+                )
+        over_capacity = []
+        for location in sorted(self._in_use):
+            in_use = self._in_use[location]
+            if in_use.is_zero:
+                continue
+            if not in_use.fits_within(self.device_capacity(location)):
+                over_capacity.append(location)
+        return {
+            "ok": not mismatches and not over_capacity,
+            "mismatches": mismatches,
+            "over_capacity": over_capacity,
+            "leases": len(self._leases),
+        }
+
     # -- names -------------------------------------------------------------------
     def register_name(self, name: str, address: Address) -> None:
         """Register a service instance (fronts the cluster name service)."""
@@ -310,14 +400,33 @@ class DiscoveryService:
     # Network protocol
     # ------------------------------------------------------------------
     def _serve(self):
-        """Request/response loop over the service's UDP socket."""
+        """Request/response loop over the service's UDP socket.
+
+        Requests are deduplicated by ``req_id``: a retransmit of an
+        already-handled request replays the cached response (with the
+        retransmit's ``attempt`` tag, so the client can spot late replies
+        to earlier attempts) without re-executing the handler.  Mutations
+        are therefore at-most-once per ``req_id``.
+        """
         while True:
             dgram = yield self.socket.recv()
             request = dgram.payload
             if not isinstance(request, dict):
                 continue
-            response = self._handle(request)
-            response["req_id"] = request.get("req_id")
+            req_id = request.get("req_id")
+            cached = self._replies.get(req_id) if req_id is not None else None
+            if cached is not None:
+                self.duplicate_requests += 1
+                response = dict(cached)
+            else:
+                self.requests_served += 1
+                response = self._handle(request)
+                if req_id is not None:
+                    self._replies[req_id] = dict(response)
+                    while len(self._replies) > self._reply_cache_limit:
+                        self._replies.popitem(last=False)
+            response["req_id"] = req_id
+            response["attempt"] = request.get("attempt")
             self.socket.send(
                 response, dgram.src, size=_response_size(response)
             )

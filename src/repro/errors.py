@@ -18,6 +18,7 @@ __all__ = [
     "NoImplementationError",
     "ResourceExhaustedError",
     "ConnectionTimeoutError",
+    "DegradedEstablishmentWarning",
     "ReconfigurationError",
     "DiscoveryError",
     "RegistrationError",
@@ -67,6 +68,17 @@ class ResourceExhaustedError(NegotiationError):
 
 class ConnectionTimeoutError(NegotiationError):
     """The peer did not answer negotiation messages in time."""
+
+
+class DegradedEstablishmentWarning(BerthaError, UserWarning):
+    """A connection was established in degraded (fallback-only) mode.
+
+    Emitted — as a warning, not an error — when the discovery service is
+    unreachable during connection establishment: the runtime proceeds with
+    process-registered fallbacks and direct name resolution
+    (``NullDiscoveryClient`` semantics) instead of failing the connection.
+    Counted on ``Runtime.degraded_establishments``.
+    """
 
 
 class ReconfigurationError(NegotiationError):

@@ -6,11 +6,19 @@ Usage::
     python -m repro.experiments fig3 --full     # paper-scale parameters
     python -m repro.experiments fig4
     python -m repro.experiments fig5 [--full]
+    python -m repro.experiments reconfig
+    python -m repro.experiments chaos [--smoke] [--loss 0,0.05,0.1,0.2]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
 
 Each command prints the rows/series the paper's corresponding figure
 reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
+
+The ``chaos`` command exits non-zero when any robustness invariant is
+violated, so CI can run it as a smoke check
+(``chaos --smoke --seed 7``); ``--baseline PATH`` writes the
+establishment-latency/extra-round-trip JSON recorded at
+``benchmarks/results/BENCH_chaos.json``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from .ablations import (
     run_scheduler_ablation,
     run_serialization_comparison,
 )
+from .chaos import ChaosConfig, run_chaos
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
@@ -40,14 +49,14 @@ def _timed(label: str, fn):
     return result
 
 
-def cmd_fig3(full: bool) -> None:
-    config = Fig3Config() if not full else Fig3Config(connections=10_000)
+def cmd_fig3(args) -> None:
+    config = Fig3Config() if not args.full else Fig3Config(connections=10_000)
     result = _timed("Figure 3: container networking (RTT us)", lambda: run_fig3(config))
     print(result.render())
 
 
-def cmd_fig4(full: bool) -> None:
-    config = Fig4Config() if not full else Fig4Config(connect_interval=0.1)
+def cmd_fig4(args) -> None:
+    config = Fig4Config() if not args.full else Fig4Config(connect_interval=0.1)
     result = _timed("Figure 4: dynamic name resolution", lambda: run_fig4(config))
     print(result.render())
     if result.before and result.after:
@@ -58,10 +67,10 @@ def cmd_fig4(full: bool) -> None:
         )
 
 
-def cmd_fig5(full: bool) -> None:
+def cmd_fig5(args) -> None:
     config = (
         Fig5Config()
-        if not full
+        if not args.full
         else Fig5Config(requests_per_point=150_000, record_count=1000)
     )
     result = _timed(
@@ -74,7 +83,7 @@ def cmd_fig5(full: bool) -> None:
         print(f"  {scenario}: {impls}")
 
 
-def cmd_ablations(_full: bool) -> None:
+def cmd_ablations(args) -> None:
     result = _timed(
         "§5 claim: negotiation overhead", lambda: run_negotiation_overhead()
     )
@@ -123,10 +132,10 @@ def cmd_ablations(_full: bool) -> None:
     )
 
 
-def cmd_reconfig(full: bool) -> None:
+def cmd_reconfig(args) -> None:
     config = (
         ReconfigConfig()
-        if not full
+        if not args.full
         else ReconfigConfig(offered_load=10_000, bucket=0.25)
     )
     result = _timed(
@@ -145,11 +154,45 @@ def cmd_reconfig(full: bool) -> None:
     )
 
 
+def _chaos_config(args) -> ChaosConfig:
+    config = ChaosConfig.smoke(seed=args.seed) if args.smoke else ChaosConfig(
+        seed=args.seed
+    )
+    if args.loss is not None:
+        config.loss_points = tuple(
+            float(part) for part in args.loss.split(",") if part.strip()
+        )
+    if args.disc_timeout is not None:
+        config.discovery_timeout = args.disc_timeout
+    if args.disc_retries is not None:
+        config.discovery_retries = args.disc_retries
+    if args.disc_backoff is not None:
+        config.discovery_backoff = args.disc_backoff
+    return config
+
+
+def cmd_chaos(args) -> None:
+    config = _chaos_config(args)
+    label = (
+        "Chaos: control plane under loss "
+        f"{'/'.join(f'{p * 100:g}%' for p in config.loss_points)} "
+        f"(seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_chaos(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if not result.ok:
+        raise SystemExit(1)
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
     "reconfig": cmd_reconfig,
+    "chaos": cmd_chaos,
     "ablations": cmd_ablations,
 }
 
@@ -165,12 +208,49 @@ def main(argv=None) -> int:
         action="store_true",
         help="paper-scale parameters (minutes instead of seconds)",
     )
+    chaos_group = parser.add_argument_group("chaos options")
+    chaos_group.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: one 5%%-loss point with small counts",
+    )
+    chaos_group.add_argument(
+        "--loss",
+        metavar="R[,R...]",
+        help="comma-separated loss rates to sweep (e.g. 0,0.05,0.1,0.2)",
+    )
+    chaos_group.add_argument(
+        "--seed", type=int, default=7, help="fault/workload seed (default 7)"
+    )
+    chaos_group.add_argument(
+        "--disc-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="discovery client initial RPC timeout",
+    )
+    chaos_group.add_argument(
+        "--disc-retries",
+        type=int,
+        metavar="N",
+        help="discovery client retransmission budget per RPC",
+    )
+    chaos_group.add_argument(
+        "--disc-backoff",
+        type=float,
+        metavar="FACTOR",
+        help="discovery client exponential backoff factor",
+    )
+    chaos_group.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="write the chaos baseline JSON (BENCH_chaos.json) here",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name, command in COMMANDS.items():
-            command(args.full)
+            command(args)
     else:
-        COMMANDS[args.experiment](args.full)
+        COMMANDS[args.experiment](args)
     return 0
 
 

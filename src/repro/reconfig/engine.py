@@ -32,7 +32,7 @@ first commits or rolls back.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
@@ -50,7 +50,7 @@ from ..core.negotiation import (
 )
 from ..core.scope import Placement
 from ..core.stack import SetupContext
-from ..errors import BerthaError, ReconfigurationError
+from ..errors import BerthaError, ConnectionTimeoutError, ReconfigurationError
 from ..sim.eventloop import Event, Interrupt
 from .triggers import DeviceFailureDetector, DiscoveryWatcher
 
@@ -94,7 +94,9 @@ class _ConnState:
     queue: deque = field(default_factory=deque)
     next_epoch: int = 1
     #: Client side: cached acks per epoch, replayed on duplicate TRANSITION.
-    acks: dict = field(default_factory=dict)
+    #: Bounded FIFO — retransmits arrive within the sender's retry window,
+    #: so only the most recent epochs' verdicts are ever needed.
+    acks: "OrderedDict[int, dict]" = field(default_factory=OrderedDict)
     #: Server side: in-flight ack waiter per epoch.
     ack_waiters: dict = field(default_factory=dict)
     #: Client side: done-events for requests sent to the server.
@@ -105,6 +107,11 @@ class _ConnState:
     device_exclusions: dict = field(default_factory=dict)
     watched_records: set = field(default_factory=set)
     watched_devices: set = field(default_factory=set)
+
+    def cache_ack(self, epoch: int, ack: dict, limit: int = 64) -> None:
+        self.acks[epoch] = ack
+        while len(self.acks) > limit:
+            self.acks.popitem(last=False)
 
 
 class ReconfigManager:
@@ -328,7 +335,7 @@ class ReconfigManager:
         # Re-decide against fresh offers: the client's stored offers, our
         # registry, and a *new* discovery query (the client's establishment-
         # time network view is stale by definition here).
-        candidates = yield from self._assemble_candidates(dag, message)
+        candidates = yield from self._assemble_candidates(conn, dag, message)
         excluded = set(state.excluded) | set(exclude)
         choice, confirmed = yield from decide_with_reservations(
             runtime, dag, candidates, ctx, owner, excluded=excluded
@@ -341,7 +348,7 @@ class ReconfigManager:
         }
         if dag is conn.dag and not changed:
             for record_id, node_owner in confirmed:
-                yield from runtime.discovery.release(record_id, node_owner)
+                yield from self._safe_release(record_id, node_owner)
             self.transitions_noop += 1
             self._log(conn, "noop", reason)
             return "noop"
@@ -370,7 +377,7 @@ class ReconfigManager:
             conn.abort_transition(epoch)
             self._teardown_nodes(impls, ctx_map, changed)
             for record_id, node_owner in confirmed:
-                yield from runtime.discovery.release(record_id, node_owner)
+                yield from self._safe_release(record_id, node_owner)
             raise
 
         started = self.env.now
@@ -384,7 +391,7 @@ class ReconfigManager:
             conn.abort_transition(epoch)
             self._teardown_nodes(impls, ctx_map, changed)
             for record_id, node_owner in confirmed:
-                yield from runtime.discovery.release(record_id, node_owner)
+                yield from self._safe_release(record_id, node_owner)
             self.transitions_rolled_back += 1
             self._log(conn, "rolled-back", f"epoch {epoch}: {error}")
             return "rolled-back"
@@ -417,7 +424,7 @@ class ReconfigManager:
         }
         for record_id, node_owner in confirmed:
             if record_id not in changed_records:
-                yield from runtime.discovery.release(record_id, node_owner)
+                yield from self._safe_release(record_id, node_owner)
 
         # Tear down what the new binding replaced, and release its leases.
         replaced_offload = False
@@ -436,9 +443,7 @@ class ReconfigManager:
                 node_owner = (
                     spec.reservation_scope() if spec is not None else None
                 ) or owner
-                yield from runtime.discovery.release(
-                    old_offer.record_id, node_owner
-                )
+                yield from self._safe_release(old_offer.record_id, node_owner)
         if replaced_offload:
             # Stragglers stamped with the old epoch may have relied on the
             # now-removed device program; route them to the new stack.
@@ -514,7 +519,7 @@ class ReconfigManager:
             return
         if epoch <= conn.epoch:
             ack = build_transition_ack(conn.conn_id, epoch, True)
-            state.acks[epoch] = ack
+            state.cache_ack(epoch, ack)
             conn.send_ctl(ack, dst=src)
             return
         try:
@@ -587,13 +592,25 @@ class ReconfigManager:
                 error=f"{type(error).__name__}: {error}",
             )
             self._log(conn, "refused", f"epoch {epoch}: {error}")
-        state.acks[epoch] = ack
+        state.cache_ack(epoch, ack)
         conn.send_ctl(ack, dst=src)
 
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def _assemble_candidates(self, dag: ChunnelDag, message: dict):
+    def _safe_release(self, record_id: str, owner: str):
+        """Generator: release a lease, tolerating a discovery outage.
+
+        A committed (or rolled-back) transition must not be reported as
+        failed just because the bookkeeping release timed out; the lease
+        stays held until the record is revoked or a later release lands.
+        """
+        try:
+            yield from self.runtime.discovery.release(record_id, owner)
+        except ConnectionTimeoutError:
+            self.runtime.release_failures += 1
+
+    def _assemble_candidates(self, conn, dag: ChunnelDag, message: dict):
         """Generator: the re-decision candidate pool — stored client offers,
         our registry, and a fresh discovery query (dedup by record id)."""
         runtime = self.runtime
@@ -606,7 +623,15 @@ class ReconfigManager:
             sorted(wanted), origin="server"
         ).items():
             candidates.setdefault(ctype, []).extend(offers)
-        fresh = yield from runtime.discovery.query(sorted(wanted))
+        try:
+            fresh = yield from runtime.discovery.query(sorted(wanted))
+        except ConnectionTimeoutError:
+            # Discovery outage mid-transition: re-decide from the stored
+            # client offers and our registry alone.  A device-failure
+            # trigger still degrades to a fallback; upgrades wait until
+            # discovery is reachable again.
+            self._log(conn, "degraded", "re-decision without discovery")
+            return candidates
         seen: set[str] = set()
         for ctype, offers in fresh.offers.items():
             if ctype not in wanted:

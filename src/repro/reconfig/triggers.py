@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from ..errors import ConnectionClosedError
+from ..errors import ConnectionClosedError, ConnectionTimeoutError
 from ..sim.datagram import Address
 from ..sim.eventloop import Interrupt
 from ..sim.transport import UdpSocket
@@ -98,6 +98,10 @@ class DiscoveryWatcher:
         self._proc = None
         self._callbacks: dict[str, list[Callable]] = {}
         self.notifications = 0
+        #: Watch registrations lost to a discovery outage (nobody waits on
+        #: the registration process, so failures must be swallowed and
+        #: counted — an unwaited error would crash the simulation).
+        self.watch_failures = 0
 
     @property
     def address(self) -> Address:
@@ -122,10 +126,16 @@ class DiscoveryWatcher:
         first = record_id not in self._callbacks
         self._callbacks.setdefault(record_id, []).append(callback)
         if first:
-            self.env.process(
-                self.runtime.discovery.watch(record_id, self._socket.address),
-                name=f"disc-watch:{record_id}",
-            )
+
+            def _register():
+                try:
+                    yield from self.runtime.discovery.watch(
+                        record_id, self._socket.address
+                    )
+                except ConnectionTimeoutError:
+                    self.watch_failures += 1
+
+            self.env.process(_register(), name=f"disc-watch:{record_id}")
 
     def _listen(self):
         while True:

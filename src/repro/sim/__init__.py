@@ -28,6 +28,7 @@ from .eventloop import (
     SimulationError,
     Timeout,
 )
+from .faults import ChaosController, ChaosEvent, FaultDecision, FaultPlan
 from .host import Container, CostModel, Host, NetEntity
 from .link import GBPS, MBPS, MS, US, Link
 from .network import NameService, Network, ServiceRecord
@@ -43,11 +44,15 @@ __all__ = [
     "Address",
     "AllOf",
     "AnyOf",
+    "ChaosController",
+    "ChaosEvent",
     "Container",
     "CostModel",
     "Datagram",
     "Environment",
     "Event",
+    "FaultDecision",
+    "FaultPlan",
     "GBPS",
     "Host",
     "Interrupt",

@@ -149,6 +149,10 @@ class Host(NetEntity):
     ):
         super().__init__(env, network, name)
         self.cost = cost or CostModel()
+        #: Chaos flag: a down host neither sends nor receives datagrams.
+        #: Sockets and processes survive (the crash models the machine
+        #: dropping off the network, restart a fast supervisor recovery).
+        self.down = False
         self.nic = nic or Nic(env, name=f"{name}.nic")
         self.containers: dict[str, Container] = {}
         self.kernel_programs: list[PacketProgram] = []

@@ -11,6 +11,10 @@ but per-link byte counters are kept so experiments can report traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultPlan
 
 __all__ = ["Link", "GBPS", "MBPS", "US", "MS"]
 
@@ -34,12 +38,20 @@ class Link:
     bandwidth:
         Capacity in bytes/second; ``None`` means infinite (no serialization
         delay).
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` evaluated on every
+        crossing (see ``Network.attach_faults``).
+    up:
+        Administrative state; a down link drops every datagram (used by
+        the chaos controller's link flaps).
     """
 
     a: str
     b: str
     latency: float = 5 * US
     bandwidth: float | None = 10 * GBPS
+    fault_plan: Optional["FaultPlan"] = None
+    up: bool = True
     bytes_carried: int = field(default=0, init=False)
     datagrams_carried: int = field(default=0, init=False)
 

@@ -32,6 +32,7 @@ import networkx as nx
 from ..errors import AddressError
 from .datagram import Address, Datagram
 from .eventloop import Environment
+from .faults import CORRUPT_HEADER, FaultPlan, clone_datagram
 from .host import Container, CostModel, Host, NetEntity
 from .link import Link
 from .nic import Nic
@@ -105,11 +106,19 @@ class Network:
         self.switches: dict[str, ProgrammableSwitch] = {}
         self.names = NameService(self)
         self._route_cache: dict[tuple[str, str], list[str]] = {}
+        #: Active partition: node name → group index (see
+        #: ``ChaosController.partition``); None means fully connected.
+        self._partition: Optional[dict[str, int]] = None
         # Counters.
         self.delivered = 0
         self.dropped_unbound = 0
         self.dropped_no_entity = 0
         self.dropped_by_program = 0
+        self.dropped_by_fault = 0
+        self.dropped_corrupt = 0
+        self.dropped_link_down = 0
+        self.dropped_partition = 0
+        self.dropped_host_down = 0
 
     # -- topology construction ------------------------------------------------
     def add_host(
@@ -183,6 +192,62 @@ class Network:
         except KeyError:
             raise AddressError(f"no link between {a!r} and {b!r}") from None
 
+    # -- fault injection --------------------------------------------------------
+    def attach_faults(self, a: str, b: str, plan: FaultPlan) -> FaultPlan:
+        """Attach a fault plan to the link between ``a`` and ``b``."""
+        link = self.link_between(a, b)
+        link.fault_plan = plan
+        return plan
+
+    def attach_faults_everywhere(
+        self, plan: FaultPlan
+    ) -> dict[tuple[str, str], FaultPlan]:
+        """Attach an independent copy of ``plan`` to every link.
+
+        Each link gets its own RNG stream derived from ``plan.seed`` and
+        the link's position in the sorted edge list, so topologies built in
+        the same order fault identically run-to-run.
+        """
+        plans: dict[tuple[str, str], FaultPlan] = {}
+        for index, (a, b) in enumerate(sorted(self.graph.edges)):
+            link = self.graph.edges[a, b]["link"]
+            link.fault_plan = plan.with_seed(plan.seed + 7919 * (index + 1))
+            plans[(a, b)] = link.fault_plan
+        return plans
+
+    @property
+    def fault_drops(self) -> int:
+        """Datagrams removed by injected faults of any kind."""
+        return (
+            self.dropped_by_fault
+            + self.dropped_corrupt
+            + self.dropped_link_down
+            + self.dropped_partition
+            + self.dropped_host_down
+        )
+
+    def _partition_blocks(self, a: str, b: str, dgram: Datagram) -> bool:
+        """Whether the active partition cuts this link crossing."""
+        membership = self._partition
+        if membership is None:
+            return False
+        group_a, group_b = membership.get(a), membership.get(b)
+        if group_a is not None and group_b is not None and group_a != group_b:
+            return True
+        # Islands also separate endpoints whose path runs through an
+        # unassigned middlebox (e.g. a ToR switch named in no group).
+        src_entity = self.entities.get(dgram.src.host)
+        dst_entity = self.entities.get(dgram.dst.host)
+        if src_entity is None or dst_entity is None:
+            return False
+        group_src = membership.get(src_entity.host.name)
+        group_dst = membership.get(dst_entity.host.name)
+        return (
+            group_src is not None
+            and group_dst is not None
+            and group_src != group_dst
+        )
+
     # -- delivery ---------------------------------------------------------------
     def transmit(self, dgram: Datagram, after: float = 0.0) -> None:
         """Inject ``dgram`` into the network ``after`` seconds from now.
@@ -194,6 +259,9 @@ class Network:
         src_entity = self.entities.get(dgram.src.host)
         if src_entity is None:
             raise AddressError(f"transmit from unknown entity {dgram.src.host!r}")
+        if src_entity.host.down:
+            self.dropped_host_down += 1
+            return
         dgram.sent_at = self.env.now
         start_node = src_entity.host.name
 
@@ -206,9 +274,8 @@ class Network:
         kickoff.succeed(None, delay=after)
         kickoff.add_callback(_start)
 
-    def _walk(self, dgram: Datagram, current: str):
+    def _walk(self, dgram: Datagram, current: str, crossed_wire: bool = False):
         """Delivery process: advance ``dgram`` from ``current`` to its dst."""
-        crossed_wire = False
         for _hop in range(_MAX_REDIRECTS):
             dst_entity = self.entities.get(dgram.dst.host)
             if dst_entity is None:
@@ -221,8 +288,40 @@ class Network:
             path = self.route(current, dst_host.name)
             next_node = path[1]
             link = self.link_between(current, next_node)
+            if not link.up:
+                self.dropped_link_down += 1
+                return
+            if self._partition_blocks(current, next_node, dgram):
+                self.dropped_partition += 1
+                return
+            extra_delay = 0.0
+            plan = link.fault_plan
+            if plan is not None and not plan.is_benign:
+                decision = plan.decide(dgram)
+                if decision.drop:
+                    self.dropped_by_fault += 1
+                    return
+                if decision.corrupt:
+                    dgram.headers[CORRUPT_HEADER] = True
+                if decision.duplicate:
+                    # The copy continues from the far end of this link after
+                    # the normal crossing delay, so it is not re-duplicated
+                    # on the same link.
+                    copy = clone_datagram(dgram)
+                    link.record(copy.size)
+
+                    def _launch(_event, copy=copy, at=next_node) -> None:
+                        self.env.process(
+                            self._walk(copy, at, crossed_wire=True),
+                            name=f"dup#{copy.uid}",
+                        )
+
+                    kickoff = self.env.event()
+                    kickoff.succeed(None, delay=link.delay_for(copy.size))
+                    kickoff.add_callback(_launch)
+                extra_delay = decision.extra_delay
             link.record(dgram.size)
-            yield self.env.timeout(link.delay_for(dgram.size))
+            yield self.env.timeout(link.delay_for(dgram.size) + extra_delay)
             crossed_wire = True
             current = next_node
             switch = self.switches.get(current)
@@ -243,6 +342,14 @@ class Network:
 
     def _host_rx(self, dgram: Datagram, host: Host, via_nic: bool):
         """Receive-side processing at the destination host."""
+        if host.down:
+            self.dropped_host_down += 1
+            return
+        if dgram.headers.pop(CORRUPT_HEADER, None):
+            # The NIC's frame checksum rejects garbled payloads before they
+            # reach any program or socket: corruption is loss, counted apart.
+            self.dropped_corrupt += 1
+            return
         if via_nic:
             yield host.nic.rx_station.submit(dgram)
             dgram.visit(f"nic:{host.nic.name}")

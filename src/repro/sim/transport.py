@@ -45,13 +45,17 @@ class SimSocket:
         self.address = Address(entity.name, self.port)
         self.store = Store(self.env, name=f"{self.address}")
         self.closed = False
+        #: Chaos flag: a dropping socket silently discards arrivals while
+        #: keeping its port bound, modelling a crashed service whose address
+        #: must survive until restart.
+        self.dropping = False
         self.sent = 0
         self.received = 0
 
     # -- network-facing ------------------------------------------------------
     def deliver(self, dgram: Datagram) -> None:
         """Called by the network when a datagram reaches this socket."""
-        if self.closed:
+        if self.closed or self.dropping:
             return
         self.received += 1
         self.store.put(dgram)

@@ -1,0 +1,90 @@
+"""The chaos experiment: invariants asserted, deterministic, CI-usable."""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import ChaosConfig, ChaosResult, run_chaos
+
+
+@pytest.fixture(scope="module")
+def smoke_result() -> ChaosResult:
+    """One shared smoke run (the CI tier: a single 5%-loss point)."""
+    return run_chaos(ChaosConfig.smoke(seed=7))
+
+
+class TestInvariants:
+    def test_overall_ok(self, smoke_result):
+        assert smoke_result.ok
+
+    def test_each_invariant_holds(self, smoke_result):
+        invariants = smoke_result.invariants
+        assert invariants["all_established"]
+        assert invariants["zero_app_loss"]
+        assert invariants["no_double_reservation"]
+        assert invariants["bounded_setup"]
+        assert invariants["outage_degraded_not_failed"]
+        assert invariants["outage_recovered"]
+
+    def test_faults_actually_fired(self, smoke_result):
+        (point,) = smoke_result.points
+        assert point.loss == 0.05
+        assert point.fault_drops > 0
+        # Loss was recovered by work, not luck: the stack retransmitted.
+        assert point.reliability_retransmissions > 0
+
+    def test_outage_segment_recorded(self, smoke_result):
+        outage = smoke_result.outage
+        assert outage["degraded_established"]
+        assert outage["degraded_served"]
+        assert outage["recovered_full"]
+        assert outage["audit_ok"]
+
+    def test_violated_invariant_flips_ok(self, smoke_result):
+        # A result whose books don't balance must not report ok — the CLI
+        # exits non-zero off this property.
+        (point,) = smoke_result.points
+        broken = ChaosResult(
+            points=[point.__class__(**{**point.__dict__, "audit_ok": False})],
+            outage=smoke_result.outage,
+            config=smoke_result.config,
+        )
+        assert not broken.invariants["no_double_reservation"]
+        assert not broken.ok
+
+
+class TestDeterminism:
+    def test_same_seed_same_baseline(self, smoke_result):
+        again = run_chaos(ChaosConfig.smoke(seed=7))
+        assert json.dumps(again.to_baseline(), sort_keys=True) == json.dumps(
+            smoke_result.to_baseline(), sort_keys=True
+        )
+
+    def test_different_seed_different_trace(self, smoke_result):
+        other = run_chaos(ChaosConfig.smoke(seed=8))
+        assert (
+            other.to_baseline()["points"]
+            != smoke_result.to_baseline()["points"]
+        )
+
+
+class TestBaselineShape:
+    def test_baseline_payload(self, smoke_result, tmp_path):
+        path = tmp_path / "BENCH_chaos.json"
+        smoke_result.write_baseline(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "chaos"
+        assert payload["seed"] == 7
+        assert set(payload["discovery"]) == {"timeout_s", "retries", "backoff"}
+        (point,) = payload["points"]
+        assert point["loss"] == 0.05
+        assert point["extra_round_trips"] == (
+            point["discovery_retransmits"]
+            + point["reliability_retransmissions"]
+        )
+        assert payload["invariants"]["zero_app_loss"] is True
+
+    def test_rows_render(self, smoke_result):
+        rendered = smoke_result.render()
+        assert "loss_pct" in rendered
+        assert "invariants:" in rendered
