@@ -67,14 +67,14 @@ def kv_request(op: str, key: str, value: bytes = b"") -> dict:
     """Build a request object (what the application sends)."""
     if op not in _OP_CODES:
         raise ChunnelArgumentError(f"unknown op {op!r}")
-    return {"kind": "request", "op": op, "key": key, "value": value}
+    return {"type": "request", "op": op, "key": key, "value": value}
 
 
 def kv_response(status: str, value: bytes = b"") -> dict:
     """Build a response object (what workers send back)."""
     if status not in _STATUS_CODES:
         raise ChunnelArgumentError(f"unknown status {status!r}")
-    return {"kind": "response", "status": status, "value": value}
+    return {"type": "response", "status": status, "value": value}
 
 
 class KvCodec(Codec):
@@ -90,9 +90,9 @@ class KvCodec(Codec):
     name = "kv"
 
     def encode(self, obj: Any) -> bytes:
-        if not isinstance(obj, dict) or "kind" not in obj:
+        if not isinstance(obj, dict) or "type" not in obj:
             raise ChunnelArgumentError(f"kv codec cannot encode {obj!r}")
-        if obj["kind"] == "request":
+        if obj["type"] == "request":
             key = obj["key"]
             value = bytes(obj.get("value") or b"")
             raw_key = key.encode()
@@ -107,7 +107,7 @@ class KvCodec(Codec):
                 + raw_key
                 + value
             )
-        if obj["kind"] == "response":
+        if obj["type"] == "response":
             value = bytes(obj.get("value") or b"")
             return (
                 struct.pack(
@@ -115,7 +115,7 @@ class KvCodec(Codec):
                 )
                 + value
             )
-        raise ChunnelArgumentError(f"kv codec cannot encode kind {obj['kind']!r}")
+        raise ChunnelArgumentError(f"kv codec cannot encode type {obj['type']!r}")
 
     def decode(self, data: bytes) -> Any:
         if not data:
@@ -127,7 +127,7 @@ class KvCodec(Codec):
             raw_key = data[key_start : key_start + key_len]
             value = data[key_start + key_len :]
             return {
-                "kind": "request",
+                "type": "request",
                 "op": _OP_NAMES[op_code],
                 "key": raw_key.decode(),
                 "value": bytes(value),
@@ -136,7 +136,7 @@ class KvCodec(Codec):
             status_code, value_len = struct.unpack_from(">BI", data, 1)
             value = data[6 : 6 + value_len]
             return {
-                "kind": "response",
+                "type": "response",
                 "status": _STATUS_NAMES[status_code],
                 "value": bytes(value),
             }

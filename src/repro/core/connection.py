@@ -22,16 +22,18 @@ reconfiguration".
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from ..errors import ConnectionClosedError, TransportError
 from ..sim.datagram import Address, Datagram
 from ..sim.eventloop import Event, Interrupt
 from ..sim.resources import Store
+from . import messages as msgs
 from .chunnel import ChunnelImpl, ChunnelStage, Message, Offer, Role
 from .dag import ChunnelDag
 from .stack import ChunnelStack, SetupContext
-from .wire import CTL_HEADER, EPOCH_HEADER
+from .wire import CTL_HEADER, EPOCH_HEADER, WireError, message_size
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.transport import SimSocket
@@ -39,8 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["Connection"]
 
-#: Control datagrams are tiny; their simulated wire size.
-_CTL_SIZE = 64
+_log = logging.getLogger("repro.ctl")
 
 
 def next_conn_id(entity) -> str:
@@ -95,6 +96,11 @@ class Connection:
         self.degraded = False
         self.messages_sent = 0
         self.messages_received = 0
+        #: In-band control datagrams the pump rejected as malformed (not
+        #: the encoding of a registered control message).  Each offending
+        #: kind is additionally logged once per connection.
+        self.ctl_malformed_total = 0
+        self._ctl_malformed_logged: set = set()
         self.established_at = runtime.env.now
         self._setup_contexts = list(setup_contexts or [])
         #: The negotiated per-node binding (needed to re-decide later).
@@ -198,12 +204,17 @@ class Connection:
         return self.inbox.try_get()
 
     def send_ctl(
-        self, body: dict, dst: Optional[Address] = None, size: int = _CTL_SIZE
+        self,
+        message: "msgs.ControlMessage",
+        dst: Optional[Address] = None,
+        size: Optional[int] = None,
     ) -> None:
-        """Send an in-band control datagram (bypasses the Chunnel stack).
+        """Send an in-band control message (bypasses the Chunnel stack).
 
-        The peer's pump intercepts it before stack processing; offload
-        programs pass control traffic through to the socket.
+        ``message`` is a :mod:`repro.core.messages` dataclass; it is
+        wire-encoded here and sized from its content unless ``size``
+        overrides.  The peer's pump intercepts it before stack processing;
+        offload programs pass control traffic through to the socket.
         """
         dst = dst or self.peer or self.last_src
         if dst is None:
@@ -211,8 +222,12 @@ class Connection:
                 f"{self.conn_id}: no control destination (no peer and no "
                 "traffic source seen yet)"
             )
+        payload = msgs.encode_message(message)
         self.socket.send(
-            body, dst, size=size, headers={CTL_HEADER: body.get("kind", "ctl")}
+            payload,
+            dst,
+            size=message_size(payload) if size is None else size,
+            headers={CTL_HEADER: message.KIND},
         )
 
     # -- live reconfiguration ------------------------------------------------------
@@ -417,7 +432,21 @@ class Connection:
             if ctl_kind is not None:
                 # In-band control (TRANSITION and friends): handled by the
                 # reconfiguration engine, never enters the Chunnel stack.
-                self.runtime.reconfig.handle_ctl(self, ctl_kind, dgram)
+                try:
+                    ctl_msg = msgs.decode_message(dgram.payload)
+                except WireError as error:
+                    self.ctl_malformed_total += 1
+                    if ctl_kind not in self._ctl_malformed_logged:
+                        self._ctl_malformed_logged.add(ctl_kind)
+                        _log.warning(
+                            "%s: dropping malformed in-band control message "
+                            "kind=%r (%s)",
+                            self.conn_id,
+                            ctl_kind,
+                            error,
+                        )
+                    continue
+                self.runtime.reconfig.handle_ctl(self, ctl_msg, dgram.src)
                 continue
             msg = Message(
                 payload=dgram.payload,

@@ -1,0 +1,226 @@
+"""The one establishment pipeline (§4.3's "both sides instantiate").
+
+Connection construction used to be copy-pasted across four call sites —
+client connect, non-Bertha direct connect, Listener accept, and the
+reconfiguration engine's partial rebuild — each re-implementing the same
+sequence: instantiate implementations for the decided choice, run setup
+contexts in topological order, build the per-node stage map, construct the
+:class:`~repro.core.connection.Connection`, run ``after_establish`` hooks.
+This module is that sequence written once, with the genuine behavioural
+differences as explicit parameters:
+
+* ``degraded`` — the client proceeded without discovery (fallback-only);
+* ``hello`` — clients announce their data address after establishment;
+* ``changed`` / ``reuse`` — the reconfiguration engine rebuilds only the
+  nodes whose implementation changed, carrying over the rest of an
+  existing connection's impls, contexts, and stages;
+* ``fresh_params`` — establishment shares one params dict across a
+  connection's setup contexts (so the transport hook's choice is visible
+  to the accept reply), while a rebuild hands each node a private copy of
+  the connection's params (a rebuild must not mutate the live binding).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..errors import BerthaError, NegotiationError
+from ..sim.datagram import Address
+from ..sim.transport import PipeSocket, SimSocket, UdpSocket
+from . import messages as msgs
+from .chunnel import ChunnelImpl, Offer, Role
+from .connection import Connection
+from .dag import ChunnelDag
+from .stack import SetupContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.host import NetEntity
+    from .runtime import Runtime
+
+__all__ = [
+    "build_binding",
+    "establish_connection",
+    "make_data_socket",
+    "teardown_nodes",
+]
+
+
+def make_data_socket(entity: "NetEntity", transport: str) -> SimSocket:
+    """The data socket for a negotiated transport."""
+    if transport == "pipe":
+        return PipeSocket(entity)
+    if transport == "udp":
+        return UdpSocket(entity)
+    raise NegotiationError(f"unknown negotiated transport {transport!r}")
+
+
+def teardown_nodes(
+    impls: dict[int, ChunnelImpl],
+    contexts: dict[int, SetupContext],
+    nodes: Iterable[int],
+) -> None:
+    """Tear down the given nodes' implementations, swallowing Bertha
+    errors (used on partial-failure cleanup paths, where the original
+    error must win)."""
+    for node_id in nodes:
+        impl = impls.get(node_id)
+        ctx = contexts.get(node_id)
+        if impl is None or ctx is None:
+            continue
+        try:
+            impl.teardown(ctx)
+        except BerthaError:
+            pass
+
+
+def build_binding(
+    runtime: "Runtime",
+    *,
+    role: Role,
+    conn_id: str,
+    dag: ChunnelDag,
+    choice: dict[int, Offer],
+    client_entity: str,
+    server_entity: str,
+    params: Optional[dict] = None,
+    reservations: Sequence[tuple[str, str]] = (),
+    changed: Optional[Iterable[int]] = None,
+    reuse: Optional[Connection] = None,
+    fresh_params: bool = False,
+):
+    """Instantiate and set up the implementations for a binding.
+
+    For every node in ``changed`` (default: all), instantiate the chosen
+    implementation and run its setup hook in topological order; unchanged
+    nodes carry over ``reuse``'s impl, context, and stage.  On a setup
+    failure the nodes built so far are torn down before re-raising, so a
+    half-built binding never leaks device programs.
+
+    Returns ``(impls, contexts, stage_map)`` where ``contexts`` maps node
+    id → :class:`SetupContext` and ``stage_map`` maps node id → stage (or
+    None where the implementation runs elsewhere).
+    """
+    params = {} if params is None else params
+    order = dag.topological_order()
+    changed_set = set(order) if changed is None else set(changed)
+    impls: dict[int, ChunnelImpl] = {}
+    contexts: dict[int, SetupContext] = {}
+    built: list[int] = []
+    try:
+        for node_id in order:
+            if node_id not in changed_set:
+                impls[node_id] = reuse.impls[node_id]
+                contexts[node_id] = reuse._context_for(node_id)
+                continue
+            offer = choice.get(node_id)
+            if offer is None:
+                raise NegotiationError(
+                    f"{conn_id}: negotiation chose nothing for node {node_id}"
+                )
+            spec = dag.nodes[node_id]
+            impl = runtime.catalog.instantiate(
+                offer.meta.chunnel_type,
+                offer.meta.name,
+                spec,
+                location=offer.location,
+            )
+            ctx = SetupContext(
+                runtime=runtime,
+                role=role,
+                conn_id=conn_id,
+                dag=dag,
+                offer=offer,
+                spec=spec,
+                client_entity=client_entity,
+                server_entity=server_entity,
+                params=dict(params) if fresh_params else params,
+                reservations=list(reservations),
+            )
+            impl.setup(ctx)
+            impls[node_id] = impl
+            contexts[node_id] = ctx
+            built.append(node_id)
+    except BerthaError:
+        teardown_nodes(impls, contexts, built)
+        raise
+    old_map = (reuse._stage_map or {}) if reuse is not None else {}
+    stage_map = {
+        node_id: (
+            impls[node_id].make_stage(role)
+            if node_id in changed_set
+            else old_map.get(node_id)
+        )
+        for node_id in order
+    }
+    return impls, contexts, stage_map
+
+
+def establish_connection(
+    runtime: "Runtime",
+    *,
+    name: str,
+    conn_id: str,
+    role: Role,
+    dag: ChunnelDag,
+    choice: dict[int, Offer],
+    client_entity: str,
+    server_entity: str,
+    peers: Sequence[Address] = (),
+    transport: Optional[str] = None,
+    params: Optional[dict] = None,
+    reservations: Sequence[tuple[str, str]] = (),
+    degraded: bool = False,
+    negotiation_state: Optional[dict] = None,
+    hello: bool = False,
+) -> Connection:
+    """Build a live :class:`Connection` from a decided binding.
+
+    The pipeline: instantiate impls → run setup contexts (sharing
+    ``params``, so a server-side transport hook's choice is seen here) →
+    create the data socket (``transport=None`` reads the hooks' choice
+    from ``params``) → build the stage map → construct the Connection →
+    run ``after_establish`` hooks → optionally send the client hello.
+    """
+    params = {} if params is None else params
+    impls, contexts, stage_map = build_binding(
+        runtime,
+        role=role,
+        conn_id=conn_id,
+        dag=dag,
+        choice=choice,
+        client_entity=client_entity,
+        server_entity=server_entity,
+        params=params,
+        reservations=reservations,
+    )
+    if transport is None:
+        transport = params.get("transport", "udp")
+    socket = make_data_socket(runtime.entity, transport)
+    order = dag.topological_order()
+    connection = Connection(
+        runtime=runtime,
+        name=name,
+        conn_id=conn_id,
+        role=role,
+        dag=dag,
+        impls=impls,
+        stack_stages=stage_map,
+        socket=socket,
+        peers=list(peers),
+        transport=transport,
+        params=params,
+        setup_contexts=[contexts[node_id] for node_id in order],
+        choice=choice,
+        client_entity=client_entity,
+        server_entity=server_entity,
+        negotiation_state=negotiation_state,
+    )
+    connection.degraded = degraded
+    for node_id in order:
+        impls[node_id].after_establish(contexts[node_id], connection)
+    if hello:
+        # Tell the server our data address (offload programs pass control
+        # datagrams through), so it can initiate live transitions even when
+        # the data path never reaches its socket.
+        connection.send_ctl(msgs.Hello(conn_id=conn_id))
+    return connection

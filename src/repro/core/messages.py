@@ -1,0 +1,713 @@
+"""The control-plane message schema (one dialect for the whole paper).
+
+Every control message Bertha exchanges — negotiation OFFER/ACCEPT/ERROR
+(§4.3), the live-reconfiguration TRANSITION handshake, and the discovery
+query/reserve/release/watch RPCs (§4.2) — is a frozen dataclass defined
+here and registered on the :mod:`repro.core.wire` tagged-encoding registry.
+Senders construct instances and :func:`repro.core.wire.encode` them;
+receivers :func:`decode_message` the payload and dispatch on the type.
+
+Three properties this buys over the previous hand-built ``{"kind": ...}``
+dicts:
+
+* **strictness** — a payload that is not a registered message, carries an
+  unknown field, or misses a required one raises :class:`WireError` at the
+  receiver, where callers count it (``malformed_total`` /
+  ``ctl_malformed_total``) instead of silently dropping it;
+* **versioning** — every encoded message carries ``v``; a receiver rejects
+  versions newer than it speaks, so a future schema change degrades loudly;
+* **self-description** — PROTOCOL.md's message catalogue is generated from
+  these docstrings (:func:`protocol_appendix`), so code and spec cannot
+  drift.
+
+Docstring convention: the first paragraph describes the message; a
+``Direction:`` line names sender → receiver and channel; a ``Retransmit:``
+line states the reliability contract.  :func:`protocol_appendix` parses
+exactly these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, List, Optional, Type
+
+from ..errors import (
+    IncompatibleDagError,
+    NegotiationError,
+    NoImplementationError,
+    ResourceExhaustedError,
+)
+from ..sim.datagram import Address
+from .chunnel import Offer as ImplOffer
+from .dag import ChunnelDag
+from .wire import WireError, decode, encode, register_wire_type
+
+__all__ = [
+    "ControlMessage",
+    "Offer",
+    "Accept",
+    "Error",
+    "Hello",
+    "Transition",
+    "TransitionAck",
+    "TransitionRequest",
+    "Query",
+    "QueryReply",
+    "Reserve",
+    "ReserveReply",
+    "Release",
+    "ReleaseReply",
+    "Watch",
+    "WatchReply",
+    "RegisterName",
+    "RegisterNameReply",
+    "UnregisterName",
+    "UnregisterNameReply",
+    "Revoked",
+    "LeaseRevoked",
+    "ServiceError",
+    "decode_message",
+    "encode_message",
+    "protocol_appendix",
+]
+
+#: Registry of message classes by wire kind (for the PROTOCOL.md generator
+#: and schema-wide tests).
+BY_KIND: Dict[str, Type["ControlMessage"]] = {}
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class for all control-plane messages.
+
+    Subclasses set ``KIND`` (the wire tag; the pre-existing protocol
+    strings are kept verbatim) and are registered with
+    :func:`control_message`.  Instances are immutable; derive variants with
+    :func:`dataclasses.replace`.
+    """
+
+    KIND: ClassVar[str] = ""
+    VERSION: ClassVar[int] = 1
+
+    def _to_body(self) -> dict:
+        """The wire body (field name → still-undecoded value)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "ControlMessage":
+        """Inverse of :meth:`_to_body` (body values already decoded)."""
+        return cls(**body)
+
+
+def _encode_body(message: ControlMessage) -> dict:
+    return {"v": type(message).VERSION, **message._to_body()}
+
+
+def _decode_body(cls: Type[ControlMessage], body: dict) -> ControlMessage:
+    version = body.pop("v", None)
+    if not isinstance(version, int) or version < 1:
+        raise WireError(f"{cls.KIND}: missing or invalid protocol version")
+    if version > cls.VERSION:
+        raise WireError(
+            f"{cls.KIND}: version {version} is newer than spoken "
+            f"version {cls.VERSION}"
+        )
+    try:
+        return cls._from_body(body)
+    except (TypeError, ValueError, KeyError) as error:
+        raise WireError(f"malformed {cls.KIND} message: {error}") from None
+
+
+def control_message(cls: Type[ControlMessage]) -> Type[ControlMessage]:
+    """Class decorator: register ``cls`` on the wire registry by its KIND."""
+    if not cls.KIND:
+        raise WireError(f"{cls.__name__} has no KIND")
+    register_wire_type(
+        cls.KIND,
+        cls,
+        _encode_body,
+        lambda body, cls=cls: _decode_body(cls, body),
+    )
+    BY_KIND[cls.KIND] = cls
+    return cls
+
+
+def decode_message(payload: Any) -> ControlMessage:
+    """Decode a received control payload, strictly.
+
+    Raises :class:`WireError` when the payload is not the encoding of a
+    registered control message (callers count these instead of silently
+    dropping, per the control-plane hardening contract).
+    """
+    message = decode(payload)
+    if not isinstance(message, ControlMessage):
+        raise WireError(
+            f"payload is not a control message: {type(message).__name__}"
+        )
+    return message
+
+
+def encode_message(message: ControlMessage) -> dict:
+    """Encode a control message for the wire (thin alias of ``encode``)."""
+    if not isinstance(message, ControlMessage):
+        raise WireError(f"not a control message: {message!r}")
+    return encode(message)
+
+
+def _choice_to_body(choice: Dict[int, ImplOffer]) -> dict:
+    return {str(node): offer for node, offer in choice.items()}
+
+
+def _choice_from_body(wire_choice: dict) -> Dict[int, ImplOffer]:
+    return {int(node): offer for node, offer in wire_choice.items()}
+
+
+# --------------------------------------------------------------------------
+# Negotiation (§4.3) and live reconfiguration
+# --------------------------------------------------------------------------
+@control_message
+@dataclass(frozen=True)
+class Offer(ControlMessage):
+    """Negotiation request: the client's DAG plus every implementation
+    offer it holds (its own registry and its discovery view).
+
+    Direction: client → server, control socket.
+    Retransmit: client resends on a fixed timeout; the server replays its
+    original verdict from a per-``conn_id`` reply cache on duplicates.
+    """
+
+    KIND: ClassVar[str] = "bertha.offer"
+
+    conn_id: str
+    dag: ChunnelDag
+    offers: Dict[str, List[ImplOffer]]
+    client_entity: str
+    network_offers: Dict[str, List[ImplOffer]] = field(default_factory=dict)
+
+
+@control_message
+@dataclass(frozen=True)
+class Accept(ControlMessage):
+    """Negotiation response: the unified DAG, the per-node implementation
+    choice, the server's data-path address, and negotiated parameters.
+
+    Direction: server → client, control socket (reply to ``bertha.offer``).
+    Retransmit: never sent unsolicited; replayed from the server's reply
+    cache when the offer is retransmitted.
+    """
+
+    KIND: ClassVar[str] = "bertha.accept"
+
+    conn_id: str
+    dag: ChunnelDag
+    choice: Dict[int, ImplOffer]
+    data_addr: Address
+    transport: str
+    params: dict = field(default_factory=dict)
+
+    def _to_body(self) -> dict:
+        body = super()._to_body()
+        body["choice"] = _choice_to_body(self.choice)
+        return body
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "Accept":
+        body = dict(body)
+        body["choice"] = _choice_from_body(body.get("choice", {}))
+        return cls(**body)
+
+
+@control_message
+@dataclass(frozen=True)
+class Error(ControlMessage):
+    """Negotiation failure: the error's type name and text, so the client
+    re-raises the peer's exception class.
+
+    Direction: server → client, control socket (reply to ``bertha.offer``).
+    Retransmit: replayed from the server's reply cache like an accept.
+    """
+
+    KIND: ClassVar[str] = "bertha.error"
+
+    conn_id: str
+    error_type: str = "NegotiationError"
+    error: str = "negotiation failed"
+
+    @classmethod
+    def from_exception(cls, conn_id: str, error: Exception) -> "Error":
+        return cls(
+            conn_id=conn_id, error_type=type(error).__name__, error=str(error)
+        )
+
+    def raise_remote(self) -> None:
+        """Re-raise the peer-reported negotiation error locally."""
+        for cls in (
+            IncompatibleDagError,
+            NoImplementationError,
+            ResourceExhaustedError,
+        ):
+            if cls.__name__ == self.error_type:
+                raise cls(f"(from peer) {self.error}")
+        raise NegotiationError(f"(from peer) {self.error_type}: {self.error}")
+
+
+@control_message
+@dataclass(frozen=True)
+class Hello(ControlMessage):
+    """First in-band datagram after establishment: tells the server the
+    client's data address so server-initiated transitions can reach it even
+    when the data path never touches the server's socket (offloads).
+
+    Direction: client → server, in-band (data socket, ``bertha_ctl``
+    header).
+    Retransmit: none — best-effort; a lost hello only delays the server
+    learning the return address until the first data datagram.
+    """
+
+    KIND: ClassVar[str] = "bertha.hello"
+
+    conn_id: str
+
+
+@control_message
+@dataclass(frozen=True)
+class Transition(ControlMessage):
+    """Live-reconfiguration announcement: adopt stack ``epoch`` with the
+    carried binding (full DAG + per-node choice), so the peer rebuilds
+    without another negotiation round.
+
+    Direction: transition initiator → peer, in-band (``bertha_ctl``).
+    Retransmit: initiator resends on a fixed timeout until acked; the peer
+    replays cached acks for already-seen epochs (two-phase commit, see
+    PROTOCOL.md §"Live reconfiguration").
+    """
+
+    KIND: ClassVar[str] = "bertha.transition"
+
+    conn_id: str
+    epoch: int
+    dag: ChunnelDag
+    choice: Dict[int, ImplOffer]
+    reason: str = ""
+
+    def _to_body(self) -> dict:
+        body = super()._to_body()
+        body["choice"] = _choice_to_body(self.choice)
+        return body
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "Transition":
+        body = dict(body)
+        body["choice"] = _choice_from_body(body.get("choice", {}))
+        return cls(**body)
+
+
+@control_message
+@dataclass(frozen=True)
+class TransitionAck(ControlMessage):
+    """Transition acknowledgement (or refusal, with ``ok=False`` and an
+    error string): the epoch is (or could not be made) live on the peer.
+
+    Direction: transition peer → initiator, in-band (``bertha_ctl``).
+    Retransmit: sent once per received TRANSITION; duplicates of the
+    TRANSITION re-trigger it from the peer's per-epoch ack cache.
+    """
+
+    KIND: ClassVar[str] = "bertha.transition_ack"
+
+    conn_id: str
+    epoch: int
+    ok: bool
+    error: Optional[str] = None
+
+
+@control_message
+@dataclass(frozen=True)
+class TransitionRequest(ControlMessage):
+    """Client-initiated reconfiguration: please renegotiate this
+    connection (the decision still runs on the server, like establishment).
+
+    Direction: client → server, in-band (``bertha_ctl``).
+    Retransmit: none — best-effort; the client's trigger fires again if the
+    condition persists.
+    """
+
+    KIND: ClassVar[str] = "bertha.transition_request"
+
+    conn_id: str
+    reason: str = ""
+
+
+# --------------------------------------------------------------------------
+# Discovery RPCs (§4.2)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiscoveryMessage(ControlMessage):
+    """Base for discovery requests/replies: all carry a requester-unique
+    ``req_id`` (reply matching and at-most-once dedup) and an ``attempt``
+    tag (late-reply detection)."""
+
+    def stamped(self, req_id: Optional[str], attempt: Any) -> "DiscoveryMessage":
+        """A copy carrying the given request id and attempt tag."""
+        return dataclasses.replace(self, req_id=req_id, attempt=attempt)
+
+
+@control_message
+@dataclass(frozen=True)
+class Query(DiscoveryMessage):
+    """Discovery query: all registered offers for the given Chunnel types,
+    plus — when ``service_name`` is set — the service's instance addresses.
+
+    Direction: any runtime → discovery service, dedicated socket.
+    Retransmit: client resends with capped exponential backoff ± jitter;
+    the service dedups by ``req_id`` and replays the cached reply.
+    """
+
+    KIND: ClassVar[str] = "disc.query"
+
+    types: List[str] = field(default_factory=list)
+    service_name: Optional[str] = None
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class QueryReply(DiscoveryMessage):
+    """Query result: offers by Chunnel type and resolved instances.
+
+    Direction: discovery service → requester (reply to ``disc.query``).
+    Retransmit: replayed verbatim from the service's reply cache on
+    duplicate requests; ``attempt`` echoes the triggering request's tag.
+    """
+
+    KIND: ClassVar[str] = "disc.query_reply"
+
+    offers: Dict[str, List[ImplOffer]] = field(default_factory=dict)
+    instances: List[Address] = field(default_factory=list)
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Reserve(DiscoveryMessage):
+    """Reserve an offload record for ``owner`` (refcounted per owner; §6's
+    contended-offload accounting).
+
+    Direction: any runtime → discovery service, dedicated socket.
+    Retransmit: backoff like ``disc.query``; at-most-once — a retransmitted
+    reserve replays the original verdict instead of double-counting.
+    """
+
+    KIND: ClassVar[str] = "disc.reserve"
+
+    record_id: str = ""
+    owner: str = ""
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class ReserveReply(DiscoveryMessage):
+    """Reservation verdict (``ok=False`` means capacity is exhausted or the
+    record is unknown — the caller moves down its ranking).
+
+    Direction: discovery service → requester (reply to ``disc.reserve``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.reserve_reply"
+
+    ok: bool = False
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Release(DiscoveryMessage):
+    """Release one reservation held by ``owner`` on ``record_id``.
+
+    Direction: any runtime → discovery service, dedicated socket.
+    Retransmit: backoff like ``disc.query``; idempotent at the service
+    (releasing an unheld lease is a no-op), fire-and-forget at most callers.
+    """
+
+    KIND: ClassVar[str] = "disc.release"
+
+    record_id: str = ""
+    owner: str = ""
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class ReleaseReply(DiscoveryMessage):
+    """Release confirmation.
+
+    Direction: discovery service → requester (reply to ``disc.release``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.release_reply"
+
+    ok: bool = True
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Watch(DiscoveryMessage):
+    """Subscribe ``address`` to revocation/preemption pushes for a record.
+
+    Direction: any runtime → discovery service, dedicated socket.
+    Retransmit: backoff like ``disc.query``; re-subscribing is idempotent.
+    """
+
+    KIND: ClassVar[str] = "disc.watch"
+
+    record_id: str = ""
+    address: Optional[Address] = None
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class WatchReply(DiscoveryMessage):
+    """Watch confirmation.
+
+    Direction: discovery service → requester (reply to ``disc.watch``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.watch_reply"
+
+    ok: bool = True
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class RegisterName(DiscoveryMessage):
+    """Register a service instance with the cluster name service.
+
+    Direction: listener → discovery service, dedicated socket.
+    Retransmit: backoff like ``disc.query``; idempotent.
+    """
+
+    KIND: ClassVar[str] = "disc.register_name"
+
+    name: str = ""
+    address: Optional[Address] = None
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class RegisterNameReply(DiscoveryMessage):
+    """Name-registration confirmation.
+
+    Direction: discovery service → requester (reply to
+    ``disc.register_name``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.register_name_reply"
+
+    ok: bool = True
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class UnregisterName(DiscoveryMessage):
+    """Remove a service instance from the cluster name service.
+
+    Direction: listener → discovery service, dedicated socket.
+    Retransmit: backoff like ``disc.query``; idempotent.
+    """
+
+    KIND: ClassVar[str] = "disc.unregister_name"
+
+    name: str = ""
+    address: Optional[Address] = None
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class UnregisterNameReply(DiscoveryMessage):
+    """Name-removal confirmation.
+
+    Direction: discovery service → requester (reply to
+    ``disc.unregister_name``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.unregister_name_reply"
+
+    ok: bool = True
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class ServiceError(DiscoveryMessage):
+    """Discovery-service error reply (unknown or malformed request), so a
+    misbehaving client stops retransmitting instead of timing out.
+
+    Direction: discovery service → requester.
+    Retransmit: sent once per offending request.
+    """
+
+    KIND: ClassVar[str] = "disc.error"
+
+    error: str = ""
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+# --------------------------------------------------------------------------
+# Discovery pushes (no reply expected)
+# --------------------------------------------------------------------------
+@control_message
+@dataclass(frozen=True)
+class Revoked(ControlMessage):
+    """Push: an offload record was revoked (operator action or device
+    failure); holders should renegotiate away from it.
+
+    Direction: discovery service → every watcher of the record.
+    Retransmit: none — best-effort; the reservation audit sweeps up
+    watchers that missed it.
+    """
+
+    KIND: ClassVar[str] = "disc.revoked"
+
+    record_id: str = ""
+
+
+@control_message
+@dataclass(frozen=True)
+class LeaseRevoked(ControlMessage):
+    """Push: one owner's lease was preempted by a higher-priority
+    reservation; only that owner must move.
+
+    Direction: discovery service → every watcher of the record.
+    Retransmit: none — best-effort, like ``disc.revoked``.
+    """
+
+    KIND: ClassVar[str] = "disc.lease_revoked"
+
+    record_id: str = ""
+    owner: str = ""
+
+
+# --------------------------------------------------------------------------
+# Wire adapters for the rich payload types messages carry
+# --------------------------------------------------------------------------
+def _encode_dag(dag: ChunnelDag) -> dict:
+    return {
+        "nodes": [
+            {"id": node_id, "spec": spec}
+            for node_id, spec in sorted(dag.nodes.items())
+        ],
+        "edges": sorted([list(edge) for edge in dag.edges]),
+    }
+
+
+def _decode_dag(body: dict) -> ChunnelDag:
+    from .chunnel import ChunnelSpec
+
+    dag = ChunnelDag()
+    for node in body.get("nodes", []):
+        spec = node["spec"]
+        if not isinstance(spec, ChunnelSpec):
+            raise WireError(f"DAG node did not decode to a spec: {node!r}")
+        dag.nodes[int(node["id"])] = spec
+        dag._next_id = max(dag._next_id, int(node["id"]) + 1)
+    for a, b in body.get("edges", []):
+        dag.edges.add((int(a), int(b)))
+    dag.validate()
+    return dag
+
+
+register_wire_type("chunnel_dag", ChunnelDag, _encode_dag, _decode_dag)
+register_wire_type(
+    "chunnel_offer",
+    ImplOffer,
+    lambda offer: offer.to_wire(),
+    lambda body: ImplOffer.from_wire(body),
+)
+
+
+# --------------------------------------------------------------------------
+# PROTOCOL.md appendix generation
+# --------------------------------------------------------------------------
+def _docstring_parts(cls: Type[ControlMessage]) -> tuple[str, str, str]:
+    """(summary paragraph, direction, retransmit) from the docstring."""
+    doc = inspect.cleandoc(cls.__doc__ or "")
+    summary: List[str] = []
+    direction = retransmit = "—"
+    collecting = "summary"
+    for line in doc.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("Direction:"):
+            collecting = "direction"
+            direction = stripped[len("Direction:"):].strip()
+        elif stripped.startswith("Retransmit:"):
+            collecting = "retransmit"
+            retransmit = stripped[len("Retransmit:"):].strip()
+        elif not stripped:
+            if collecting == "summary" and summary:
+                collecting = "done"
+        elif collecting == "summary":
+            summary.append(stripped)
+        elif collecting == "direction":
+            direction += " " + stripped
+        elif collecting == "retransmit":
+            retransmit += " " + stripped
+    return " ".join(summary), direction, retransmit
+
+
+def protocol_appendix() -> str:
+    """The PROTOCOL.md control-message catalogue, generated from this
+    module's docstrings.  ``tests/core/test_protocol_doc.py`` keeps the
+    committed document in sync with this output."""
+    lines = [
+        "## Appendix A — control-message catalogue",
+        "",
+        "Generated from the `repro.core.messages` schema "
+        "(`python -c 'from repro.core import messages; "
+        "print(messages.protocol_appendix())'`). Every message is a frozen "
+        "dataclass registered on the tagged wire encoding; payloads carry a "
+        "`v` version field and receivers reject versions newer than they "
+        "speak. Do not edit this appendix by hand.",
+        "",
+    ]
+    for kind in sorted(BY_KIND):
+        cls = BY_KIND[kind]
+        summary, direction, retransmit = _docstring_parts(cls)
+        field_names = ", ".join(f"`{f.name}`" for f in fields(cls))
+        lines += [
+            f"### `{kind}` (v{cls.VERSION}) — {cls.__name__}",
+            "",
+            summary,
+            "",
+            f"- **Fields:** {field_names}",
+            f"- **Direction:** {direction}",
+            f"- **Retransmit:** {retransmit}",
+            "",
+        ]
+    return "\n".join(lines)

@@ -13,8 +13,10 @@ Negotiation runs when a connection is established:
 4. the server replies with the unified DAG, the per-node choice, and the
    data-path address; both sides instantiate their stacks.
 
-This module is the *decision* logic plus the message formats; the message
-*exchange* lives with the endpoints in :mod:`repro.core.runtime`.
+This module is the *decision* logic only.  The message formats live in
+:mod:`repro.core.messages` (typed, versioned, wire-registered) and the
+message *exchange* lives with the endpoints in :mod:`repro.core.runtime`
+on the shared RPC core (:mod:`repro.core.rpc`).
 """
 
 from __future__ import annotations
@@ -23,8 +25,6 @@ from typing import Callable, Optional
 
 from ..errors import (
     ConnectionTimeoutError,
-    IncompatibleDagError,
-    NegotiationError,
     NoImplementationError,
     ResourceExhaustedError,
 )
@@ -32,159 +32,14 @@ from .chunnel import Offer
 from .dag import ChunnelDag
 from .policy import Policy, PolicyContext
 from .scope import Endpoints, Placement
-from .wire import decode, encode
 
 __all__ = [
-    "OFFER_KIND",
-    "ACCEPT_KIND",
-    "ERROR_KIND",
-    "TRANSITION_KIND",
-    "TRANSITION_ACK_KIND",
-    "TRANSITION_REQUEST_KIND",
-    "build_offer_message",
-    "build_accept_message",
-    "build_error_message",
-    "build_transition_message",
-    "build_transition_ack",
     "feasible_offers",
     "decide",
     "decide_with_reservations",
 ]
 
-OFFER_KIND = "bertha.offer"
-ACCEPT_KIND = "bertha.accept"
-ERROR_KIND = "bertha.error"
-#: Server→client (in-band, over the data socket): adopt a new stack epoch.
-TRANSITION_KIND = "bertha.transition"
-#: Client→server: the epoch is (or could not be) live on the client.
-TRANSITION_ACK_KIND = "bertha.transition_ack"
-#: Client→server: please renegotiate this connection (client-initiated
-#: reconfiguration; the decision still runs on the server, like establishment).
-TRANSITION_REQUEST_KIND = "bertha.transition_request"
-
 Reserver = Callable[[Offer], bool]
-
-
-# --------------------------------------------------------------------------
-# Message formats
-# --------------------------------------------------------------------------
-def build_offer_message(
-    conn_id: str,
-    dag: ChunnelDag,
-    offers: dict[str, list[Offer]],
-    client_entity: str,
-) -> dict:
-    """The client→server negotiation request."""
-    return {
-        "kind": OFFER_KIND,
-        "conn_id": conn_id,
-        "dag": dag.to_wire(),
-        "offers": {
-            ctype: [offer.to_wire() for offer in offer_list]
-            for ctype, offer_list in offers.items()
-        },
-        "client_entity": client_entity,
-    }
-
-
-def build_accept_message(
-    conn_id: str,
-    dag: ChunnelDag,
-    choice: dict[int, Offer],
-    data_host: str,
-    data_port: int,
-    transport: str,
-    params: Optional[dict] = None,
-) -> dict:
-    """The server→client negotiation response."""
-    return {
-        "kind": ACCEPT_KIND,
-        "conn_id": conn_id,
-        "dag": dag.to_wire(),
-        "choice": {str(node): offer.to_wire() for node, offer in choice.items()},
-        "data_host": data_host,
-        "data_port": data_port,
-        "transport": transport,
-        "params": encode(params or {}),
-    }
-
-
-def build_transition_message(
-    conn_id: str,
-    epoch: int,
-    dag: ChunnelDag,
-    choice: dict[int, Offer],
-    reason: str = "",
-) -> dict:
-    """The server→client live-reconfiguration announcement (PROTOCOL.md
-    §"Live reconfiguration").  Carries the full new binding so the client
-    can build the epoch's stack without another negotiation round."""
-    return {
-        "kind": TRANSITION_KIND,
-        "conn_id": conn_id,
-        "epoch": epoch,
-        "dag": dag.to_wire(),
-        "choice": {str(node): offer.to_wire() for node, offer in choice.items()},
-        "reason": reason,
-    }
-
-
-def build_transition_ack(
-    conn_id: str,
-    epoch: int,
-    ok: bool,
-    error: Optional[str] = None,
-) -> dict:
-    """The client→server transition acknowledgement (or refusal)."""
-    return {
-        "kind": TRANSITION_ACK_KIND,
-        "conn_id": conn_id,
-        "epoch": epoch,
-        "ok": ok,
-        "error": error,
-    }
-
-
-def build_error_message(conn_id: str, error: Exception) -> dict:
-    """The server→client negotiation failure response."""
-    return {
-        "kind": ERROR_KIND,
-        "conn_id": conn_id,
-        "error_type": type(error).__name__,
-        "error": str(error),
-    }
-
-
-def parse_offers(wire_offers: dict) -> dict[str, list[Offer]]:
-    """Decode the offers section of an offer message."""
-    return {
-        ctype: [Offer.from_wire(o) for o in offer_list]
-        for ctype, offer_list in wire_offers.items()
-    }
-
-
-def parse_choice(wire_choice: dict) -> dict[int, Offer]:
-    """Decode the choice section of an accept message."""
-    return {int(node): Offer.from_wire(o) for node, o in wire_choice.items()}
-
-
-def parse_params(wire_params) -> dict:
-    """Decode the params section of an accept message."""
-    return decode(wire_params) or {}
-
-
-def raise_remote_error(message: dict) -> None:
-    """Re-raise a negotiation error reported by the peer."""
-    error_type = message.get("error_type", "NegotiationError")
-    text = message.get("error", "negotiation failed")
-    for cls in (
-        IncompatibleDagError,
-        NoImplementationError,
-        ResourceExhaustedError,
-    ):
-        if cls.__name__ == error_type:
-            raise cls(f"(from peer) {text}")
-    raise NegotiationError(f"(from peer) {error_type}: {text}")
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,232 @@
+"""The control plane's one reliable-RPC primitive.
+
+Negotiation (``runtime._negotiate_once``), the discovery client, and the
+reconfiguration TRANSITION/ACK exchange all follow the same loop —
+attempt-tagged send, bounded wait, retry with (optionally backed-off,
+jittered) timeouts, match the reply, give up after N attempts — and each
+used to hand-roll it.  This module is that loop, written once:
+
+* :class:`RetryPolicy` — the timing contract (base timeout, retry count,
+  exponential backoff factor, cap, deterministic jitter);
+* :func:`call` — the generator that drives one RPC to completion, charging
+  a shared :class:`RpcStats`;
+* :func:`socket_waiter` / :func:`event_waiter` — the two wait flavours:
+  a fresh datagram per attempt window, or a pre-registered event an
+  out-of-band deliverer (the connection pump) fulfils;
+* :class:`ReplyCache` — the receiver side of the contract: a bounded FIFO
+  of request key → cached verdict, replayed on retransmissions so retried
+  requests stay at-most-once.
+
+Semantics preserved from the hand-rolled loops (chaos-mode determinism
+depends on them): each attempt waits for at most *one* reply up to its
+timeout — a non-matching reply wastes the rest of the attempt window — and
+a timed-out receive is cancelled so a mailbox getter does not swallow a
+later datagram.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import ConnectionTimeoutError
+
+__all__ = [
+    "RetryPolicy",
+    "RpcStats",
+    "ReplyCache",
+    "call",
+    "socket_waiter",
+    "event_waiter",
+]
+
+
+class RetryPolicy:
+    """Timing contract for one class of RPCs.
+
+    ``timeout`` is the first attempt's wait; each further attempt waits
+    ``timeout * backoff**attempt`` capped at ``max_timeout``, scaled by a
+    deterministic ±``jitter`` fraction when the caller supplies an RNG
+    (retransmit desynchronization without breaking reproducibility).
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        retries: int,
+        backoff: float = 1.0,
+        max_timeout: Optional[float] = None,
+        jitter: float = 0.0,
+    ):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries!r}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff!r}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.jitter = jitter
+
+    def attempt_timeout(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """The wait budget for the given 0-based attempt."""
+        base = self.timeout * (self.backoff**attempt)
+        if self.max_timeout is not None:
+            base = min(base, self.max_timeout)
+        if self.jitter and rng is not None:
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RetryPolicy timeout={self.timeout} retries={self.retries} "
+            f"backoff={self.backoff}>"
+        )
+
+
+class RpcStats:
+    """Shared counters one RPC caller accumulates across calls.
+
+    The chaos experiment reads these; every control-plane dialect charging
+    the same counter names is what makes retransmit metrics uniform.
+    """
+
+    __slots__ = ("round_trips", "retransmits_total", "late_replies", "failures_total")
+
+    def __init__(self) -> None:
+        self.round_trips = 0
+        self.retransmits_total = 0
+        self.late_replies = 0
+        self.failures_total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RpcStats rt={self.round_trips} rtx={self.retransmits_total} "
+            f"late={self.late_replies} fail={self.failures_total}>"
+        )
+
+
+class ReplyCache:
+    """Bounded FIFO of request key → cached reply (at-most-once dedup).
+
+    Retransmissions arrive within a retry window, so evicting the oldest
+    entries once past ``limit`` is safe — by then the requester has either
+    its answer or its timeout.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit!r}")
+        self.limit = limit
+        self._items: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        return self._items.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._items[key] = value
+        while len(self._items) > self.limit:
+            self._items.popitem(last=False)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReplyCache {len(self._items)}/{self.limit}>"
+
+
+def call(
+    env: Any,
+    policy: RetryPolicy,
+    send: Callable[[int], None],
+    wait: Callable[[int, float], Generator[Any, Any, Any]],
+    stats: Optional[RpcStats] = None,
+    rng: Optional[random.Random] = None,
+    describe: str = "rpc",
+) -> Generator[Any, Any, Any]:
+    """Generator: drive one RPC to a matched reply or exhaustion.
+
+    Per attempt: ``send(attempt)`` transmits (the attempt tag lets
+    receivers echo it for late-reply detection), then ``wait(attempt,
+    timeout)`` — a generator — returns the matched reply or None on
+    timeout/mismatch.  A matched reply is returned (counted as a round
+    trip); exhausting ``policy.retries`` raises
+    :class:`ConnectionTimeoutError` (counted as a failure).  ``wait`` may
+    raise to abort early — e.g. a peer-reported negotiation error.
+    """
+    stats = stats if stats is not None else RpcStats()
+    for attempt in range(policy.retries):
+        if attempt:
+            stats.retransmits_total += 1
+        send(attempt)
+        reply = yield from wait(attempt, policy.attempt_timeout(attempt, rng))
+        if reply is None:
+            continue
+        stats.round_trips += 1
+        return reply
+    stats.failures_total += 1
+    raise ConnectionTimeoutError(
+        f"{describe}: no answer after {policy.retries} attempts"
+    )
+
+
+def socket_waiter(
+    env: Any,
+    socket: Any,
+    match: Callable[[Any, int], Any],
+) -> Callable[[int, float], Generator[Any, Any, Any]]:
+    """A ``wait`` over a datagram socket.
+
+    Each attempt window waits for at most one datagram; ``match(dgram,
+    attempt)`` returns the reply to deliver or None to discard (a discard
+    wastes the remaining window — the pre-refactor semantics all three
+    hand-rolled loops shared).  A timed-out receive is cancelled
+    (``succeed(None)``) so the mailbox getter cannot swallow a later
+    datagram.
+    """
+
+    def wait(attempt: int, timeout: float) -> Generator[Any, Any, Any]:
+        deadline = env.timeout(timeout)
+        receive = socket.recv()
+        yield env.any_of([receive, deadline])
+        if not receive.processed:
+            if not receive.triggered:
+                receive.succeed(None)  # cancel (Store.put skips triggered getters)
+            return None
+        return match(receive.value, attempt)
+
+    return wait
+
+
+def event_waiter(
+    env: Any, event: Any
+) -> Callable[[int, float], Generator[Any, Any, Any]]:
+    """A ``wait`` over one pre-registered event.
+
+    For exchanges whose replies arrive out-of-band — the reconfiguration
+    ACK is delivered by the connection pump into an event the initiator
+    parked per epoch — every attempt watches the same event; retransmits
+    merely re-send.
+    """
+
+    def wait(attempt: int, timeout: float) -> Generator[Any, Any, Any]:
+        deadline = env.timeout(timeout)
+        yield env.any_of([event, deadline])
+        if event.processed:
+            return event.value
+        return None
+
+    return wait

@@ -26,8 +26,8 @@ implementation declares resource needs.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+import logging
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import warnings
 
@@ -41,26 +41,17 @@ from ..errors import (
 from ..sim.datagram import Address
 from ..sim.eventloop import Event, Interrupt
 from ..sim.resources import Store
-from ..sim.transport import PipeSocket, SimSocket, UdpSocket
+from ..sim.transport import SimSocket, UdpSocket
+from . import messages as msgs
+from . import rpc
 from .chunnel import ChunnelSpec, Offer, Role
 from .connection import Connection, next_conn_id
 from .dag import ChunnelDag, wrap
-from .negotiation import (
-    ACCEPT_KIND,
-    ERROR_KIND,
-    OFFER_KIND,
-    build_accept_message,
-    build_error_message,
-    build_offer_message,
-    decide_with_reservations,
-    parse_choice,
-    parse_offers,
-    parse_params,
-    raise_remote_error,
-)
+from .establish import establish_connection
+from .negotiation import decide_with_reservations
 from .policy import DefaultPolicy, Policy, PolicyContext
 from .registry import ChunnelRegistry, ImplCatalog, catalog as default_catalog
-from .stack import SetupContext, build_stage_map, instantiate_impls
+from .wire import WireError, message_size, wire_kind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.host import NetEntity
@@ -69,25 +60,7 @@ __all__ = ["Runtime", "Endpoint", "Listener"]
 
 ConnectTarget = Union[Address, str, Sequence[Address]]
 
-
-def _message_size(message: dict) -> int:
-    """Deterministic rough wire size of a control message."""
-    return len(str(message))
-
-
-def _wait_with_timeout(env, event: Event, timeout: float):
-    """Generator: wait for ``event`` or ``timeout`` seconds.
-
-    Returns the event's value, or None on timeout (the event is cancelled
-    so a mailbox getter does not swallow a later item).
-    """
-    deadline = env.timeout(timeout)
-    yield env.any_of([event, deadline])
-    if event.processed:
-        return event.value
-    if not event.triggered:
-        event.succeed(None)  # cancel (Store.put skips triggered getters)
-    return None
+_log = logging.getLogger("repro.ctl")
 
 
 class Runtime:
@@ -137,6 +110,10 @@ class Runtime:
         #: Fire-and-forget discovery releases that timed out (the lease
         #: stays until the owner retries or the record is revoked).
         self.release_failures = 0
+        #: Shared RPC counters for this process's negotiation exchanges
+        #: (the offer/accept loop charges the same counter names the
+        #: discovery client does — one retransmit dialect).
+        self.negotiation_stats = rpc.RpcStats()
         if discovery is None:
             self.discovery = NullDiscoveryClient(entity)
         elif isinstance(discovery, Address):
@@ -321,18 +298,18 @@ class Endpoint:
         client_offers = runtime.registry.offers_for(
             sorted(query_types), origin="client"
         )
-        offer_msg = build_offer_message(
-            conn_id, self.dag, client_offers, runtime.entity.name
+        offer_msg = msgs.Offer(
+            conn_id=conn_id,
+            dag=self.dag,
+            offers=client_offers,
+            client_entity=runtime.entity.name,
+            network_offers=network_offers,
         )
-        offer_msg["network_offers"] = {
-            ctype: [o.to_wire() for o in offers]
-            for ctype, offers in network_offers.items()
-        }
 
         # Round trip 2: offer/accept with each target endpoint.
         ctl = UdpSocket(runtime.entity)
         try:
-            accepts = []
+            accepts: list[msgs.Accept] = []
             for addr in targets:
                 accept = yield from self._negotiate_once(
                     ctl, addr, offer_msg, timeout, retries
@@ -342,63 +319,33 @@ class Endpoint:
             ctl.close()
 
         first = accepts[0]
-        dag = ChunnelDag.from_wire(first["dag"])
-        choice = parse_choice(first["choice"])
-        shapes = {ChunnelDag.from_wire(a["dag"]).canonical_shape() for a in accepts}
+        dag = first.dag
+        choice = first.choice
+        shapes = {a.dag.canonical_shape() for a in accepts}
         if len(shapes) != 1:
             raise NegotiationError(
                 f"{conn_id}: group endpoints negotiated different DAGs"
             )
-        params = parse_params(first["params"])
+        params = dict(first.params)
         if len(accepts) > 1:
-            params["per_peer"] = [parse_params(a["params"]) for a in accepts]
-        transport = first["transport"]
-        peers = [Address(a["data_host"], a["data_port"]) for a in accepts]
+            params["per_peer"] = [dict(a.params) for a in accepts]
+        peers = [a.data_addr for a in accepts]
 
-        impls = instantiate_impls(dag, choice, runtime.catalog)
-        contexts: list[SetupContext] = []
-        server_entity = peers[0].host
-        for node_id in dag.topological_order():
-            ctx = SetupContext(
-                runtime=runtime,
-                role=Role.CLIENT,
-                conn_id=conn_id,
-                dag=dag,
-                offer=choice[node_id],
-                spec=dag.nodes[node_id],
-                client_entity=runtime.entity.name,
-                server_entity=server_entity,
-                params=params,
-            )
-            impls[node_id].setup(ctx)
-            contexts.append(ctx)
-        socket = _make_data_socket(runtime.entity, transport)
-        stage_map = build_stage_map(dag, impls, Role.CLIENT)
-        connection = Connection(
-            runtime=runtime,
+        return establish_connection(
+            runtime,
             name=self.name,
             conn_id=conn_id,
             role=Role.CLIENT,
             dag=dag,
-            impls=impls,
-            stack_stages=stage_map,
-            socket=socket,
-            peers=peers,
-            transport=transport,
-            params=params,
-            setup_contexts=contexts,
             choice=choice,
             client_entity=runtime.entity.name,
-            server_entity=server_entity,
+            server_entity=peers[0].host,
+            peers=peers,
+            transport=first.transport,
+            params=params,
+            degraded=degraded,
+            hello=True,
         )
-        connection.degraded = degraded
-        for node_id, ctx in zip(dag.topological_order(), contexts):
-            impls[node_id].after_establish(ctx, connection)
-        # Tell the server our data address (offload programs pass control
-        # datagrams through), so it can initiate live transitions even when
-        # the data path never reaches its socket.
-        connection.send_ctl({"kind": "bertha.hello", "conn_id": conn_id})
-        return connection
 
     def connect_raw(self, target: Address) -> Connection:
         """Interoperate with a *non-Bertha* datagram peer.
@@ -444,42 +391,18 @@ class Endpoint:
                 path_switches=[],
             )
             choice[node_id] = runtime.policy.rank(spec, usable, ctx)[0]
-        impls = instantiate_impls(dag, choice, runtime.catalog)
-        contexts: list[SetupContext] = []
-        for node_id in dag.topological_order():
-            ctx = SetupContext(
-                runtime=runtime,
-                role=Role.CLIENT,
-                conn_id=conn_id,
-                dag=dag,
-                offer=choice[node_id],
-                spec=dag.nodes[node_id],
-                client_entity=runtime.entity.name,
-                server_entity=target.host,
-            )
-            impls[node_id].setup(ctx)
-            contexts.append(ctx)
-        socket = UdpSocket(runtime.entity)
-        stage_map = build_stage_map(dag, impls, Role.CLIENT)
-        connection = Connection(
-            runtime=runtime,
+        return establish_connection(
+            runtime,
             name=self.name,
             conn_id=conn_id,
             role=Role.CLIENT,
             dag=dag,
-            impls=impls,
-            stack_stages=stage_map,
-            socket=socket,
-            peers=[target],
-            transport="udp",
-            setup_contexts=contexts,
             choice=choice,
             client_entity=runtime.entity.name,
             server_entity=target.host,
+            peers=[target],
+            transport="udp",
         )
-        for node_id, ctx in zip(dag.topological_order(), contexts):
-            impls[node_id].after_establish(ctx, connection)
-        return connection
 
     def _select_instance(self, instances: list[Address]) -> Address:
         """Pick which service instance to negotiate with.
@@ -502,37 +425,43 @@ class Endpoint:
         self,
         ctl: SimSocket,
         server_addr: Address,
-        offer_msg: dict,
+        offer_msg: "msgs.Offer",
         timeout: float,
         retries: int,
     ):
-        """One offer/accept exchange, with retransmission."""
-        env = self.runtime.env
-        for _attempt in range(retries):
-            ctl.send(offer_msg, server_addr, size=_message_size(offer_msg))
-            dgram = yield from _wait_with_timeout(env, ctl.recv(), timeout)
-            if dgram is None:
-                continue
-            reply = dgram.payload
-            if not isinstance(reply, dict):
-                continue
-            if reply.get("conn_id") != offer_msg["conn_id"]:
-                continue
-            if reply.get("kind") == ACCEPT_KIND:
+        """One offer/accept exchange, with retransmission (the shared
+        reliable-RPC core; fixed timeout, no backoff — establishment's
+        latency budget is the paper's two round trips)."""
+        runtime = self.runtime
+        payload = msgs.encode_message(offer_msg)
+        size = message_size(payload)
+
+        def send(_attempt: int) -> None:
+            ctl.send(payload, server_addr, size=size)
+
+        def match(dgram, _attempt: int):
+            try:
+                reply = msgs.decode_message(dgram.payload)
+            except WireError:
+                return None
+            if getattr(reply, "conn_id", None) != offer_msg.conn_id:
+                return None
+            if isinstance(reply, msgs.Accept):
                 return reply
-            if reply.get("kind") == ERROR_KIND:
-                raise_remote_error(reply)
-        raise ConnectionTimeoutError(
-            f"no answer from {server_addr} after {retries} negotiation attempts"
+            if isinstance(reply, msgs.Error):
+                reply.raise_remote()
+            return None
+
+        return (
+            yield from rpc.call(
+                runtime.env,
+                rpc.RetryPolicy(timeout=timeout, retries=retries),
+                send,
+                rpc.socket_waiter(runtime.env, ctl, match),
+                stats=runtime.negotiation_stats,
+                describe=f"negotiation with {server_addr}",
+            )
         )
-
-
-def _make_data_socket(entity: "NetEntity", transport: str) -> SimSocket:
-    if transport == "pipe":
-        return PipeSocket(entity)
-    if transport == "udp":
-        return UdpSocket(entity)
-    raise NegotiationError(f"unknown negotiated transport {transport!r}")
 
 
 class Listener:
@@ -555,11 +484,15 @@ class Listener:
         self.connections: list[Connection] = []
         self.optimizations: list = []  # OptimizationResults applied (§6)
         self.negotiations_failed = 0
+        #: Control datagrams rejected as malformed or unexpected (anything
+        #: that is not a well-formed OFFER); each offending kind is logged
+        #: once per listener.
+        self.ctl_malformed_total = 0
+        self._malformed_logged: set = set()
         self._closed = False
-        # Reply cache for offer retransmissions, bounded FIFO: retries
-        # arrive within a retry window, so old entries are safe to evict.
-        self._replies: "OrderedDict[str, dict]" = OrderedDict()
-        self._reply_cache_limit = 1024
+        # Reply cache for offer retransmissions: retries arrive within a
+        # retry window, so old entries are safe to evict.
+        self._replies: rpc.ReplyCache = rpc.ReplyCache(1024)
         self._network_offers: dict[str, list[Offer]] = {}
         self._network_offers_at: Optional[float] = None
         self._server = self.env.process(
@@ -619,24 +552,48 @@ class Listener:
                 dgram = yield self.ctl.recv()
             except Interrupt:
                 return
-            message = dgram.payload
-            if not isinstance(message, dict) or message.get("kind") != OFFER_KIND:
+            try:
+                message = msgs.decode_message(dgram.payload)
+            except WireError as error:
+                self._count_malformed(dgram.payload, error)
                 continue
-            conn_id = message.get("conn_id", "")
+            if not isinstance(message, msgs.Offer):
+                self._count_malformed(
+                    dgram.payload, f"unexpected {message.KIND} on a listener"
+                )
+                continue
+            conn_id = message.conn_id
             cached = self._replies.get(conn_id)
             if cached is not None:
                 # Client retransmission: repeat the original verdict.
-                self.ctl.send(cached, dgram.src, size=_message_size(cached))
+                self._send_reply(cached, dgram.src)
                 continue
             try:
                 reply = yield from self._handle_offer(message)
             except NegotiationError as error:
                 self.negotiations_failed += 1
-                reply = build_error_message(conn_id, error)
-            self._replies[conn_id] = reply
-            while len(self._replies) > self._reply_cache_limit:
-                self._replies.popitem(last=False)
-            self.ctl.send(reply, dgram.src, size=_message_size(reply))
+                reply = msgs.Error.from_exception(conn_id, error)
+            self._replies.put(conn_id, reply)
+            self._send_reply(reply, dgram.src)
+
+    def _send_reply(self, message: "msgs.ControlMessage", dst: Address) -> None:
+        payload = msgs.encode_message(message)
+        self.ctl.send(payload, dst, size=message_size(payload))
+
+    def _count_malformed(self, payload, error) -> None:
+        """Count (and log, once per kind) a rejected control datagram."""
+        self.ctl_malformed_total += 1
+        kind = wire_kind(payload)
+        if kind is None:
+            kind = type(payload).__name__
+        if kind not in self._malformed_logged:
+            self._malformed_logged.add(kind)
+            _log.warning(
+                "%s: dropping malformed control message kind=%r (%s)",
+                self.endpoint.name,
+                kind,
+                error,
+            )
 
     def _refresh_network_offers(self):
         types = set(self.endpoint.dag.chunnel_types()) | (
@@ -664,7 +621,7 @@ class Listener:
         return (self.env.now - self._network_offers_at) > ttl
 
     def _assemble_candidates(
-        self, chunnel_types: list[str], message: dict
+        self, chunnel_types: list[str], message: "msgs.Offer"
     ) -> dict[str, list[Offer]]:
         """The candidate pool for the given types: client offers (from the
         message), server offers (this process's registry), and network
@@ -673,8 +630,7 @@ class Listener:
         runtime = self.runtime
         candidates: dict[str, list[Offer]] = {}
         wanted = set(chunnel_types)
-        client_offers = parse_offers(message.get("offers", {}))
-        for ctype, offers in client_offers.items():
+        for ctype, offers in message.offers.items():
             if ctype in wanted:
                 candidates.setdefault(ctype, []).extend(offers)
         for ctype, offers in runtime.registry.offers_for(
@@ -682,12 +638,7 @@ class Listener:
         ).items():
             candidates.setdefault(ctype, []).extend(offers)
         seen_records: set[str] = set()
-        wire_network = message.get("network_offers", {})
-        network_pool = {
-            ctype: [Offer.from_wire(o) for o in offers]
-            for ctype, offers in wire_network.items()
-        }
-        for pool in (network_pool, self._network_offers):
+        for pool in (message.network_offers, self._network_offers):
             for ctype, offers in pool.items():
                 if ctype not in wanted:
                     continue
@@ -700,7 +651,7 @@ class Listener:
         return candidates
 
     def _optimized_dag(
-        self, dag: ChunnelDag, message: dict, ctx: PolicyContext
+        self, dag: ChunnelDag, message: "msgs.Offer", ctx: PolicyContext
     ) -> Optional[ChunnelDag]:
         """Apply the §6 optimizer; returns the transformed DAG or None."""
         optimizer = self.runtime.optimizer
@@ -736,13 +687,12 @@ class Listener:
         self.optimizations.append(result)
         return result.dag
 
-    def _handle_offer(self, message: dict):
+    def _handle_offer(self, message: "msgs.Offer"):
         """Generator: negotiate one connection; returns the reply message."""
         runtime = self.runtime
-        conn_id = message["conn_id"]
-        client_entity = message["client_entity"]
-        client_dag = ChunnelDag.from_wire(message["dag"])
-        dag = ChunnelDag.unify(client_dag, self.endpoint.dag)
+        conn_id = message.conn_id
+        client_entity = message.client_entity
+        dag = ChunnelDag.unify(message.dag, self.endpoint.dag)
 
         if self._offers_stale():
             try:
@@ -781,60 +731,31 @@ class Listener:
                 "negotiation produced no choice"
             )
 
-        # Instantiate, run server-side setup hooks, create the data socket.
-        impls = instantiate_impls(dag, choice, runtime.catalog)
-        params: dict = {}
-        contexts: list[SetupContext] = []
-        for node_id in dag.topological_order():
-            setup_ctx = SetupContext(
-                runtime=runtime,
-                role=Role.SERVER,
-                conn_id=conn_id,
-                dag=dag,
-                offer=choice[node_id],
-                spec=dag.nodes[node_id],
-                client_entity=client_entity,
-                server_entity=runtime.entity.name,
-                params=params,
-                reservations=reservations,
-            )
-            impls[node_id].setup(setup_ctx)
-            contexts.append(setup_ctx)
-        transport = params.get("transport", "udp")
-        socket = _make_data_socket(runtime.entity, transport)
-        stage_map = build_stage_map(dag, impls, Role.SERVER)
-        connection = Connection(
-            runtime=runtime,
+        # The shared pipeline: instantiate, run server-side setup hooks
+        # (transport negotiation happens there), socket, stack, connection.
+        connection = establish_connection(
+            runtime,
             name=self.endpoint.name,
             conn_id=conn_id,
             role=Role.SERVER,
             dag=dag,
-            impls=impls,
-            stack_stages=stage_map,
-            socket=socket,
-            peers=[],
-            transport=transport,
-            params=params,
-            setup_contexts=contexts,
             choice=choice,
             client_entity=client_entity,
             server_entity=runtime.entity.name,
+            reservations=reservations,
             negotiation_state={"message": message, "ctx": ctx, "owner": owner},
         )
-        for node_id, setup_ctx in zip(dag.topological_order(), contexts):
-            impls[node_id].after_establish(setup_ctx, connection)
         if self.auto_reconfig:
             runtime.reconfig.watch(connection)
         self.connections.append(connection)
         self.accepted.put(connection)
-        return build_accept_message(
-            conn_id,
-            dag,
-            choice,
-            data_host=socket.address.host,
-            data_port=socket.address.port,
-            transport=transport,
-            params=params,
+        return msgs.Accept(
+            conn_id=conn_id,
+            dag=dag,
+            choice=choice,
+            data_addr=connection.local_address,
+            transport=connection.transport,
+            params=dict(connection.params),
         )
 
     def _policy_context(self, client_entity: str) -> PolicyContext:

@@ -22,12 +22,18 @@ __all__ = [
     "encode",
     "decode",
     "register_wire_type",
+    "message_size",
+    "wire_kind",
     "WireError",
     "EPOCH_HEADER",
     "CTL_HEADER",
 ]
 
 _KIND_KEY = "__kind__"
+
+#: Floor for :func:`message_size`: headers and framing dominate tiny
+#: control messages, so nothing goes on the wire for less than this.
+MIN_MESSAGE_SIZE = 64
 
 #: Data-plane header carrying the sender's stack epoch.  Absent on messages
 #: from a connection that has never transitioned (epoch 0 is implicit), so
@@ -122,6 +128,28 @@ def decode(value: Any) -> Any:
         body = {k: decode(v) for k, v in value.items() if k != _KIND_KEY}
         return decoder(body)
     raise WireError(f"malformed wire value: {value!r}")
+
+
+def message_size(encoded: Any) -> int:
+    """Deterministic wire size (bytes) of an already-encoded payload.
+
+    Content-derived — the same message always costs the same, which is what
+    keeps chaos runs bit-reproducible — with a floor of
+    :data:`MIN_MESSAGE_SIZE` for framing.  Takes the *encoded* form (the
+    output of :func:`encode`) so callers size exactly what they send.
+    """
+    return max(MIN_MESSAGE_SIZE, len(str(encoded)))
+
+
+def wire_kind(payload: Any) -> Any:
+    """The wire tag of an encoded payload, or None if it has none.
+
+    Lets tests and fault injectors match control messages by kind without
+    decoding (or knowing the tag-key spelling).
+    """
+    if isinstance(payload, dict):
+        return payload.get(_KIND_KEY)
+    return None
 
 
 def _register_builtin_types() -> None:

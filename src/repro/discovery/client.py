@@ -25,8 +25,10 @@ import random
 import zlib
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from ..core import messages as msgs
+from ..core import rpc
 from ..core.chunnel import Offer
-from ..errors import ConnectionTimeoutError
+from ..core.wire import WireError, message_size
 from ..sim.datagram import Address
 from ..sim.transport import UdpSocket
 
@@ -41,9 +43,6 @@ __all__ = [
     "DirectDiscoveryClient",
     "NullDiscoveryClient",
 ]
-
-_QUERY_SIZE = 96
-_SMALL_REQUEST_SIZE = 48
 
 
 class QueryResult:
@@ -123,14 +122,13 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         max_timeout: float = 20e-3,
         jitter: float = 0.2,
     ):
-        if timeout <= 0:
-            raise ValueError("timeout must be positive")
-        if retries < 1:
-            raise ValueError("retries must be at least 1")
-        if backoff < 1.0:
-            raise ValueError("backoff factor must be >= 1")
-        if not 0 <= jitter < 1:
-            raise ValueError("jitter must be in [0, 1)")
+        self.policy = rpc.RetryPolicy(
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            max_timeout=max_timeout,
+            jitter=jitter,
+        )
         self.entity = entity
         self.env = entity.env
         self.service_address = service_address
@@ -143,118 +141,92 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         # the retransmit schedule nondeterministic across runs.
         self._rng = random.Random(zlib.crc32(entity.name.encode()))
         self._req_counter = 0
-        self.round_trips = 0
-        self.retransmits_total = 0
-        self.late_replies = 0
-        self.failures_total = 0
+        self.stats = rpc.RpcStats()
+
+    # Counter views over the shared RPC stats (the chaos experiment and
+    # the robustness tests read these names).
+    @property
+    def round_trips(self) -> int:
+        return self.stats.round_trips
+
+    @property
+    def retransmits_total(self) -> int:
+        return self.stats.retransmits_total
+
+    @property
+    def late_replies(self) -> int:
+        return self.stats.late_replies
+
+    @property
+    def failures_total(self) -> int:
+        return self.stats.failures_total
 
     def _attempt_timeout(self, attempt: int) -> float:
-        base = min(self.timeout * self.backoff**attempt, self.max_timeout)
-        if not self.jitter:
-            return base
-        return base * (1 + self._rng.uniform(-self.jitter, self.jitter))
+        return self.policy.attempt_timeout(attempt, self._rng)
 
-    def _rpc(self, request: dict, size: int):
+    def _rpc(self, request: "msgs.DiscoveryMessage"):
         """One request/response exchange with backoff-based retransmit."""
         self._req_counter += 1
-        request = dict(request)
         req_id = f"{self.entity.name}-{self._req_counter}"
-        request["req_id"] = req_id
         socket = UdpSocket(self.entity)
+
+        def send(attempt: int) -> None:
+            payload = msgs.encode_message(request.stamped(req_id, attempt))
+            socket.send(
+                payload, self.service_address, size=message_size(payload)
+            )
+
+        def match(dgram, attempt: int):
+            try:
+                reply = msgs.decode_message(dgram.payload)
+            except WireError:
+                return None
+            if getattr(reply, "req_id", None) != req_id:
+                return None
+            if getattr(reply, "attempt", attempt) != attempt:
+                self.stats.late_replies += 1
+            return reply
+
         try:
-            for attempt in range(self.retries):
-                if attempt:
-                    self.retransmits_total += 1
-                request["attempt"] = attempt
-                socket.send(dict(request), self.service_address, size=size)
-                deadline = self.env.timeout(self._attempt_timeout(attempt))
-                receive = socket.recv()
-                yield self.env.any_of([receive, deadline])
-                if not receive.processed:
-                    # Cancel the dangling getter so a late reply is dropped.
-                    receive.succeed(None)
-                    continue
-                reply = receive.value.payload
-                if (
-                    isinstance(reply, dict)
-                    and reply.get("req_id") == req_id
-                ):
-                    if reply.get("attempt", attempt) != attempt:
-                        self.late_replies += 1
-                    self.round_trips += 1
-                    return reply
-            self.failures_total += 1
-            raise ConnectionTimeoutError(
-                f"discovery service at {self.service_address} did not answer "
-                f"after {self.retries} attempts"
+            return (
+                yield from rpc.call(
+                    self.env,
+                    self.policy,
+                    send,
+                    rpc.socket_waiter(self.env, socket, match),
+                    stats=self.stats,
+                    rng=self._rng,
+                    describe=f"discovery service at {self.service_address}",
+                )
             )
         finally:
             socket.close()
 
     def query(self, types, service_name=None):
         reply = yield from self._rpc(
-            {
-                "kind": "disc.query",
-                "types": sorted(set(types)),
-                "service_name": service_name,
-            },
-            size=_QUERY_SIZE,
+            msgs.Query(types=sorted(set(types)), service_name=service_name)
         )
-        offers = {
-            ctype: [Offer.from_wire(o) for o in offer_list]
-            for ctype, offer_list in reply.get("offers", {}).items()
-        }
-        instances = [
-            Address(inst["host"], inst["port"])
-            for inst in reply.get("instances", [])
-        ]
-        return QueryResult(offers, instances)
+        if not isinstance(reply, msgs.QueryReply):
+            return QueryResult({}, [])
+        return QueryResult(dict(reply.offers), list(reply.instances))
 
     def reserve(self, record_id, owner):
         reply = yield from self._rpc(
-            {"kind": "disc.reserve", "record_id": record_id, "owner": owner},
-            size=_SMALL_REQUEST_SIZE,
+            msgs.Reserve(record_id=record_id, owner=owner)
         )
-        return bool(reply.get("ok"))
+        return isinstance(reply, msgs.ReserveReply) and reply.ok
 
     def release(self, record_id, owner):
-        yield from self._rpc(
-            {"kind": "disc.release", "record_id": record_id, "owner": owner},
-            size=_SMALL_REQUEST_SIZE,
-        )
+        yield from self._rpc(msgs.Release(record_id=record_id, owner=owner))
 
     def register_name(self, name, address):
-        yield from self._rpc(
-            {
-                "kind": "disc.register_name",
-                "name": name,
-                "host": address.host,
-                "port": address.port,
-            },
-            size=_SMALL_REQUEST_SIZE,
-        )
+        yield from self._rpc(msgs.RegisterName(name=name, address=address))
 
     def unregister_name(self, name, address):
-        yield from self._rpc(
-            {
-                "kind": "disc.unregister_name",
-                "name": name,
-                "host": address.host,
-                "port": address.port,
-            },
-            size=_SMALL_REQUEST_SIZE,
-        )
+        yield from self._rpc(msgs.UnregisterName(name=name, address=address))
 
     def watch(self, record_id, address):
-        yield from self._rpc(
-            {
-                "kind": "disc.watch",
-                "record_id": record_id,
-                "host": address.host,
-                "port": address.port,
-            },
-            size=_SMALL_REQUEST_SIZE,
-        )
+        yield from self._rpc(msgs.Watch(record_id=record_id, address=address))
 
 
 class DirectDiscoveryClient(DiscoveryClientBase):

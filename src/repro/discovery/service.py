@@ -20,9 +20,11 @@ tooling and tests.
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
+import logging
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from ..core import messages as msgs
+from ..core import rpc
 from ..core.chunnel import ImplMeta, Offer
 from ..core.resources import (
     NIC_SLOTS,
@@ -31,6 +33,7 @@ from ..core.resources import (
     XDP_SHARE,
     ResourceVector,
 )
+from ..core.wire import WireError, message_size, wire_kind
 from ..errors import DiscoveryError, RegistrationError
 from ..sim.datagram import Address
 from ..sim.transport import UdpSocket
@@ -43,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["DiscoveryService", "DEFAULT_DISCOVERY_PORT"]
 
 DEFAULT_DISCOVERY_PORT = 53530
+
+_log = logging.getLogger("repro.ctl")
 
 
 class DiscoveryService:
@@ -79,16 +84,19 @@ class DiscoveryService:
         self.revocations = 0
         self.leases_expired = 0
         self.leases_preempted = 0
-        #: At-most-once guard: req_id -> cached response body.  A client
+        #: At-most-once guard: req_id -> cached response message.  A client
         #: retransmit whose original request *was* handled (only the reply
         #: got lost) replays the cached verdict instead of re-executing the
         #: mutation, so `disc.reserve`/`disc.register_name` cannot
         #: double-allocate.  req_ids are globally unique per client call
         #: (``<entity>-<counter>``), so a plain bounded FIFO suffices.
-        self._replies: OrderedDict[str, dict] = OrderedDict()
-        self._reply_cache_limit = 2048
+        self._replies: rpc.ReplyCache = rpc.ReplyCache(2048)
         self.requests_served = 0
         self.duplicate_requests = 0
+        #: Requests that failed schema decoding (dropped or answered with
+        #: ``disc.error`` when they carried a usable ``req_id``).
+        self.malformed_total = 0
+        self._malformed_logged: set = set()
         #: Chaos flag: while down the service answers nothing (see crash()).
         self.down = False
         self.crashes = 0
@@ -134,7 +142,7 @@ class DiscoveryService:
                 in_use = self.device_in_use(record.location)
                 self._in_use[record.location] = in_use - record.meta.resources
             self.leases_expired += 1
-        self._notify_watchers(record_id, "disc.revoked")
+        self._notify_watchers(record_id, msgs.Revoked(record_id=record_id))
         self._watchers.pop(record_id, None)
 
     def revoke(self, record_id: str, reason: str = "operator") -> None:
@@ -155,14 +163,12 @@ class DiscoveryService:
         self._watchers.setdefault(record_id, set()).add(address)
 
     def _notify_watchers(
-        self, record_id: str, kind: str, extra: Optional[dict] = None
+        self, record_id: str, push: "msgs.ControlMessage"
     ) -> None:
         """Fire-and-forget push datagrams to a record's watchers."""
+        payload = msgs.encode_message(push)
         for address in sorted(self._watchers.get(record_id, ())):
-            body = {"kind": kind, "record_id": record_id}
-            if extra:
-                body.update(extra)
-            self.socket.send(body, address, size=64)
+            self.socket.send(payload, address, size=message_size(payload))
 
     def records_for(self, chunnel_types: Iterable[str]) -> list[ImplementationRecord]:
         """Enabled records matching any of ``chunnel_types``."""
@@ -306,7 +312,8 @@ class DiscoveryService:
                 )
             self.leases_preempted += 1
             self._notify_watchers(
-                lease.record_id, "disc.lease_revoked", {"owner": lease.owner}
+                lease.record_id,
+                msgs.LeaseRevoked(record_id=lease.record_id, owner=lease.owner),
             )
         in_use = self.device_in_use(record.location)
         return self.scheduler.admit(record, owner, need, capacity, in_use)
@@ -407,80 +414,93 @@ class DiscoveryService:
         retransmit's ``attempt`` tag, so the client can spot late replies
         to earlier attempts) without re-executing the handler.  Mutations
         are therefore at-most-once per ``req_id``.
+
+        A request that fails schema decoding is counted and dropped —
+        unless its raw body carries a usable ``req_id``, in which case a
+        ``disc.error`` reply tells the sender to stop retransmitting.
         """
         while True:
             dgram = yield self.socket.recv()
-            request = dgram.payload
-            if not isinstance(request, dict):
+            try:
+                request = msgs.decode_message(dgram.payload)
+            except WireError as error:
+                response = self._reject_malformed(dgram.payload, error)
+                if response is not None:
+                    self._send(response, dgram.src)
                 continue
-            req_id = request.get("req_id")
+            req_id = getattr(request, "req_id", None)
+            attempt = getattr(request, "attempt", 0)
             cached = self._replies.get(req_id) if req_id is not None else None
             if cached is not None:
                 self.duplicate_requests += 1
-                response = dict(cached)
+                response = cached
             else:
                 self.requests_served += 1
                 response = self._handle(request)
                 if req_id is not None:
-                    self._replies[req_id] = dict(response)
-                    while len(self._replies) > self._reply_cache_limit:
-                        self._replies.popitem(last=False)
-            response["req_id"] = req_id
-            response["attempt"] = request.get("attempt")
-            self.socket.send(
-                response, dgram.src, size=_response_size(response)
-            )
+                    self._replies.put(req_id, response)
+            self._send(response.stamped(req_id, attempt), dgram.src)
 
-    def _handle(self, request: dict) -> dict:
-        kind = request.get("kind")
-        if kind == "disc.query":
+    def _send(self, response: "msgs.DiscoveryMessage", dst: Address) -> None:
+        payload = msgs.encode_message(response)
+        self.socket.send(payload, dst, size=message_size(payload))
+
+    def _reject_malformed(
+        self, payload, error: WireError
+    ) -> Optional["msgs.ServiceError"]:
+        """Count a malformed request; answer it only when it carries a
+        ``req_id`` string to address the error to."""
+        self.malformed_total += 1
+        kind = wire_kind(payload)
+        if kind is None and isinstance(payload, dict):
+            kind = payload.get("kind")
+        log_key = kind if isinstance(kind, str) else type(payload).__name__
+        if log_key not in self._malformed_logged:
+            self._malformed_logged.add(log_key)
+            _log.warning(
+                "discovery service: dropping malformed request kind=%r (%s)",
+                log_key,
+                error,
+            )
+        req_id = payload.get("req_id") if isinstance(payload, dict) else None
+        if not isinstance(req_id, str):
+            return None
+        return msgs.ServiceError(error=str(error), req_id=req_id)
+
+    def _handle(self, request: "msgs.ControlMessage") -> "msgs.DiscoveryMessage":
+        if isinstance(request, msgs.Query):
             self.queries_served += 1
-            types = request.get("types", [])
-            offers = {
-                ctype: [offer.to_wire() for offer in offer_list]
-                for ctype, offer_list in self.offers_for(types).items()
-            }
             instances = []
-            service_name = request.get("service_name")
-            if service_name:
+            if request.service_name:
                 instances = [
-                    {"host": r.address.host, "port": r.address.port}
-                    for r in self.network.names.resolve(service_name)
+                    r.address
+                    for r in self.network.names.resolve(request.service_name)
                 ]
-            return {"kind": "disc.query_reply", "offers": offers, "instances": instances}
-        if kind == "disc.reserve":
-            ok = self.reserve(request["record_id"], request["owner"])
-            return {"kind": "disc.reserve_reply", "ok": ok}
-        if kind == "disc.release":
-            self.release(request["record_id"], request["owner"])
-            return {"kind": "disc.release_reply", "ok": True}
-        if kind == "disc.watch":
-            self.add_watch(
-                request["record_id"],
-                Address(request["host"], request["port"]),
+            return msgs.QueryReply(
+                offers=self.offers_for(request.types), instances=instances
             )
-            return {"kind": "disc.watch_reply", "ok": True}
-        if kind == "disc.register_name":
-            self.register_name(
-                request["name"], Address(request["host"], request["port"])
+        if isinstance(request, msgs.Reserve):
+            return msgs.ReserveReply(
+                ok=self.reserve(request.record_id, request.owner)
             )
-            return {"kind": "disc.register_name_reply", "ok": True}
-        if kind == "disc.unregister_name":
-            self.unregister_name(
-                request["name"], Address(request["host"], request["port"])
-            )
-            return {"kind": "disc.unregister_name_reply", "ok": True}
-        return {"kind": "disc.error", "error": f"unknown request kind {kind!r}"}
+        if isinstance(request, msgs.Release):
+            self.release(request.record_id, request.owner)
+            return msgs.ReleaseReply()
+        if isinstance(request, msgs.Watch):
+            self.add_watch(request.record_id, request.address)
+            return msgs.WatchReply()
+        if isinstance(request, msgs.RegisterName):
+            self.register_name(request.name, request.address)
+            return msgs.RegisterNameReply()
+        if isinstance(request, msgs.UnregisterName):
+            self.unregister_name(request.name, request.address)
+            return msgs.UnregisterNameReply()
+        return msgs.ServiceError(
+            error=f"unsupported request kind {request.KIND!r}"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<DiscoveryService @ {self.address} records={len(self._records)} "
             f"leases={len(self._leases)}>"
         )
-
-
-def _response_size(response: dict) -> int:
-    """Rough wire size of a control response (metadata is small)."""
-    return 64 + 32 * len(response.get("offers", {})) + 16 * len(
-        response.get("instances", [])
-    )

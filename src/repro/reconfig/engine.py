@@ -32,24 +32,17 @@ first commits or rolls back.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from ..core import messages as msgs
+from ..core import rpc
 from ..core.chunnel import Offer, Role
 from ..core.dag import ChunnelDag
-from ..core.negotiation import (
-    TRANSITION_ACK_KIND,
-    TRANSITION_KIND,
-    TRANSITION_REQUEST_KIND,
-    build_transition_ack,
-    build_transition_message,
-    decide_with_reservations,
-    parse_choice,
-    parse_offers,
-)
+from ..core.establish import build_binding, teardown_nodes
+from ..core.negotiation import decide_with_reservations
 from ..core.scope import Placement
-from ..core.stack import SetupContext
 from ..errors import BerthaError, ConnectionTimeoutError, ReconfigurationError
 from ..sim.eventloop import Event, Interrupt
 from .triggers import DeviceFailureDetector, DiscoveryWatcher
@@ -59,10 +52,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.runtime import Runtime
 
 __all__ = ["ReconfigManager", "TransitionRecord"]
-
-#: Epoch-unknown control datagrams are small; TRANSITION carries a DAG.
-def _ctl_size(body: dict) -> int:
-    return max(64, len(str(body)))
 
 
 def _same_offer(a: Optional[Offer], b: Optional[Offer]) -> bool:
@@ -94,9 +83,9 @@ class _ConnState:
     queue: deque = field(default_factory=deque)
     next_epoch: int = 1
     #: Client side: cached acks per epoch, replayed on duplicate TRANSITION.
-    #: Bounded FIFO — retransmits arrive within the sender's retry window,
-    #: so only the most recent epochs' verdicts are ever needed.
-    acks: "OrderedDict[int, dict]" = field(default_factory=OrderedDict)
+    #: Bounded — retransmits arrive within the sender's retry window, so
+    #: only the most recent epochs' verdicts are ever needed.
+    acks: rpc.ReplyCache = field(default_factory=lambda: rpc.ReplyCache(64))
     #: Server side: in-flight ack waiter per epoch.
     ack_waiters: dict = field(default_factory=dict)
     #: Client side: done-events for requests sent to the server.
@@ -108,10 +97,8 @@ class _ConnState:
     watched_records: set = field(default_factory=set)
     watched_devices: set = field(default_factory=set)
 
-    def cache_ack(self, epoch: int, ack: dict, limit: int = 64) -> None:
-        self.acks[epoch] = ack
-        while len(self.acks) > limit:
-            self.acks.popitem(last=False)
+    def cache_ack(self, epoch: int, ack: "msgs.TransitionAck") -> None:
+        self.acks.put(epoch, ack)
 
 
 class ReconfigManager:
@@ -138,6 +125,9 @@ class ReconfigManager:
         self.transitions_rolled_back = 0
         self.transitions_failed = 0
         self.transitions_noop = 0
+        #: Shared RPC counters for TRANSITION/ACK exchanges (same dialect
+        #: as negotiation and discovery).
+        self.rpc_stats = rpc.RpcStats()
         self.pause_times: list[float] = []
         self.last_pause: Optional[float] = None
         self.log: list[TransitionRecord] = []
@@ -275,11 +265,7 @@ class ReconfigManager:
         if conn.role is Role.CLIENT:
             state.pending_requests.append(done)
             conn.send_ctl(
-                {
-                    "kind": TRANSITION_REQUEST_KIND,
-                    "conn_id": conn.conn_id,
-                    "reason": reason,
-                }
+                msgs.TransitionRequest(conn_id=conn.conn_id, reason=reason)
             )
             return done
         state.queue.append((reason, set(exclude), target_dag, done))
@@ -386,8 +372,8 @@ class ReconfigManager:
             state, conn, epoch, dag, choice, reason
         )
 
-        if reply is None or not reply.get("ok"):
-            error = "ack timeout" if reply is None else reply.get("error")
+        if reply is None or not reply.ok:
+            error = "ack timeout" if reply is None else reply.error
             conn.abort_transition(epoch)
             self._teardown_nodes(impls, ctx_map, changed)
             for record_id, node_owner in confirmed:
@@ -467,23 +453,37 @@ class ReconfigManager:
     def _exchange_transition(self, state, conn, epoch, dag, choice, reason):
         """Generator: send TRANSITION, wait for the ACK (with retries).
 
-        Returns the ack body, or None on timeout.  A connection whose peer
-        address is unknown (no traffic seen, no hello) commits unilaterally:
-        returns an implicit ok.
+        Returns the :class:`~repro.core.messages.TransitionAck`, or None on
+        timeout.  A connection whose peer address is unknown (no traffic
+        seen, no hello) commits unilaterally: returns an implicit ok.
         """
         target = conn.peer or conn.last_src
         if target is None:
-            return {"ok": True, "unilateral": True}
-        body = build_transition_message(conn.conn_id, epoch, dag, choice, reason)
+            return msgs.TransitionAck(conn_id=conn.conn_id, epoch=epoch, ok=True)
+        announcement = msgs.Transition(
+            conn_id=conn.conn_id,
+            epoch=epoch,
+            dag=dag,
+            choice=choice,
+            reason=reason,
+        )
         ack_event = Event(self.env)
         state.ack_waiters[epoch] = ack_event
+        policy = rpc.RetryPolicy(
+            timeout=self.ack_timeout, retries=self.ack_retries
+        )
         try:
-            for _attempt in range(self.ack_retries):
-                conn.send_ctl(body, dst=target, size=_ctl_size(body))
-                deadline = self.env.timeout(self.ack_timeout)
-                yield self.env.any_of([ack_event, deadline])
-                if ack_event.processed:
-                    return ack_event.value
+            return (
+                yield from rpc.call(
+                    self.env,
+                    policy,
+                    lambda attempt: conn.send_ctl(announcement, dst=target),
+                    rpc.event_waiter(self.env, ack_event),
+                    stats=self.rpc_stats,
+                    describe=f"{conn.conn_id}: transition epoch {epoch}",
+                )
+            )
+        except ConnectionTimeoutError:
             return None
         finally:
             state.ack_waiters.pop(epoch, None)
@@ -491,47 +491,49 @@ class ReconfigManager:
     # ------------------------------------------------------------------
     # In-band control handling (both roles; called from the pump)
     # ------------------------------------------------------------------
-    def handle_ctl(self, conn: "Connection", kind: str, dgram) -> None:
-        body = dgram.payload if isinstance(dgram.payload, dict) else {}
-        if kind == TRANSITION_KIND:
-            self._handle_transition(conn, body, dgram.src)
-        elif kind == TRANSITION_ACK_KIND:
+    def handle_ctl(
+        self, conn: "Connection", message: "msgs.ControlMessage", src
+    ) -> None:
+        if isinstance(message, msgs.Transition):
+            self._handle_transition(conn, message, src)
+        elif isinstance(message, msgs.TransitionAck):
             state = self._states.get(conn.conn_id)
             if state is None:
                 return
-            waiter = state.ack_waiters.get(body.get("epoch"))
+            waiter = state.ack_waiters.get(message.epoch)
             if waiter is not None and not waiter.triggered:
-                waiter.succeed(body)
-        elif kind == TRANSITION_REQUEST_KIND:
-            self.request_transition(conn, reason=body.get("reason", ""))
-        # anything else ("bertha.hello", ...) only updates conn.last_src,
-        # which the pump already did.
+                waiter.succeed(message)
+        elif isinstance(message, msgs.TransitionRequest):
+            self.request_transition(conn, reason=message.reason)
+        # anything else (Hello, ...) only updates conn.last_src, which the
+        # pump already did.
 
-    def _handle_transition(self, conn: "Connection", body: dict, src) -> None:
+    def _handle_transition(
+        self, conn: "Connection", message: "msgs.Transition", src
+    ) -> None:
         """Adopt (or refuse) an epoch announced by the peer.  Synchronous:
         runs inside the connection's pump, so the ack goes out before the
         next data message is processed."""
         state = self._state(conn)
-        epoch = body.get("epoch", 0)
+        epoch = message.epoch
         cached = state.acks.get(epoch)
         if cached is not None:  # duplicate announcement: replay the verdict
             conn.send_ctl(cached, dst=src)
             return
         if epoch <= conn.epoch:
-            ack = build_transition_ack(conn.conn_id, epoch, True)
+            ack = msgs.TransitionAck(conn_id=conn.conn_id, epoch=epoch, ok=True)
             state.cache_ack(epoch, ack)
             conn.send_ctl(ack, dst=src)
             return
         try:
-            wire_dag = ChunnelDag.from_wire(body["dag"])
             # Same shape ⇒ keep our DAG object so node identities (and the
             # setup contexts keyed on them) survive the transition.
             dag = (
                 conn.dag
-                if wire_dag.canonical_shape() == conn.dag.canonical_shape()
-                else wire_dag
+                if message.dag.canonical_shape() == conn.dag.canonical_shape()
+                else message.dag
             )
-            choice = parse_choice(body["choice"])
+            choice = message.choice
             changed = {
                 node_id
                 for node_id in dag.topological_order()
@@ -578,17 +580,17 @@ class ReconfigManager:
                 if impl is not None and octx is not None:
                     impl.teardown(octx)
             conn.retire_epoch(old_epoch, grace=self.retire_grace)
-            ack = build_transition_ack(conn.conn_id, epoch, True)
+            ack = msgs.TransitionAck(conn_id=conn.conn_id, epoch=epoch, ok=True)
             self._log(conn, "adopted", f"epoch {epoch}")
             for done in state.pending_requests:
                 if not done.triggered:
                     done.succeed("committed")
             state.pending_requests.clear()
         except BerthaError as error:
-            ack = build_transition_ack(
-                conn.conn_id,
-                epoch,
-                False,
+            ack = msgs.TransitionAck(
+                conn_id=conn.conn_id,
+                epoch=epoch,
+                ok=False,
                 error=f"{type(error).__name__}: {error}",
             )
             self._log(conn, "refused", f"epoch {epoch}: {error}")
@@ -610,13 +612,13 @@ class ReconfigManager:
         except ConnectionTimeoutError:
             self.runtime.release_failures += 1
 
-    def _assemble_candidates(self, conn, dag: ChunnelDag, message: dict):
+    def _assemble_candidates(self, conn, dag: ChunnelDag, message: "msgs.Offer"):
         """Generator: the re-decision candidate pool — stored client offers,
         our registry, and a fresh discovery query (dedup by record id)."""
         runtime = self.runtime
         wanted = set(dag.chunnel_types())
         candidates: dict[str, list[Offer]] = {}
-        for ctype, offers in parse_offers(message.get("offers", {})).items():
+        for ctype, offers in message.offers.items():
             if ctype in wanted:
                 candidates.setdefault(ctype, []).extend(offers)
         for ctype, offers in runtime.registry.offers_for(
@@ -645,64 +647,29 @@ class ReconfigManager:
         return candidates
 
     def _build_side(self, conn, dag, choice, changed, reservations, role):
-        """Instantiate + set up implementations for the changed nodes;
-        carry over impls, contexts, and stage objects for the rest."""
-        runtime = self.runtime
-        impls = {}
-        ctx_map = {}
-        built = []
-        try:
-            for node_id in dag.topological_order():
-                if node_id not in changed:
-                    impls[node_id] = conn.impls[node_id]
-                    ctx_map[node_id] = conn._context_for(node_id)
-                    continue
-                offer = choice[node_id]
-                spec = dag.nodes[node_id]
-                impl = runtime.catalog.instantiate(
-                    offer.meta.chunnel_type,
-                    offer.meta.name,
-                    spec,
-                    location=offer.location,
-                )
-                setup_ctx = SetupContext(
-                    runtime=runtime,
-                    role=role,
-                    conn_id=conn.conn_id,
-                    dag=dag,
-                    offer=offer,
-                    spec=spec,
-                    client_entity=conn.client_entity,
-                    server_entity=conn.server_entity,
-                    params=dict(conn.params),
-                    reservations=list(reservations),
-                )
-                impl.setup(setup_ctx)
-                impls[node_id] = impl
-                ctx_map[node_id] = setup_ctx
-                built.append(node_id)
-        except BerthaError:
-            self._teardown_nodes(impls, ctx_map, built)
-            raise
-        stage_map = {}
-        old_map = conn._stage_map or {}
-        for node_id in dag.topological_order():
-            if node_id in changed:
-                stage_map[node_id] = impls[node_id].make_stage(role)
-            else:
-                stage_map[node_id] = old_map.get(node_id)
-        return impls, ctx_map, stage_map
+        """Partial rebuild via the shared establishment pipeline: changed
+        nodes are instantiated and set up fresh (each with a private copy
+        of the connection's params — a rebuild must not mutate the live
+        binding), the rest carry over ``conn``'s impls, contexts, and stage
+        objects."""
+        return build_binding(
+            self.runtime,
+            role=role,
+            conn_id=conn.conn_id,
+            dag=dag,
+            choice=choice,
+            client_entity=conn.client_entity,
+            server_entity=conn.server_entity,
+            params=conn.params,
+            reservations=reservations,
+            changed=changed,
+            reuse=conn,
+            fresh_params=True,
+        )
 
     @staticmethod
     def _teardown_nodes(impls, ctx_map, nodes) -> None:
-        for node_id in nodes:
-            impl = impls.get(node_id)
-            setup_ctx = ctx_map.get(node_id)
-            if impl is not None and setup_ctx is not None:
-                try:
-                    impl.teardown(setup_ctx)
-                except BerthaError:  # pragma: no cover - best-effort cleanup
-                    pass
+        teardown_nodes(impls, ctx_map, nodes)
 
     def _state(self, conn: "Connection") -> _ConnState:
         state = self._states.get(conn.conn_id)

@@ -20,8 +20,11 @@ Three independent signal sources feed the transition engine:
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..core import messages as msgs
+from ..core.wire import WireError
 from ..errors import ConnectionClosedError, ConnectionTimeoutError
 from ..sim.datagram import Address
 from ..sim.eventloop import Interrupt
@@ -32,6 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.network import Network
 
 __all__ = ["DeviceFailureDetector", "DiscoveryWatcher", "LoadMonitor"]
+
+_log = logging.getLogger("repro.ctl")
 
 
 class DeviceFailureDetector:
@@ -98,6 +103,8 @@ class DiscoveryWatcher:
         self._proc = None
         self._callbacks: dict[str, list[Callable]] = {}
         self.notifications = 0
+        #: Pushes that failed schema decoding (dropped, never dispatched).
+        self.malformed_total = 0
         #: Watch registrations lost to a discovery outage (nobody waits on
         #: the registration process, so failures must be swallowed and
         #: counted — an unwaited error would crash the simulation).
@@ -143,13 +150,20 @@ class DiscoveryWatcher:
                 dgram = yield self._socket.recv()
             except (Interrupt, ConnectionClosedError):
                 return
-            body = dgram.payload
-            if not isinstance(body, dict):
+            try:
+                message = msgs.decode_message(dgram.payload)
+            except WireError as error:
+                self.malformed_total += 1
+                _log.warning(
+                    "%s: dropping malformed discovery push (%s)",
+                    self.runtime.entity.name,
+                    error,
+                )
                 continue
-            record_id = body.get("record_id")
+            record_id = getattr(message, "record_id", None)
             self.notifications += 1
             for callback in list(self._callbacks.get(record_id, [])):
-                callback(record_id, body.get("kind", ""), body)
+                callback(record_id, message.KIND, message._to_body())
 
     def stop(self) -> None:
         if self._proc is not None and self._proc.is_alive:

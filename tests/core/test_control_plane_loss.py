@@ -19,8 +19,9 @@ def install_ctl_loss(world, drop_first, kinds=("bertha.offer",)):
     """Drop the first N control messages of the given kinds at the ToR."""
 
     def is_ctl(dgram):
-        payload = dgram.payload
-        return isinstance(payload, dict) and payload.get("kind") in kinds
+        from repro.core.wire import wire_kind
+
+        return wire_kind(dgram.payload) in kinds
 
     program = LossProgram("ctl-loss", predicate=is_ctl, drop_first=drop_first)
     world.net.switches["tor"].install(program)

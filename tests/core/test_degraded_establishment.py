@@ -55,7 +55,7 @@ class TestDegradedEstablishment:
             conn, got = run(two_hosts.env, scenario(two_hosts.env), until=10.0)
 
         assert conn.degraded
-        assert got == {"kind": "response", "status": "ok", "value": b"v"}
+        assert got == {"type": "response", "status": "ok", "value": b"v"}
         # Fallback-only stack: the registered XDP offload was unreachable.
         assert shard_impl(conn) == "ShardServerFallback"
         assert client_rt.degraded_establishments == 1
@@ -133,7 +133,7 @@ class TestDegradedEstablishment:
         assert conn.degraded  # flag describes the establishment, not now
         assert (before, after) == ("ShardServerFallback", "ShardXdp")
         assert server_conn.transitions >= 1
-        assert got == {"kind": "response", "status": "ok", "value": b"v"}
+        assert got == {"type": "response", "status": "ok", "value": b"v"}
         audit = two_hosts.discovery.audit_leases()
         assert audit["ok"]
 

@@ -1,21 +1,13 @@
-"""Tests for the negotiation message formats (the §4.3 wire protocol)."""
+"""Tests for the negotiation messages (the §4.3 wire protocol), now a
+typed schema in :mod:`repro.core.messages`."""
+
+import json
 
 import pytest
 
 from repro.chunnels import Reliable, Serialize
 from repro.core import ImplMeta, Offer, ResourceVector, Scope, wrap
-from repro.core.negotiation import (
-    ACCEPT_KIND,
-    ERROR_KIND,
-    OFFER_KIND,
-    build_accept_message,
-    build_error_message,
-    build_offer_message,
-    parse_choice,
-    parse_offers,
-    parse_params,
-    raise_remote_error,
-)
+from repro.core import messages as msgs
 from repro.core.scope import Endpoints, Placement
 from repro.errors import (
     IncompatibleDagError,
@@ -43,53 +35,67 @@ def sample_offer(name="sw", origin="client"):
 class TestOfferMessage:
     def test_roundtrip(self):
         dag = wrap(Serialize() >> Reliable())
-        message = build_offer_message(
-            "conn-1", dag, {"reliable": [sample_offer()]}, "client-entity"
+        message = msgs.Offer(
+            conn_id="conn-1",
+            dag=dag,
+            offers={"reliable": [sample_offer()]},
+            client_entity="client-entity",
         )
-        assert message["kind"] == OFFER_KIND
-        assert message["conn_id"] == "conn-1"
-        offers = parse_offers(message["offers"])
-        assert offers["reliable"][0] == sample_offer()
-        from repro.core import ChunnelDag
-
-        decoded = ChunnelDag.from_wire(message["dag"])
-        assert decoded.canonical_shape() == dag.canonical_shape()
+        decoded = msgs.decode_message(msgs.encode_message(message))
+        assert isinstance(decoded, msgs.Offer)
+        assert decoded.conn_id == "conn-1"
+        assert decoded.client_entity == "client-entity"
+        assert decoded.offers["reliable"][0] == sample_offer()
+        assert decoded.dag.canonical_shape() == dag.canonical_shape()
 
     def test_message_is_json_like(self):
-        """Control messages must contain only wire-encodable structures."""
-        import json
-
+        """Encoded control messages must contain only wire-encodable
+        structures."""
         dag = wrap(Reliable())
-        message = build_offer_message(
-            "c", dag, {"reliable": [sample_offer()]}, "e"
+        message = msgs.Offer(
+            conn_id="c",
+            dag=dag,
+            offers={"reliable": [sample_offer()]},
+            client_entity="e",
         )
-        json.dumps(message)  # raises if anything non-primitive leaked
+        json.dumps(msgs.encode_message(message))  # raises if anything leaked
 
 
 class TestAcceptMessage:
     def test_roundtrip(self):
+        from repro.sim.datagram import Address
+
         dag = wrap(Reliable())
         node = dag.topological_order()[0]
-        message = build_accept_message(
-            "conn-2",
-            dag,
-            {node: sample_offer()},
-            data_host="srv",
-            data_port=40001,
+        message = msgs.Accept(
+            conn_id="conn-2",
+            dag=dag,
+            choice={node: sample_offer()},
+            data_addr=Address("srv", 40001),
             transport="pipe",
             params={"k": 1},
         )
-        assert message["kind"] == ACCEPT_KIND
-        choice = parse_choice(message["choice"])
-        assert choice[node] == sample_offer()
-        assert parse_params(message["params"]) == {"k": 1}
-        assert message["transport"] == "pipe"
+        decoded = msgs.decode_message(msgs.encode_message(message))
+        assert isinstance(decoded, msgs.Accept)
+        # Choice keys are node ids (ints) — they must survive the str-keyed
+        # wire encoding.
+        assert decoded.choice[node] == sample_offer()
+        assert decoded.params == {"k": 1}
+        assert decoded.transport == "pipe"
+        assert decoded.data_addr == Address("srv", 40001)
 
     def test_empty_params(self):
-        message = build_accept_message(
-            "c", wrap(), {}, data_host="s", data_port=1, transport="udp"
+        from repro.sim.datagram import Address
+
+        message = msgs.Accept(
+            conn_id="c",
+            dag=wrap(),
+            choice={},
+            data_addr=Address("s", 1),
+            transport="udp",
         )
-        assert parse_params(message["params"]) == {}
+        decoded = msgs.decode_message(msgs.encode_message(message))
+        assert decoded.params == {}
 
 
 class TestErrorMessage:
@@ -99,17 +105,19 @@ class TestErrorMessage:
             NoImplementationError,
             ResourceExhaustedError,
         ):
-            message = build_error_message("c", error_cls("boom"))
-            assert message["kind"] == ERROR_KIND
+            message = msgs.Error.from_exception("c", error_cls("boom"))
+            decoded = msgs.decode_message(msgs.encode_message(message))
             with pytest.raises(error_cls):
-                raise_remote_error(message)
+                decoded.raise_remote()
 
     def test_unknown_error_type_becomes_negotiation_error(self):
-        message = build_error_message("c", ValueError("weird"))
+        message = msgs.Error.from_exception("c", ValueError("weird"))
         with pytest.raises(NegotiationError):
-            raise_remote_error(message)
+            message.raise_remote()
 
     def test_error_text_preserved(self):
-        message = build_error_message("c", NoImplementationError("no shard impl"))
+        message = msgs.Error.from_exception(
+            "c", NoImplementationError("no shard impl")
+        )
         with pytest.raises(NoImplementationError, match="no shard impl"):
-            raise_remote_error(message)
+            message.raise_remote()

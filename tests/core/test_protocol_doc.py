@@ -1,0 +1,29 @@
+"""The committed PROTOCOL.md appendix must match the generated catalogue.
+
+Appendix A is produced by :func:`repro.core.messages.protocol_appendix`;
+editing the schema without regenerating the document (or vice versa) fails
+here.  Regenerate with::
+
+    python -c 'from repro.core import messages; print(messages.protocol_appendix())'
+"""
+
+from pathlib import Path
+
+from repro.core import messages as msgs
+
+PROTOCOL_MD = Path(__file__).resolve().parents[2] / "PROTOCOL.md"
+
+
+class TestProtocolAppendix:
+    def test_committed_appendix_matches_generated(self):
+        doc = PROTOCOL_MD.read_text()
+        appendix = msgs.protocol_appendix().rstrip()
+        assert appendix in doc, (
+            "PROTOCOL.md Appendix A is out of date — regenerate it from "
+            "repro.core.messages.protocol_appendix()"
+        )
+
+    def test_appendix_covers_every_kind(self):
+        appendix = msgs.protocol_appendix()
+        for kind in msgs.BY_KIND:
+            assert f"### `{kind}`" in appendix

@@ -101,34 +101,34 @@ class TestRetransmissionAndDedup:
         assert audit["leases"] == 0
 
     def test_duplicate_request_replays_cached_verdict(self):
+        from repro.core import messages as msgs
+
         net, service = world()
         record = service.register(ReliableToe.meta, location="dsc")
         socket = UdpSocket(net.hosts["cl"], 4000)
-        request = {
-            "kind": "disc.reserve",
-            "record_id": record.record_id,
-            "owner": "dup-owner",
-            "req_id": "manual-1",
-            "attempt": 0,
-        }
+        request = msgs.Reserve(
+            record_id=record.record_id, owner="dup-owner"
+        )
 
         def scenario(env):
             replies = []
             for attempt in range(2):
                 socket.send(
-                    dict(request, attempt=attempt), service.address, size=64
+                    msgs.encode_message(request.stamped("manual-1", attempt)),
+                    service.address,
+                    size=64,
                 )
                 reply = yield socket.recv()
-                replies.append(reply.payload)
+                replies.append(msgs.decode_message(reply.payload))
             return replies
 
         first, second = run(net.env, scenario(net.env))
-        assert first["ok"] and second["ok"]
+        assert first.ok and second.ok
         assert service.duplicate_requests == 1
         # The replay did not run the handler again: still exactly one lease.
         assert service.audit_leases()["leases"] == 1
         # The echoed attempt tag follows the retransmission, not the cache.
-        assert (first["attempt"], second["attempt"]) == (0, 1)
+        assert (first.attempt, second.attempt) == (0, 1)
 
     def test_late_reply_accepted_and_counted(self):
         # RPC timeout shorter than the round trip: the reply to attempt 0
@@ -175,8 +175,10 @@ class TestCrashRestart:
 
     def test_crash_clears_volatile_state_keeps_records(self):
         net, service = world()
+        from repro.core import messages as msgs
+
         record = service.register(ReliableToe.meta, location="dsc")
-        service._replies["stale"] = {"ok": True}
+        service._replies.put("stale", msgs.ReserveReply(ok=True))
         service.crash()
         assert not service._replies  # dedup cache is volatile
         assert record.record_id in service._records  # records are stable

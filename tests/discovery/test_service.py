@@ -210,11 +210,16 @@ class TestRemoteProtocol:
             run(net.env, scenario(net.env))
 
     def test_unknown_request_kind_answered_with_error(self):
+        from repro.core import messages as msgs
+
         net, service = world()
         from repro.sim import UdpSocket
 
         def scenario(env):
             sock = UdpSocket(net.hosts["cl"])
+            # A raw dict that never went through the schema: the service
+            # must reject it, but still answer (it carries a req_id) so the
+            # sender stops retransmitting.
             sock.send(
                 {"kind": "disc.shenanigans", "req_id": "r1"},
                 service.address,
@@ -223,8 +228,10 @@ class TestRemoteProtocol:
             reply = yield sock.recv()
             return reply.payload
 
-        reply = run(net.env, scenario(net.env))
-        assert reply["kind"] == "disc.error"
+        reply = msgs.decode_message(run(net.env, scenario(net.env)))
+        assert isinstance(reply, msgs.ServiceError)
+        assert reply.req_id == "r1"
+        assert service.malformed_total == 1
 
 
 class TestClientFlavours:
@@ -292,9 +299,11 @@ class TestLeaseExpiryAndWatch:
             push = yield sock.recv()
             return push.payload
 
-        body = run(net.env, scenario(net.env))
-        assert body["kind"] == "disc.revoked"
-        assert body["record_id"] == record.record_id
+        from repro.core import messages as msgs
+
+        push = msgs.decode_message(run(net.env, scenario(net.env)))
+        assert isinstance(push, msgs.Revoked)
+        assert push.record_id == record.record_id
         assert service.revocations == 1
 
     def test_revoke_unknown_record_is_noop(self):
@@ -324,12 +333,15 @@ class TestLeaseExpiryAndWatch:
             push = yield sock.recv()
             return granted, push.payload
 
+        from repro.core import messages as msgs
+
         granted, body = run(net.env, scenario(net.env))
+        push = msgs.decode_message(body)
         assert granted
         assert service.leases_preempted == 1
-        assert body["kind"] == "disc.lease_revoked"
-        assert body["record_id"] == low.record_id
-        assert body["owner"] == "a"  # oldest equal-priority lease evicted
+        assert isinstance(push, msgs.LeaseRevoked)
+        assert push.record_id == low.record_id
+        assert push.owner == "a"  # oldest equal-priority lease evicted
         # Survivors: two sequencers + the shard program = 4 of 4 stages.
         assert service.device_in_use("tor")["switch_stages"] == 4
 
@@ -348,5 +360,8 @@ class TestLeaseExpiryAndWatch:
             push = yield sock.recv()
             return push.payload
 
-        body = run(net.env, scenario(net.env))
-        assert body["kind"] == "disc.revoked"
+        from repro.core import messages as msgs
+
+        push = msgs.decode_message(run(net.env, scenario(net.env)))
+        assert isinstance(push, msgs.Revoked)
+        assert push.record_id == record.record_id

@@ -1,10 +1,28 @@
 """The chaos experiment: invariants asserted, deterministic, CI-usable."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.chaos import ChaosConfig, ChaosResult, run_chaos
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_chaos.json"
+
+#: The recorded baseline before the control plane moved onto the unified
+#: RPC core (typed messages + shared retransmit loop).  The refactor must
+#: not change the protocol's round-trip economics: retransmit-driven extra
+#: round trips stay within loss noise, and the loss-free setup latency
+#: stays put.  Loss-y percentile latencies are heavy-tailed (one unlucky
+#: retransmit schedule moves p50 by multiples), so they only get an
+#: order-of-magnitude bound.
+PRE_UNIFICATION_POINTS = {
+    0.0: {"extra_round_trips": 18, "setup_p50_us": 158.153, "setup_p95_us": 333.742},
+    0.05: {"extra_round_trips": 93, "setup_p50_us": 2235.095, "setup_p95_us": 3508.046},
+    0.1: {"extra_round_trips": 141, "setup_p50_us": 5783.878, "setup_p95_us": 23035.207},
+    0.2: {"extra_round_trips": 433, "setup_p50_us": 8752.658, "setup_p95_us": 108249.283},
+}
 
 
 @pytest.fixture(scope="module")
@@ -88,3 +106,55 @@ class TestBaselineShape:
         rendered = smoke_result.render()
         assert "loss_pct" in rendered
         assert "invariants:" in rendered
+
+
+class TestRecordedBaselineWithinNoise:
+    """The checked-in BENCH_chaos.json (re-recorded on the unified RPC
+    core) must not have drifted from the pre-unification run in ways that
+    would indicate extra protocol round trips or slower establishment."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self) -> dict:
+        return json.loads(BASELINE_PATH.read_text())
+
+    def test_invariants_still_hold(self, recorded):
+        assert all(recorded["invariants"].values())
+
+    def test_same_loss_points(self, recorded):
+        assert [p["loss"] for p in recorded["points"]] == sorted(
+            PRE_UNIFICATION_POINTS
+        )
+
+    def test_extra_round_trips_within_noise(self, recorded):
+        for point in recorded["points"]:
+            reference = PRE_UNIFICATION_POINTS[point["loss"]]
+            # Retransmit counts move with the loss pattern, not the code
+            # path: ±50% covers the reshuffled drop schedule (sizes are
+            # content-derived now), while a protocol regression that added
+            # a round trip per connection would blow far past it.
+            assert (
+                0.5 * reference["extra_round_trips"]
+                <= point["extra_round_trips"]
+                <= 1.5 * reference["extra_round_trips"]
+            ), f"extra round trips drifted at loss {point['loss']}"
+
+    def test_loss_free_setup_latency_within_noise(self, recorded):
+        (point,) = [p for p in recorded["points"] if p["loss"] == 0.0]
+        reference = PRE_UNIFICATION_POINTS[0.0]
+        for metric in ("setup_p50_us", "setup_p95_us"):
+            assert (
+                0.75 * reference[metric]
+                <= point[metric]
+                <= 1.25 * reference[metric]
+            ), f"loss-free {metric} drifted"
+
+    def test_lossy_setup_latency_same_magnitude(self, recorded):
+        for point in recorded["points"]:
+            if point["loss"] == 0.0:
+                continue
+            reference = PRE_UNIFICATION_POINTS[point["loss"]]
+            for metric in ("setup_p50_us", "setup_p95_us"):
+                ratio = point[metric] / reference[metric]
+                assert 0.1 <= ratio <= 10.0, (
+                    f"{metric} at loss {point['loss']} off by {ratio:.1f}x"
+                )

@@ -183,7 +183,7 @@ class TestKvStoreUnderChaos:
                     env, conn, kv_request("get", key), rpc_id=2 * index + 1
                 )
                 assert got == {
-                    "kind": "response", "status": "ok", "value": value,
+                    "type": "response", "status": "ok", "value": value,
                 }
             client.close()
             return True
