@@ -144,6 +144,31 @@ class Connection:
         self._stacks: dict[int, ChunnelStack] = {0: self.stack}
         self._started_stages: set[int] = set()
         self._start_new_stages(self.stack)
+        self._first_delivery_seen = False
+        # Per-connection data-path counters.  conn ids are shared by the
+        # two ends of one connection, so the role disambiguates; replace
+        # covers a conn id reused after a simulated process restart.
+        obs = runtime.network.obs
+        prefix = f"conn.{conn_id}.{role.value}"
+        obs.bind(f"{prefix}.messages_sent", self, "messages_sent", replace=True)
+        obs.bind(
+            f"{prefix}.messages_received", self, "messages_received", replace=True
+        )
+        obs.bind(
+            f"{prefix}.ctl_malformed_total", self, "ctl_malformed_total", replace=True
+        )
+        obs.bind(f"{prefix}.transitions", self, "transitions", replace=True)
+        obs.replace(
+            f"{prefix}.stack_retransmissions",
+            lambda: sum(
+                getattr(stage, "retransmissions", 0)
+                for stage in {
+                    id(stage): stage
+                    for stack in self._stacks.values()
+                    for stage in stack.stages
+                }.values()
+            ),
+        )
         self._pump = runtime.env.process(
             self._pump_loop(), name=f"{conn_id}.pump"
         )
@@ -415,6 +440,11 @@ class Connection:
 
     def _deliver(self, msg: Message) -> None:
         """Top of the stack: hand one message to the application."""
+        if not self._first_delivery_seen:
+            self._first_delivery_seen = True
+            self.runtime.network.trace.event(
+                "data", self.conn_id, role=self.role.value
+            )
         self.messages_received += 1
         self.inbox.put(msg)
 
@@ -473,6 +503,13 @@ class Connection:
         if self.closed:
             return
         self.closed = True
+        self.runtime.network.trace.event(
+            "teardown",
+            self.conn_id,
+            role=self.role.value,
+            sent=self.messages_sent,
+            received=self.messages_received,
+        )
         stopped: set[int] = set()
         for epoch in sorted(self._stacks, reverse=True):
             for stage in reversed(self._stacks[epoch].stages):

@@ -182,45 +182,52 @@ def establish_connection(
     run ``after_establish`` hooks → optionally send the client hello.
     """
     params = {} if params is None else params
-    impls, contexts, stage_map = build_binding(
-        runtime,
-        role=role,
-        conn_id=conn_id,
-        dag=dag,
-        choice=choice,
-        client_entity=client_entity,
-        server_entity=server_entity,
-        params=params,
-        reservations=reservations,
-    )
-    if transport is None:
-        transport = params.get("transport", "udp")
-    socket = make_data_socket(runtime.entity, transport)
-    order = dag.topological_order()
-    connection = Connection(
-        runtime=runtime,
-        name=name,
-        conn_id=conn_id,
-        role=role,
-        dag=dag,
-        impls=impls,
-        stack_stages=stage_map,
-        socket=socket,
-        peers=list(peers),
-        transport=transport,
-        params=params,
-        setup_contexts=[contexts[node_id] for node_id in order],
-        choice=choice,
-        client_entity=client_entity,
-        server_entity=server_entity,
-        negotiation_state=negotiation_state,
-    )
-    connection.degraded = degraded
-    for node_id in order:
-        impls[node_id].after_establish(contexts[node_id], connection)
-    if hello:
-        # Tell the server our data address (offload programs pass control
-        # datagrams through), so it can initiate live transitions even when
-        # the data path never reaches its socket.
-        connection.send_ctl(msgs.Hello(conn_id=conn_id))
+    trace = runtime.network.trace
+    span = trace.begin("establish", conn_id, role=role.value, degraded=degraded)
+    try:
+        impls, contexts, stage_map = build_binding(
+            runtime,
+            role=role,
+            conn_id=conn_id,
+            dag=dag,
+            choice=choice,
+            client_entity=client_entity,
+            server_entity=server_entity,
+            params=params,
+            reservations=reservations,
+        )
+        if transport is None:
+            transport = params.get("transport", "udp")
+        socket = make_data_socket(runtime.entity, transport)
+        order = dag.topological_order()
+        connection = Connection(
+            runtime=runtime,
+            name=name,
+            conn_id=conn_id,
+            role=role,
+            dag=dag,
+            impls=impls,
+            stack_stages=stage_map,
+            socket=socket,
+            peers=list(peers),
+            transport=transport,
+            params=params,
+            setup_contexts=[contexts[node_id] for node_id in order],
+            choice=choice,
+            client_entity=client_entity,
+            server_entity=server_entity,
+            negotiation_state=negotiation_state,
+        )
+        connection.degraded = degraded
+        for node_id in order:
+            impls[node_id].after_establish(contexts[node_id], connection)
+        if hello:
+            # Tell the server our data address (offload programs pass control
+            # datagrams through), so it can initiate live transitions even
+            # when the data path never reaches its socket.
+            connection.send_ctl(msgs.Hello(conn_id=conn_id))
+    except BerthaError as error:
+        trace.finish(span, status="error", error=type(error).__name__)
+        raise
+    trace.finish(span, transport=connection.transport, nodes=len(impls))
     return connection

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import (
+    BerthaError,
     ConnectionTimeoutError,
     NoImplementationError,
     ResourceExhaustedError,
@@ -166,6 +167,7 @@ def decide_with_reservations(
     owner: str,
     rounds: int = 8,
     excluded: Optional[set] = None,
+    conn_id: str = "",
 ):
     """Generator: run :func:`decide`, confirming reservations with discovery.
 
@@ -175,9 +177,38 @@ def decide_with_reservations(
     seeds the exclusion set with ``(meta.name, record_id)`` pairs — live
     reconfiguration uses it to steer away from failed or revoked offloads.
 
+    The whole decide/reserve/retry loop is recorded as one ``reserve``
+    span in the world's trace log (tagged with ``conn_id`` when the
+    caller has one).
+
     Returns ``(choice, confirmed)`` where ``confirmed`` is the list of
     ``(record_id, owner)`` reservations this decision holds.
     """
+    trace = runtime.network.trace
+    span = trace.begin("reserve", conn_id, owner=owner)
+    try:
+        choice, confirmed, used = yield from _decide_rounds(
+            runtime, dag, candidates, ctx, owner, rounds, excluded
+        )
+    except BerthaError as error:
+        trace.finish(span, status="error", error=type(error).__name__)
+        raise
+    trace.finish(span, rounds=used, reservations=len(confirmed))
+    return choice, confirmed
+
+
+def _decide_rounds(
+    runtime,
+    dag: ChunnelDag,
+    candidates: dict[str, list[Offer]],
+    ctx: PolicyContext,
+    owner: str,
+    rounds: int,
+    excluded: Optional[set],
+):
+    """The decide/reserve/exclude/retry loop behind
+    :func:`decide_with_reservations`; returns ``(choice, confirmed,
+    rounds_used)``."""
     excluded = set(excluded or ())
     for _round in range(rounds):
         pool = {
@@ -210,7 +241,7 @@ def decide_with_reservations(
                 break
             confirmed.append((offer.record_id, node_owner))
         if denied is None:
-            return choice, confirmed
+            return choice, confirmed, _round + 1
         for record_id, node_owner in confirmed:
             try:
                 yield from runtime.discovery.release(record_id, node_owner)

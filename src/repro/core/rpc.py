@@ -156,6 +156,8 @@ def call(
     stats: Optional[RpcStats] = None,
     rng: Optional[random.Random] = None,
     describe: str = "rpc",
+    trace: Optional[Any] = None,
+    conn_id: str = "",
 ) -> Generator[Any, Any, Any]:
     """Generator: drive one RPC to a matched reply or exhaustion.
 
@@ -166,21 +168,37 @@ def call(
     trip); exhausting ``policy.retries`` raises
     :class:`ConnectionTimeoutError` (counted as a failure).  ``wait`` may
     raise to abort early — e.g. a peer-reported negotiation error.
+
+    ``trace`` (a :class:`repro.obs.TraceLog`) records the whole call as
+    one ``rpc`` span — attrs carry ``call=describe`` plus the attempt
+    count — tagged with ``conn_id`` when the caller has one.
     """
     stats = stats if stats is not None else RpcStats()
-    for attempt in range(policy.retries):
-        if attempt:
-            stats.retransmits_total += 1
-        send(attempt)
-        reply = yield from wait(attempt, policy.attempt_timeout(attempt, rng))
-        if reply is None:
-            continue
-        stats.round_trips += 1
-        return reply
-    stats.failures_total += 1
-    raise ConnectionTimeoutError(
-        f"{describe}: no answer after {policy.retries} attempts"
+    span = (
+        trace.begin("rpc", conn_id, call=describe) if trace is not None else None
     )
+    try:
+        for attempt in range(policy.retries):
+            if attempt:
+                stats.retransmits_total += 1
+            send(attempt)
+            reply = yield from wait(attempt, policy.attempt_timeout(attempt, rng))
+            if reply is None:
+                continue
+            stats.round_trips += 1
+            if span is not None:
+                trace.finish(span, attempts=attempt + 1)
+            return reply
+        stats.failures_total += 1
+        if span is not None:
+            trace.finish(span, status="timeout", attempts=policy.retries)
+        raise ConnectionTimeoutError(
+            f"{describe}: no answer after {policy.retries} attempts"
+        )
+    except BaseException:
+        if span is not None and span.end is None:
+            trace.finish(span, status="error")
+        raise
 
 
 def socket_waiter(

@@ -124,6 +124,24 @@ class Runtime:
             self.discovery = discovery
         else:
             raise TypeError(f"unsupported discovery argument {discovery!r}")
+        # Register this process's counters with the world's metrics
+        # registry (replace: a rebuilt runtime on the same entity — e.g. a
+        # simulated process restart — takes over its predecessor's names).
+        obs = self.network.obs
+        name = entity.name
+        obs.bind_stats(f"rpc.negotiation.{name}", self.negotiation_stats, replace=True)
+        obs.bind(
+            f"runtime.{name}.degraded_establishments",
+            self,
+            "degraded_establishments",
+            replace=True,
+        )
+        obs.bind(
+            f"runtime.{name}.release_failures", self, "release_failures", replace=True
+        )
+        stats = getattr(self.discovery, "stats", None)
+        if stats is not None:
+            obs.bind_stats(f"rpc.discovery.{name}", stats, replace=True)
 
     def register_chunnel(self, impl_cls) -> None:
         """Register a fallback implementation (Listing 5, line 2)."""
@@ -234,8 +252,30 @@ class Endpoint:
         addresses.  Drive with ``conn = yield from ep.connect(...)``.
         """
         runtime = self.runtime
-        env = runtime.env
         conn_id = next_conn_id(runtime.entity)
+        trace = runtime.network.trace
+        span = trace.begin("negotiate", conn_id, target=str(target))
+        try:
+            connection = yield from self._connect(
+                conn_id, span, target, timeout, retries
+            )
+        except BerthaError as error:
+            if span.end is None:
+                trace.finish(span, status="error", error=type(error).__name__)
+            raise
+        return connection
+
+    def _connect(
+        self,
+        conn_id: str,
+        span,
+        target: ConnectTarget,
+        timeout: float,
+        retries: int,
+    ):
+        """The body of :meth:`connect` (wrapped for lifecycle tracing)."""
+        runtime = self.runtime
+        env = runtime.env
         # Round trip 1: discovery (implementation offers + name resolution).
         # With client-side caching enabled (non-default), a fresh cache
         # entry skips this round trip — at the cost of stale placement.
@@ -330,6 +370,9 @@ class Endpoint:
         if len(accepts) > 1:
             params["per_peer"] = [dict(a.params) for a in accepts]
         peers = [a.data_addr for a in accepts]
+        runtime.network.trace.finish(
+            span, peers=len(peers), degraded=degraded, transport=first.transport
+        )
 
         return establish_connection(
             runtime,
@@ -460,6 +503,8 @@ class Endpoint:
                 rpc.socket_waiter(runtime.env, ctl, match),
                 stats=runtime.negotiation_stats,
                 describe=f"negotiation with {server_addr}",
+                trace=runtime.network.trace,
+                conn_id=offer_msg.conn_id,
             )
         )
 
@@ -489,6 +534,10 @@ class Listener:
         #: once per listener.
         self.ctl_malformed_total = 0
         self._malformed_logged: set = set()
+        obs = self.runtime.network.obs
+        prefix = f"listener.{self.runtime.entity.name}.{endpoint.name}"
+        obs.bind(f"{prefix}.ctl_malformed_total", self, "ctl_malformed_total", replace=True)
+        obs.bind(f"{prefix}.negotiations_failed", self, "negotiations_failed", replace=True)
         self._closed = False
         # Reply cache for offer retransmissions: retries arrive within a
         # retry window, so old entries are safe to evict.
@@ -720,7 +769,7 @@ class Listener:
             )
             try:
                 choice, reservations = yield from self._decide_with_reservations(
-                    attempt_dag, candidates, ctx, owner
+                    attempt_dag, candidates, ctx, owner, conn_id
                 )
                 dag = attempt_dag
                 break
@@ -782,13 +831,14 @@ class Listener:
         candidates: dict[str, list[Offer]],
         ctx: PolicyContext,
         owner: str,
+        conn_id: str = "",
     ):
         """Generator: delegate to
         :func:`repro.core.negotiation.decide_with_reservations` (shared with
         the live-reconfiguration engine)."""
         return (
             yield from decide_with_reservations(
-                self.runtime, dag, candidates, ctx, owner
+                self.runtime, dag, candidates, ctx, owner, conn_id=conn_id
             )
         )
 

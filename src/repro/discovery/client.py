@@ -197,6 +197,7 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
                     stats=self.stats,
                     rng=self._rng,
                     describe=f"discovery service at {self.service_address}",
+                    trace=self.entity.network.trace,
                 )
             )
         finally:

@@ -100,6 +100,25 @@ class DiscoveryService:
         #: Chaos flag: while down the service answers nothing (see crash()).
         self.down = False
         self.crashes = 0
+        # One discovery service per deployment owns the flat ``discovery.*``
+        # namespace (replace: a test that builds a second service — e.g. to
+        # model a migration — hands the names to the newest one).
+        obs = self.network.obs
+        for counter in (
+            "queries_served",
+            "reservations_granted",
+            "reservations_denied",
+            "revocations",
+            "leases_expired",
+            "leases_preempted",
+            "requests_served",
+            "duplicate_requests",
+            "malformed_total",
+            "crashes",
+        ):
+            obs.bind(f"discovery.{counter}", self, counter, replace=True)
+        obs.replace("discovery.leases", lambda: len(self._leases))
+        obs.replace("discovery.audit_ok", lambda: int(self.audit_leases()["ok"]))
         self._server = self.env.process(self._serve(), name="discovery.serve")
 
     # ------------------------------------------------------------------

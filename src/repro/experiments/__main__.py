@@ -19,6 +19,11 @@ violated, so CI can run it as a smoke check
 (``chaos --smoke --seed 7``); ``--baseline PATH`` writes the
 establishment-latency/extra-round-trip JSON recorded at
 ``benchmarks/results/BENCH_chaos.json``.
+
+Every command accepts ``--metrics-out PATH``: the run's metrics-registry
+snapshot (``repro.obs``) exported as canonical JSON.  Same seed ⇒
+byte-identical file — CI diffs two same-seed chaos exports as a
+determinism gate.
 """
 
 from __future__ import annotations
@@ -183,6 +188,12 @@ def cmd_chaos(args) -> None:
     if args.baseline:
         result.write_baseline(args.baseline)
         print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        # Chaos runs several worlds (one per sweep point + the outage);
+        # export every segment's snapshot, not just the last world's.
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
     if not result.ok:
         raise SystemExit(1)
 
@@ -207,6 +218,14 @@ def main(argv=None) -> int:
         "--full",
         action="store_true",
         help="paper-scale parameters (minutes instead of seconds)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "write the run's metrics-registry snapshot as canonical JSON "
+            "(same seed => byte-identical; chaos exports every segment)"
+        ),
     )
     chaos_group = parser.add_argument_group("chaos options")
     chaos_group.add_argument(
@@ -251,6 +270,14 @@ def main(argv=None) -> int:
             command(args)
     else:
         COMMANDS[args.experiment](args)
+    if args.metrics_out and not getattr(args, "_metrics_written", False):
+        # Shared exporter: the most recently built world's registry (every
+        # experiment builds its world(s) through Network, which installs
+        # the process-global handle).
+        from ..obs import current_registry
+
+        current_registry().write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

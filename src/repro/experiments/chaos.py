@@ -107,7 +107,13 @@ class ChaosConfig:
 
 @dataclass
 class ChaosPoint:
-    """Measurements from one loss-rate point of the sweep."""
+    """Measurements from one loss-rate point of the sweep.
+
+    Every field is derived from the point's world-wide
+    :class:`~repro.obs.MetricsSnapshot` (``metrics`` keeps the raw
+    snapshot), not by reaching into simulator objects — the registry is
+    the one measurement surface.
+    """
 
     loss: float
     sessions: int
@@ -125,6 +131,9 @@ class ChaosPoint:
     duplicate_requests: int
     fault_drops: int
     audit_ok: bool
+    #: The full registry snapshot this point was derived from
+    #: (metric name → value; canonical-JSON-able).
+    metrics: dict = field(default_factory=dict, repr=False)
 
 
 @dataclass
@@ -252,6 +261,37 @@ class ChaosResult:
             json.dump(self.to_baseline(), handle, indent=2, sort_keys=True)
             handle.write("\n")
 
+    def metrics_payload(self) -> dict:
+        """Every segment's raw registry snapshot (the ``--metrics-out``
+        document).  Same seed ⇒ byte-identical canonical JSON — the CI
+        determinism gate diffs two of these."""
+        payload: dict = {
+            "experiment": "chaos",
+            "seed": self.config.seed,
+            "points": [
+                {"loss": p.loss, "metrics": p.metrics} for p in self.points
+            ],
+            "invariants": self.invariants,
+        }
+        if self.outage is not None:
+            payload["outage"] = {
+                "loss": self.outage["loss"],
+                "metrics": self.outage.get("metrics", {}),
+            }
+        return payload
+
+    def write_metrics(self, path: str) -> None:
+        """Write :meth:`metrics_payload` as canonical JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    self.metrics_payload(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+
 
 # --------------------------------------------------------------------------
 # World building
@@ -318,12 +358,6 @@ def _build_world(config: ChaosConfig, loss: float, seed: int):
     return net, discovery, server, server_rt, client_rt
 
 
-def _stack_retransmissions(conn) -> int:
-    return sum(
-        getattr(stage, "retransmissions", 0) for stage in conn.stack.stages
-    )
-
-
 # --------------------------------------------------------------------------
 # Sweep
 # --------------------------------------------------------------------------
@@ -334,13 +368,14 @@ def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
     )
     env = net.env
     payload = bytes(config.payload_size)
-    state = {
-        "established": 0,
-        "completed": 0,
-        "setups": [],
-        "rtts": [],
-        "rel_retx": 0,
-    }
+    # Workload-level instruments live in the same registry as everything
+    # else; the driver charges them and the ChaosPoint below is derived
+    # entirely from one world-wide snapshot.
+    obs = net.obs
+    established = obs.counter("experiment.established")
+    completed = obs.counter("experiment.completed")
+    setup_hist = obs.histogram("experiment.setup_seconds")
+    rtt_hist = obs.histogram("experiment.rtt_seconds")
 
     def driver():
         for session in range(config.sessions):
@@ -358,15 +393,14 @@ def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
                 # Counted by omission: established < sessions fails the
                 # all_established invariant without killing the sweep.
                 continue
-            state["setups"].append(env.now - start)
-            state["established"] += 1
+            setup_hist.observe(env.now - start)
+            established.inc()
             for _request in range(config.requests_per_session):
                 t0 = env.now
                 conn.send(payload, size=len(payload))
                 yield conn.recv()
-                state["rtts"].append(env.now - t0)
-                state["completed"] += 1
-            state["rel_retx"] += _stack_retransmissions(conn)
+                rtt_hist.observe(env.now - t0)
+                completed.inc()
             conn.close()
 
     env.process(driver(), name="chaos.driver")
@@ -374,35 +408,32 @@ def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
         warnings.simplefilter("ignore", DegradedEstablishmentWarning)
         env.run(until=config.deadline)
 
-    setups = state["setups"]
+    snap = net.obs.snapshot()
+    setups = setup_hist.values
+    rtts = rtt_hist.values
     offered = config.sessions * config.requests_per_session
-    disc_round_trips = (
-        client_rt.discovery.round_trips + server_rt.discovery.round_trips
-    )
-    disc_retransmits = (
-        client_rt.discovery.retransmits_total
-        + server_rt.discovery.retransmits_total
-    )
     return ChaosPoint(
         loss=loss,
         sessions=config.sessions,
-        established=state["established"],
-        degraded=client_rt.degraded_establishments
-        + server_rt.degraded_establishments,
+        established=int(snap.get("experiment.established")),
+        degraded=int(snap.sum("runtime.", ".degraded_establishments")),
         offered=offered,
-        completed=state["completed"],
+        completed=int(snap.get("experiment.completed")),
         setup_p50_us=percentile(setups, 50) * _US if setups else 0.0,
         setup_p95_us=percentile(setups, 95) * _US if setups else 0.0,
         setup_max_us=max(setups) * _US if setups else float("inf"),
-        rtt_p95_us=percentile(state["rtts"], 95) * _US
-        if state["rtts"]
-        else 0.0,
-        discovery_round_trips=disc_round_trips,
-        discovery_retransmits=disc_retransmits,
-        reliability_retransmissions=state["rel_retx"],
-        duplicate_requests=discovery.duplicate_requests,
-        fault_drops=net.fault_drops,
-        audit_ok=discovery.audit_leases()["ok"],
+        rtt_p95_us=percentile(rtts, 95) * _US if rtts else 0.0,
+        discovery_round_trips=int(snap.sum("rpc.discovery.", ".round_trips")),
+        discovery_retransmits=int(
+            snap.sum("rpc.discovery.", ".retransmits_total")
+        ),
+        reliability_retransmissions=int(
+            snap.sum("conn.", ".client.stack_retransmissions")
+        ),
+        duplicate_requests=int(snap.get("discovery.duplicate_requests")),
+        fault_drops=int(snap.get("net.fault_drops")),
+        audit_ok=bool(snap.get("discovery.audit_ok")),
+        metrics=snap.as_dict(),
     )
 
 
@@ -473,7 +504,9 @@ def _run_outage(config: ChaosConfig) -> dict:
         for w in caught
         if issubclass(w.category, DegradedEstablishmentWarning)
     )
-    out["audit_ok"] = discovery.audit_leases()["ok"]
+    snap = net.obs.snapshot()
+    out["audit_ok"] = bool(snap.get("discovery.audit_ok"))
+    out["metrics"] = snap.as_dict()
     return out
 
 

@@ -109,13 +109,27 @@ class LatencyRecorder:
         """Number of samples under ``label``."""
         return len(self._samples.get(label, []))
 
+    def _samples_for(self, label: str) -> list[float]:
+        """The sample list under ``label``; unknown labels are a
+        :class:`KeyError` naming the label and what exists — not the
+        misleading empty-sample :class:`ValueError` that summarizing an
+        unrecorded label used to surface."""
+        try:
+            return self._samples[label]
+        except KeyError:
+            available = ", ".join(sorted(self._samples)) or "none"
+            raise KeyError(
+                f"no samples recorded under label {label!r} "
+                f"(available labels: {available})"
+            ) from None
+
     def summary(self, label: str) -> BoxplotSummary:
         """Boxplot summary of one label's samples."""
-        return BoxplotSummary.from_values(self._samples.get(label, []))
+        return BoxplotSummary.from_values(self._samples_for(label))
 
     def percentile(self, label: str, p: float) -> float:
         """One percentile of one label's samples."""
-        return percentile(self._samples.get(label, []), p)
+        return percentile(self._samples_for(label), p)
 
     def summaries(self) -> dict[str, BoxplotSummary]:
         """Summaries for every label."""
@@ -154,7 +168,14 @@ class TimeSeries:
         for t, v in zip(self.times, self.values):
             if t < t0 or t > t1:
                 continue
-            buckets.setdefault(int((t - t0) // width), []).append(v)
+            index = int((t - t0) // width)
+            # A sample landing exactly on ``end`` belongs to the final bin;
+            # when (end - start) is a whole number of widths, the division
+            # above would otherwise open a spurious zero-width bin at
+            # ``end`` (start=0, end=10, width=0.5: t=10 -> bin 20).
+            if t == t1 and index > 0 and t0 + index * width >= t1:
+                index -= 1
+            buckets.setdefault(index, []).append(v)
         return [
             (t0 + index * width, BoxplotSummary.from_values(samples))
             for index, samples in sorted(buckets.items())
@@ -168,16 +189,38 @@ class TimeSeries:
 
 
 def format_table(rows: list[dict], columns: Optional[list[str]] = None) -> str:
-    """Render dict rows as an aligned text table (harness output)."""
+    """Render dict rows as an aligned text table (harness output).
+
+    Without an explicit ``columns`` list, the columns are the union of
+    every row's keys in first-appearance order — a key missing from the
+    first row is still rendered (blank where absent), not silently
+    dropped.  Numeric formatting is decided per column: a column holding
+    any float renders *all* its numbers with two decimals, so a mixed
+    int/float column cannot show ``0`` next to ``0.00``.
+    """
     if not rows:
         return "(no rows)"
-    cols = columns or list(rows[0].keys())
+    if columns is not None:
+        cols = list(columns)
+    else:
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+    float_cols = {
+        col
+        for col in cols
+        if any(isinstance(row.get(col), float) for row in rows)
+    }
     rendered: list[list[str]] = [[str(c) for c in cols]]
     for row in rows:
         cells = []
         for col in cols:
             value = row.get(col, "")
-            if isinstance(value, float):
+            if isinstance(value, bool):
+                cells.append(str(value))
+            elif col in float_cols and isinstance(value, (int, float)):
                 cells.append(f"{value:.2f}")
             else:
                 cells.append(str(value))

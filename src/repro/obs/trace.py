@@ -1,0 +1,146 @@
+"""Connection-lifecycle tracing on virtual time.
+
+A :class:`TraceLog` records structured spans stamped with the simulation
+clock: the phases a connection moves through (``negotiate`` → ``reserve``
+→ ``establish`` → ``data`` → ``reconfig`` epoch N → ``teardown``), the
+RPC exchanges the control plane rides on, and the chaos controller's
+fault actions.  Because all times are virtual and attribute dicts export
+with sorted keys, two same-seed runs produce byte-identical trace
+exports — tracing, like the metrics registry, never perturbs
+determinism.
+
+Spans come in two flavours:
+
+* **intervals** — ``begin(phase, conn_id)`` returns an open
+  :class:`Span`; ``finish(span)`` stamps the end time and a status
+  (``"ok"`` / ``"error"`` / anything the caller reports);
+* **events** — ``event(phase, conn_id)`` records a zero-duration span,
+  for instants like a chaos action or a teardown.
+
+Canonical phase names used by the core (free-form strings; these are the
+ones the establishment pipeline, RPC core, reconfiguration engine, and
+fault injector emit):
+
+====================  ====================================================
+``negotiate``         client connect: discovery query + offer/accept
+``reserve``           resource reservation during a decision
+``establish``         instantiate + setup + after-establish pipeline
+``data``              first application payload delivered (per connection)
+``reconfig``          one transition attempt (attrs carry epoch/outcome)
+``teardown``          connection close
+``rpc``               one reliable-RPC call (attrs carry attempts/outcome)
+``chaos``             one fault-controller action
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = ["Span", "TraceLog"]
+
+
+class Span:
+    """One traced interval (or instant, when ``end == start``)."""
+
+    __slots__ = ("phase", "conn_id", "start", "end", "status", "attrs")
+
+    def __init__(
+        self,
+        phase: str,
+        conn_id: str,
+        start: float,
+        end: Optional[float] = None,
+        status: str = "open",
+        attrs: Optional[dict] = None,
+    ):
+        self.phase = phase
+        self.conn_id = conn_id
+        self.start = start
+        self.end = end
+        self.status = status
+        self.attrs: dict[str, Any] = dict(attrs or {})
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds of virtual time covered, or None while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-able form with deterministically ordered attrs."""
+        return {
+            "phase": self.phase,
+            "conn_id": self.conn_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        window = (
+            f"[{self.start:.6f}..{'' if self.end is None else f'{self.end:.6f}'}]"
+        )
+        return f"<Span {self.phase} {self.conn_id} {window} {self.status}>"
+
+
+class TraceLog:
+    """Append-only log of lifecycle spans for one simulated world."""
+
+    def __init__(self, env):
+        self.env = env
+        self.spans: list[Span] = []
+
+    # -- recording ----------------------------------------------------------
+    def begin(self, phase: str, conn_id: str = "", **attrs: Any) -> Span:
+        """Open an interval span at the current virtual time."""
+        span = Span(phase, conn_id, start=self.env.now, attrs=attrs)
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, status: str = "ok", **attrs: Any) -> Span:
+        """Close ``span`` now; extra attrs merge into the span's."""
+        span.end = self.env.now
+        span.status = status
+        span.attrs.update(attrs)
+        return span
+
+    def event(self, phase: str, conn_id: str = "", **attrs: Any) -> Span:
+        """Record an instant (a closed zero-duration span)."""
+        now = self.env.now
+        span = Span(phase, conn_id, start=now, end=now, status="ok", attrs=attrs)
+        self.spans.append(span)
+        return span
+
+    # -- queries ------------------------------------------------------------
+    def select(
+        self, phase: Optional[str] = None, conn_id: Optional[str] = None
+    ) -> list[Span]:
+        """Spans filtered by phase and/or connection id (insertion order —
+        i.e. by start time)."""
+        return [
+            span
+            for span in self.spans
+            if (phase is None or span.phase == phase)
+            and (conn_id is None or span.conn_id == conn_id)
+        ]
+
+    def lifecycle(self, conn_id: str) -> list[str]:
+        """The phase sequence one connection moved through."""
+        return [span.phase for span in self.select(conn_id=conn_id)]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export -------------------------------------------------------------
+    def as_dicts(self) -> list[dict]:
+        return [span.as_dict() for span in self.spans]
+
+    def to_json(self) -> str:
+        """Canonical JSON array (sorted attr keys, no whitespace
+        variation) — byte-identical across same-seed runs."""
+        return json.dumps(self.as_dicts(), sort_keys=True, separators=(",", ":"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceLog {len(self.spans)} spans>"

@@ -131,6 +131,19 @@ class ReconfigManager:
         self.pause_times: list[float] = []
         self.last_pause: Optional[float] = None
         self.log: list[TransitionRecord] = []
+        # Engine counters in the world registry (replace: the engine is
+        # created on demand, and a rebuilt runtime rebuilds its engine).
+        obs = runtime.network.obs
+        entity = runtime.entity.name
+        for counter in (
+            "transitions_started",
+            "transitions_committed",
+            "transitions_rolled_back",
+            "transitions_failed",
+            "transitions_noop",
+        ):
+            obs.bind(f"reconfig.{entity}.{counter}", self, counter, replace=True)
+        obs.bind_stats(f"rpc.reconfig.{entity}", self.rpc_stats, replace=True)
 
     # ------------------------------------------------------------------
     # Subscription
@@ -286,6 +299,10 @@ class ReconfigManager:
         reason, exclude, target_dag, done = item
         conn = state.conn
         self.transitions_started += 1
+        trace = self.runtime.network.trace
+        span = trace.begin(
+            "reconfig", conn.conn_id, epoch=state.next_epoch, reason=reason
+        )
         outcome = "failed"
         try:
             outcome = yield from self._transition(
@@ -295,6 +312,7 @@ class ReconfigManager:
             self.transitions_failed += 1
             self._log(conn, "failed", f"{type(error).__name__}: {error}")
         finally:
+            trace.finish(span, status=outcome)
             # Never leave the connection with sends paused.
             if conn._send_paused:
                 conn.resume_sends()
@@ -324,7 +342,13 @@ class ReconfigManager:
         candidates = yield from self._assemble_candidates(conn, dag, message)
         excluded = set(state.excluded) | set(exclude)
         choice, confirmed = yield from decide_with_reservations(
-            runtime, dag, candidates, ctx, owner, excluded=excluded
+            runtime,
+            dag,
+            candidates,
+            ctx,
+            owner,
+            excluded=excluded,
+            conn_id=conn.conn_id,
         )
 
         changed = {
@@ -481,6 +505,8 @@ class ReconfigManager:
                     rpc.event_waiter(self.env, ack_event),
                     stats=self.rpc_stats,
                     describe=f"{conn.conn_id}: transition epoch {epoch}",
+                    trace=self.runtime.network.trace,
+                    conn_id=conn.conn_id,
                 )
             )
         except ConnectionTimeoutError:
@@ -595,6 +621,12 @@ class ReconfigManager:
             )
             self._log(conn, "refused", f"epoch {epoch}: {error}")
         state.cache_ack(epoch, ack)
+        self.runtime.network.trace.event(
+            "reconfig",
+            conn.conn_id,
+            epoch=epoch,
+            outcome="adopted" if ack.ok else "refused",
+        )
         conn.send_ctl(ack, dst=src)
 
     # ------------------------------------------------------------------

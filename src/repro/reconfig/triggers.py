@@ -109,6 +109,11 @@ class DiscoveryWatcher:
         #: the registration process, so failures must be swallowed and
         #: counted — an unwaited error would crash the simulation).
         self.watch_failures = 0
+        obs = runtime.network.obs
+        prefix = f"reconfig.{runtime.entity.name}.watcher"
+        obs.bind(f"{prefix}.notifications", self, "notifications", replace=True)
+        obs.bind(f"{prefix}.malformed_total", self, "malformed_total", replace=True)
+        obs.bind(f"{prefix}.watch_failures", self, "watch_failures", replace=True)
 
     @property
     def address(self) -> Address:

@@ -184,18 +184,22 @@ class ChaosController:
         self.rng = random.Random(seed)
         self.events: list[ChaosEvent] = []
 
+    def _record(self, label: str, detail: str) -> None:
+        self.events.append(ChaosEvent(self.env.now, label, detail))
+        self.network.trace.event("chaos", action=label, detail=detail)
+
     # -- scheduling ----------------------------------------------------------
     def _do(self, at: Optional[float], action, detail: str, label: str):
         if at is None:
             action()
-            self.events.append(ChaosEvent(self.env.now, label, detail))
+            self._record(label, detail)
             return None
         if at < self.env.now:
             raise ValueError(f"cannot schedule chaos in the past (at={at})")
 
         def _fire(_event) -> None:
             action()
-            self.events.append(ChaosEvent(self.env.now, label, detail))
+            self._record(label, detail)
 
         kickoff = self.env.event()
         kickoff.succeed(None, delay=at - self.env.now)
@@ -267,14 +271,10 @@ class ChaosController:
                 yield self.env.timeout(begin - self.env.now)
             for _cycle in range(cycles):
                 link.up = False
-                self.events.append(
-                    ChaosEvent(self.env.now, "link_down", f"{a}<->{b}")
-                )
+                self._record("link_down", f"{a}<->{b}")
                 yield self.env.timeout(down_for)
                 link.up = True
-                self.events.append(
-                    ChaosEvent(self.env.now, "link_up", f"{a}<->{b}")
-                )
+                self._record("link_up", f"{a}<->{b}")
                 if up_for:
                     yield self.env.timeout(up_for)
 

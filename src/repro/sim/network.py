@@ -30,6 +30,7 @@ from typing import Iterable, Optional
 import networkx as nx
 
 from ..errors import AddressError
+from ..obs import MetricsRegistry, TraceLog, set_current_registry
 from .datagram import Address, Datagram
 from .eventloop import Environment
 from .faults import CORRUPT_HEADER, FaultPlan, clone_datagram
@@ -119,6 +120,27 @@ class Network:
         self.dropped_link_down = 0
         self.dropped_partition = 0
         self.dropped_host_down = 0
+        #: One metrics registry and one trace log per world; everything
+        #: constructed against this network registers its counters here.
+        #: The registry also becomes the process-global handle
+        #: (``repro.obs.current_registry``), following the newest world.
+        self.obs = set_current_registry(
+            MetricsRegistry(clock=lambda: self.env.now)
+        )
+        self.trace = TraceLog(self.env)
+        self.obs.bind("net.delivered", self, "delivered")
+        for cause, attr in (
+            ("unbound", "dropped_unbound"),
+            ("no_entity", "dropped_no_entity"),
+            ("program", "dropped_by_program"),
+            ("fault", "dropped_by_fault"),
+            ("corrupt", "dropped_corrupt"),
+            ("link_down", "dropped_link_down"),
+            ("partition", "dropped_partition"),
+            ("host_down", "dropped_host_down"),
+        ):
+            self.obs.bind(f"net.dropped.{cause}", self, attr)
+        self.obs.gauge("net.fault_drops", lambda: self.fault_drops)
 
     # -- topology construction ------------------------------------------------
     def add_host(
@@ -134,6 +156,10 @@ class Network:
         self.hosts[name] = host
         self.entities[name] = host
         self.graph.add_node(name, kind="host")
+        if host.smartnic is not None:
+            bus = host.smartnic.pcie
+            self.obs.bind(f"pcie.{name}.crossings", bus, "crossings")
+            self.obs.bind(f"pcie.{name}.bytes", bus, "bytes_moved")
         return host
 
     def add_switch(self, name: str, **kwargs) -> ProgrammableSwitch:
@@ -158,6 +184,8 @@ class Network:
         link = Link(a, b, latency=latency, bandwidth=bandwidth)
         self.graph.add_edge(a, b, link=link, weight=latency)
         self._route_cache.clear()
+        self.obs.bind(f"link.{a}-{b}.bytes", link, "bytes_carried")
+        self.obs.bind(f"link.{a}-{b}.datagrams", link, "datagrams_carried")
         return link
 
     def _check_fresh_name(self, name: str) -> None:
@@ -197,7 +225,18 @@ class Network:
         """Attach a fault plan to the link between ``a`` and ``b``."""
         link = self.link_between(a, b)
         link.fault_plan = plan
+        self._register_fault_plan(a, b, plan)
         return plan
+
+    def _register_fault_plan(self, a: str, b: str, plan: FaultPlan) -> None:
+        """Expose one link's fault-plan counters (``replace``, not
+        ``register``: re-attaching a plan must override the old one)."""
+        a, b = sorted((a, b))
+        for cause in ("evaluated", "dropped", "duplicated", "reordered", "corrupted"):
+            self.obs.replace(
+                f"faults.{a}-{b}.{cause}",
+                lambda plan=plan, cause=cause: getattr(plan, cause),
+            )
 
     def attach_faults_everywhere(
         self, plan: FaultPlan
@@ -213,6 +252,7 @@ class Network:
             link = self.graph.edges[a, b]["link"]
             link.fault_plan = plan.with_seed(plan.seed + 7919 * (index + 1))
             plans[(a, b)] = link.fault_plan
+            self._register_fault_plan(a, b, link.fault_plan)
         return plans
 
     @property

@@ -89,6 +89,35 @@ class TestReplyCache:
         with pytest.raises(ValueError, match="cache limit must be >= 1"):
             rpc.ReplyCache(0)
 
+    def test_retransmit_replay_does_not_refresh_position(self):
+        # A retransmitted request re-caches its reply under the same key.
+        # Eviction order must stay *insertion* order — replaying an old
+        # entry must not push a fresher entry out first.
+        cache = rpc.ReplyCache(2)
+        cache.put("req-1", "reply-1")
+        cache.put("req-2", "reply-2")
+        cache.put("req-1", "reply-1")  # retransmit replay
+        cache.put("req-3", "reply-3")
+        assert "req-1" not in cache  # oldest by insertion, despite replay
+        assert cache.get("req-2") == "reply-2"
+        assert cache.get("req-3") == "reply-3"
+
+    def test_replay_lookup_does_not_affect_eviction(self):
+        cache = rpc.ReplyCache(2)
+        cache.put("req-1", "reply-1")
+        cache.put("req-2", "reply-2")
+        assert cache.get("req-1") == "reply-1"  # dedup hit on retransmit
+        cache.put("req-3", "reply-3")
+        assert "req-1" not in cache
+        assert "req-2" in cache and "req-3" in cache
+
+    def test_replayed_value_updates_in_place(self):
+        cache = rpc.ReplyCache(4)
+        cache.put("req-1", "reply-a")
+        cache.put("req-1", "reply-b")
+        assert cache.get("req-1") == "reply-b"
+        assert len(cache) == 1
+
 
 class TestCall:
     """Drive ``rpc.call`` with hand-rolled wait callables: the contract is

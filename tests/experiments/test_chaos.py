@@ -85,6 +85,60 @@ class TestDeterminism:
             != smoke_result.to_baseline()["points"]
         )
 
+    def test_same_seed_bit_identical_metrics_snapshots(self, smoke_result):
+        # The CI determinism gate in code form: every registry snapshot —
+        # all sweep points plus the outage segment — must serialize to the
+        # exact same canonical JSON across same-seed runs.
+        again = run_chaos(ChaosConfig.smoke(seed=7))
+        first = json.dumps(
+            smoke_result.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        second = json.dumps(
+            again.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        assert first == second
+
+
+class TestMetricsPayload:
+    def test_every_point_carries_a_full_snapshot(self, smoke_result):
+        (point,) = smoke_result.points
+        assert point.metrics, "point snapshot missing"
+        # The motivation counters all reach one namespace: spot-check one
+        # name per legacy subsystem.
+        names = set(point.metrics)
+        for prefix in (
+            "net.delivered",
+            "net.fault_drops",
+            "discovery.requests_served",
+            "experiment.established",
+        ):
+            assert any(n.startswith(prefix) for n in names), prefix
+        for prefix in ("link.", "faults.", "rpc.discovery.", "conn.", "runtime."):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_invariants_derive_from_snapshots(self, smoke_result):
+        (point,) = smoke_result.points
+        snap = point.metrics
+        assert point.fault_drops == snap["net.fault_drops"]
+        assert point.duplicate_requests == snap["discovery.duplicate_requests"]
+        assert point.established == snap["experiment.established"]
+        assert point.discovery_retransmits == sum(
+            value
+            for name, value in snap.items()
+            if name.startswith("rpc.discovery.")
+            and name.endswith(".retransmits_total")
+        )
+
+    def test_write_metrics_file(self, smoke_result, tmp_path):
+        path = tmp_path / "metrics.json"
+        smoke_result.write_metrics(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "chaos"
+        assert payload["seed"] == 7
+        assert [p["loss"] for p in payload["points"]] == [0.05]
+        assert payload["points"][0]["metrics"]
+        assert payload["outage"]["metrics"]
+
 
 class TestBaselineShape:
     def test_baseline_payload(self, smoke_result, tmp_path):

@@ -58,6 +58,20 @@ class TestBoxplotSummary:
         assert summary.p50 == pytest.approx(2e6)
         assert summary.count == 3
 
+    def test_scaled_multiplies_every_statistic_except_count(self):
+        base = BoxplotSummary.from_values([5, 1, 9, 3, 7, 2, 8])
+        scaled = base.scaled(1e-3)
+        for field in ("p5", "p25", "p50", "p75", "p95", "mean"):
+            assert getattr(scaled, field) == pytest.approx(
+                getattr(base, field) * 1e-3
+            ), field
+        assert scaled.count == base.count
+
+    def test_scaled_identity_and_roundtrip(self):
+        base = BoxplotSummary.from_values([1.5, 2.5, 4.0])
+        assert base.scaled(1.0) == base
+        assert base.scaled(1e6).scaled(1e-6).p95 == pytest.approx(base.p95)
+
     def test_as_row(self):
         row = BoxplotSummary.from_values([1.0]).as_row()
         assert row["p50"] == 1.0
@@ -96,6 +110,33 @@ class TestLatencyRecorder:
         assert set(recorder.summaries()) == {"a", "b"}
 
 
+class TestLatencyRecorderUnknownLabel:
+    def test_summary_raises_keyerror_naming_label(self):
+        recorder = LatencyRecorder()
+        recorder.record("warm", 1)
+        recorder.record("cold", 2)
+        with pytest.raises(KeyError, match=r"'ghost'.*cold, warm"):
+            recorder.summary("ghost")
+
+    def test_percentile_raises_keyerror_naming_label(self):
+        recorder = LatencyRecorder()
+        recorder.record("warm", 1)
+        with pytest.raises(KeyError, match=r"'ghost'.*available labels: warm"):
+            recorder.percentile("ghost", 50)
+
+    def test_empty_recorder_says_none(self):
+        with pytest.raises(KeyError, match="available labels: none"):
+            LatencyRecorder().summary("anything")
+
+    def test_known_empty_label_still_valueerror(self):
+        # A label that exists but holds no samples is an empty-sample
+        # problem, not a lookup problem.
+        recorder = LatencyRecorder()
+        recorder.extend("empty", [])
+        with pytest.raises(ValueError, match="empty sample"):
+            recorder.summary("empty")
+
+
 class TestTimeSeries:
     def test_binning(self):
         series = TimeSeries()
@@ -114,6 +155,46 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             series.bins(0)
 
+    def test_boundary_sample_lands_in_final_bin(self):
+        """Fig-4 regression: a sample exactly on the explicit ``end`` must
+        not open a spurious zero-width bin past the window (start=0,
+        end=10, width=0.5 used to put t=10 into bin 20)."""
+        series = TimeSeries()
+        for t in (0.25, 5.0, 9.75, 10.0):
+            series.record(t, 1.0)
+        bins = series.bins(width=0.5, start=0.0, end=10.0)
+        starts = [b[0] for b in bins]
+        assert starts == [0.0, 5.0, 9.5]
+        # The final bin absorbs both 9.75 and the boundary sample.
+        assert bins[-1][1].count == 2
+        assert max(starts) < 10.0
+
+    def test_boundary_clamp_with_implicit_end(self):
+        series = TimeSeries()
+        for t in (0.0, 1.0, 2.0):
+            series.record(t, t)
+        bins = series.bins(width=1.0)
+        assert [b[0] for b in bins] == [0.0, 1.0]
+        assert bins[-1][1].count == 2
+
+    def test_single_sample_at_start_keeps_bin_zero(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        bins = series.bins(width=0.5, start=0.0, end=10.0)
+        assert [b[0] for b in bins] == [0.0]
+
+    def test_partial_bins_skip_empty_windows(self):
+        series = TimeSeries()
+        series.record(0.1, 1.0)
+        series.record(7.3, 2.0)
+        bins = series.bins(width=1.0, start=0.0, end=10.0)
+        assert [b[0] for b in bins] == [0.0, 7.0]
+
+    def test_window_excluding_all_samples(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        assert series.bins(width=1.0, start=10.0, end=20.0) == []
+
     def test_split_at(self):
         series = TimeSeries()
         series.record(1, 10)
@@ -122,6 +203,24 @@ class TestTimeSeries:
         before, after = series.split_at(2)
         assert before == [10]
         assert after == [20, 30]
+
+    def test_split_at_boundary_sample_goes_after(self):
+        # The boundary is half-open: strictly-before vs at-or-after, so a
+        # sample exactly at the split time counts as "after" and no sample
+        # is dropped or double-counted.
+        series = TimeSeries()
+        for t in (1.0, 2.0, 3.0):
+            series.record(t, t)
+        before, after = series.split_at(2.0)
+        assert before == [1.0]
+        assert after == [2.0, 3.0]
+        assert len(before) + len(after) == len(series)
+
+    def test_split_at_extremes(self):
+        series = TimeSeries()
+        series.record(1.0, 10.0)
+        assert series.split_at(0.5) == ([], [10.0])
+        assert series.split_at(1.5) == ([10.0], [])
 
     def test_len(self):
         series = TimeSeries()
@@ -142,3 +241,38 @@ class TestFormatTable:
     def test_missing_cell_is_blank(self):
         text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
         assert "3" in text
+
+    def test_mixed_int_float_column_renders_uniformly(self):
+        # One float anywhere in a column float-formats the whole column:
+        # no more `0` in one row next to `0.25` in the next.
+        text = format_table(
+            [{"drops": 0, "rate": 0}, {"drops": 3, "rate": 0.25}],
+            columns=["drops", "rate"],
+        )
+        rows = text.splitlines()[2:]
+        assert "0.00" in rows[0] and "0.25" in rows[1]
+        # The all-int column stays integer-formatted.
+        assert "3.00" not in rows[1]
+
+    def test_union_of_row_keys_when_columns_omitted(self):
+        # Keys missing from the first row must still become columns, in
+        # first-appearance order, rendered blank where absent.
+        text = format_table(
+            [{"a": 1}, {"a": 2, "b": 9}, {"c": 3, "a": 4}]
+        )
+        header = text.splitlines()[0].split()
+        assert header == ["a", "b", "c"]
+        assert "9" in text and "3" in text
+
+    def test_explicit_columns_unchanged_by_union(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        header = text.splitlines()[0].split()
+        assert header == ["b"]
+
+    def test_bools_render_as_text_not_numbers(self):
+        text = format_table(
+            [{"ok": True, "ratio": 0.5}, {"ok": False, "ratio": 1.0}],
+            columns=["ok", "ratio"],
+        )
+        assert "True" in text and "False" in text
+        assert "1.00" in text
