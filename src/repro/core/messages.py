@@ -48,6 +48,8 @@ __all__ = [
     "ControlMessage",
     "Offer",
     "Accept",
+    "Resume",
+    "ResumeReject",
     "Error",
     "Hello",
     "Transition",
@@ -206,10 +208,18 @@ class Accept(ControlMessage):
     data_addr: Address
     transport: str
     params: dict = field(default_factory=dict)
+    #: The deciding side's policy epoch at decision time; clients key
+    #: negotiation-cache entries on it (PROTOCOL.md §7).  Omitted from the
+    #: wire while 0 — like ``EPOCH_HEADER``, epoch 0 is implicit, so
+    #: deployments that never bump the policy see an unchanged wire format
+    #: (and unchanged message sizes/timings).
+    policy_epoch: int = 0
 
     def _to_body(self) -> dict:
         body = super()._to_body()
         body["choice"] = _choice_to_body(self.choice)
+        if not self.policy_epoch:
+            body.pop("policy_epoch")
         return body
 
     @classmethod
@@ -217,6 +227,59 @@ class Accept(ControlMessage):
         body = dict(body)
         body["choice"] = _choice_from_body(body.get("choice", {}))
         return cls(**body)
+
+
+@control_message
+@dataclass(frozen=True)
+class Resume(ControlMessage):
+    """One-RTT resumption request: re-establish with a previously
+    negotiated per-node choice, skipping offer gathering and the policy
+    walk.  The server revalidates reservations only and answers with
+    ``bertha.accept`` or ``bertha.resume_reject`` (PROTOCOL.md §7).
+
+    Direction: client → server, control socket.
+    Retransmit: client resends on a fixed timeout; the server replays its
+    original verdict from a per-``(kind, conn_id)`` reply cache on
+    duplicates.
+    """
+
+    KIND: ClassVar[str] = "bertha.resume"
+
+    conn_id: str
+    dag: ChunnelDag
+    choice: Dict[int, ImplOffer]
+    client_entity: str
+    policy_epoch: int = 0
+
+    def _to_body(self) -> dict:
+        body = super()._to_body()
+        body["choice"] = _choice_to_body(self.choice)
+        return body
+
+    @classmethod
+    def _from_body(cls, body: dict) -> "Resume":
+        body = dict(body)
+        body["choice"] = _choice_from_body(body.get("choice", {}))
+        return cls(**body)
+
+
+@control_message
+@dataclass(frozen=True)
+class ResumeReject(ControlMessage):
+    """Resumption refusal: the cached choice is no longer valid (policy
+    epoch moved, a reservation was denied, or the server holds no matching
+    negotiation state).  The client evicts its cache entry and falls back
+    to a full ``bertha.offer`` negotiation.
+
+    Direction: server → client, control socket (reply to ``bertha.resume``).
+    Retransmit: never sent unsolicited; replayed from the server's reply
+    cache when the resume is retransmitted.
+    """
+
+    KIND: ClassVar[str] = "bertha.resume_reject"
+
+    conn_id: str
+    reason: str = ""
 
 
 @control_message

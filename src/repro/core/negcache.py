@@ -1,0 +1,154 @@
+"""The negotiation-result cache behind one-RTT resumption (PROTOCOL.md §7).
+
+Bertha's §4.3 negotiation runs a full DAG-exchange → offer-gathering →
+policy-rank → reservation walk on *every* connect — the overhead the CCR
+follow-up argues should be amortized across connections to the same peer
+under an unchanged policy.  This module is the amortization state: a
+bounded LRU+TTL map from a resumption key to the previously negotiated
+binding, kept symmetrically by clients (keyed on the peer) and servers
+(keyed on the client entity).
+
+The cache is a pure optimization and is **disabled by default**
+(``Runtime(negotiation_cache_size=0)``): with it off, not a single wire
+byte or timing changes, which is what keeps the recorded chaos baselines
+byte-identical.  Correctness never rests on invalidation — a resuming
+server still revalidates every resource reservation against discovery, so
+a stale entry costs one rejected round trip, never a stale binding.
+Invalidation exists to keep the hit rate honest:
+
+* **tags** — each entry carries a tag set (discovery record ids its choice
+  uses, the DAG fingerprint); revocation pushes and reconfiguration
+  commits evict by tag;
+* **TTL** — entries older than ``ttl`` virtual seconds read as misses;
+* **policy epoch** — bumping a runtime's policy epoch clears its cache
+  (the epoch is also part of every key, so pre-bump entries could never
+  be returned anyway).
+
+Counters (``hits``/``misses``/``invalidations``/``fallbacks``) are plain
+attributes the owning :class:`~repro.core.runtime.Runtime` binds into the
+world's metrics registry under ``negcache.<entity>.*``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+__all__ = ["CacheEntry", "NegotiationCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached negotiation result."""
+
+    value: dict
+    created_at: float
+    tags: frozenset = field(default_factory=frozenset)
+
+
+class NegotiationCache:
+    """Bounded LRU of resumption key → negotiated binding, with TTL and
+    tag-based invalidation.
+
+    ``size`` 0 disables the cache entirely: lookups miss without counting,
+    stores are dropped, and no owner behaviour changes.  ``clock`` supplies
+    the current virtual time for TTL checks (``env.now``).
+    """
+
+    def __init__(
+        self,
+        size: int = 0,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if size < 0:
+            raise ValueError(f"cache size must be >= 0, got {size!r}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be positive, got {ttl!r}")
+        self.size = size
+        self.ttl = ttl
+        self._clock = clock or (lambda: 0.0)
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.fallbacks = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.size > 0
+
+    # -- the fast path ------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[dict]:
+        """The cached binding for ``key``, or None (counted as hit/miss).
+
+        An entry past its TTL is evicted and reads as a miss; a hit moves
+        the entry to the back of the LRU order.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is not None and self.ttl is not None:
+            if (self._clock() - entry.created_at) > self.ttl:
+                del self._entries[key]
+                entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.value
+
+    def store(
+        self, key: Hashable, value: dict, tags: Iterable[Any] = ()
+    ) -> None:
+        """Remember a negotiated binding (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._entries[key] = CacheEntry(
+            value=value, created_at=self._clock(), tags=frozenset(tags)
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    # -- invalidation -------------------------------------------------------
+    def invalidate_tag(self, tag: Any) -> int:
+        """Evict every entry carrying ``tag``; returns the eviction count.
+
+        Wired to discovery revocation pushes (tag = record id) and to
+        reconfiguration commits (tag = DAG fingerprint).
+        """
+        stale = [k for k, e in self._entries.items() if tag in e.tags]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_all(self) -> int:
+        """Evict everything (policy-epoch bump); returns the count."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidations += count
+        return count
+
+    def note_fallback(self, key: Hashable) -> None:
+        """A resumption attempt for ``key`` was rejected or timed out: the
+        entry is evicted (it just proved stale) and the fallback counted —
+        the full-negotiation path the caller now takes will re-store a
+        fresh entry on success."""
+        self.fallbacks += 1
+        self._entries.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NegotiationCache {len(self._entries)}/{self.size} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -33,6 +33,7 @@ from typing import Any, Callable, Generator, Optional
 from ..errors import ConnectionTimeoutError
 
 __all__ = [
+    "MISSING",
     "RetryPolicy",
     "RpcStats",
     "ReplyCache",
@@ -40,6 +41,11 @@ __all__ = [
     "socket_waiter",
     "event_waiter",
 ]
+
+#: Sentinel distinguishing a :class:`ReplyCache` miss from a cached
+#: ``None`` reply: ``cache.get(key, MISSING) is MISSING`` is the only
+#: reliable miss test for handlers whose verdict may legitimately be None.
+MISSING: Any = object()
 
 
 class RetryPolicy:
@@ -118,7 +124,9 @@ class ReplyCache:
 
     Retransmissions arrive within a retry window, so evicting the oldest
     entries once past ``limit`` is safe — by then the requester has either
-    its answer or its timeout.
+    its answer or its timeout.  A re-``put`` of an existing key moves it to
+    the back of the eviction order: a hot, still-retransmitting request
+    must outlive entries nobody has asked about since.
     """
 
     def __init__(self, limit: int):
@@ -127,11 +135,14 @@ class ReplyCache:
         self.limit = limit
         self._items: "OrderedDict[Any, Any]" = OrderedDict()
 
-    def get(self, key: Any) -> Any:
-        return self._items.get(key)
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The cached reply, or ``default`` on a miss.  Pass
+        :data:`MISSING` as the default to distinguish a cached ``None``."""
+        return self._items.get(key, default)
 
     def put(self, key: Any, value: Any) -> None:
         self._items[key] = value
+        self._items.move_to_end(key)
         while len(self._items) > self.limit:
             self._items.popitem(last=False)
 

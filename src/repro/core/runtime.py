@@ -22,6 +22,13 @@ client: one discovery query (implementation offers + name resolution) and
 one offer/accept exchange with the server — the overhead measured in the
 paper's Figure 3.  Reservation RPCs happen only when a chosen
 implementation declares resource needs.
+
+With the negotiation cache enabled (``Runtime(negotiation_cache_size=N)``,
+off by default), a repeat connect to the same peer under an unchanged DAG
+and policy epoch takes the one-round-trip RESUME fast path instead
+(PROTOCOL.md §7): the client replays its cached per-node choice, the
+server revalidates reservations only, and any mismatch falls back to the
+full exchange transparently.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from .chunnel import ChunnelSpec, Offer, Role
 from .connection import Connection, next_conn_id
 from .dag import ChunnelDag, wrap
 from .establish import establish_connection
+from .negcache import NegotiationCache
 from .negotiation import decide_with_reservations
 from .policy import DefaultPolicy, Policy, PolicyContext
 from .registry import ChunnelRegistry, ImplCatalog, catalog as default_catalog
@@ -75,6 +83,8 @@ class Runtime:
         discovery_ttl: Optional[float] = None,
         client_discovery_ttl: Optional[float] = None,
         optimizer=None,
+        negotiation_cache_size: int = 0,
+        negotiation_cache_ttl: Optional[float] = None,
     ):
         from ..discovery.client import (
             DirectDiscoveryClient,
@@ -114,6 +124,22 @@ class Runtime:
         #: (the offer/accept loop charges the same counter names the
         #: discovery client does — one retransmit dialect).
         self.negotiation_stats = rpc.RpcStats()
+        #: Operator-policy generation.  Bumping it (``bump_policy_epoch``)
+        #: invalidates every cached negotiation result: resumption keys and
+        #: the ``bertha.resume``/``bertha.accept`` epoch check both carry it.
+        self.policy_epoch = 0
+        #: Negotiation-result cache for one-RTT resumption (PROTOCOL.md
+        #: §7).  Disabled by default (size 0): with the cache off, not a
+        #: single wire byte or timing changes.  Clients key entries on the
+        #: connect target; servers on the resuming client entity.
+        self.negcache = NegotiationCache(
+            size=negotiation_cache_size,
+            ttl=negotiation_cache_ttl,
+            clock=lambda: self.env.now,
+        )
+        #: Record ids the cache holds entries for and has already
+        #: subscribed to revocation pushes on (dedup for watch_record).
+        self._negcache_watched: set = set()
         if discovery is None:
             self.discovery = NullDiscoveryClient(entity)
         elif isinstance(discovery, Address):
@@ -142,6 +168,10 @@ class Runtime:
         stats = getattr(self.discovery, "stats", None)
         if stats is not None:
             obs.bind_stats(f"rpc.discovery.{name}", stats, replace=True)
+        for counter in ("hits", "misses", "invalidations", "fallbacks"):
+            obs.bind(
+                f"negcache.{name}.{counter}", self.negcache, counter, replace=True
+            )
 
     def register_chunnel(self, impl_cls) -> None:
         """Register a fallback implementation (Listing 5, line 2)."""
@@ -198,6 +228,31 @@ class Runtime:
 
             self._reconfig = ReconfigManager(self)
         return self._reconfig
+
+    # -- negotiation-result cache (one-RTT resumption) -----------------------
+    def bump_policy_epoch(self) -> int:
+        """Advance the operator-policy epoch, invalidating every cached
+        negotiation result.  Callers change :attr:`policy` (or its
+        configuration) first, then bump: in-flight resumes carrying the old
+        epoch are rejected and renegotiate under the new policy."""
+        self.policy_epoch += 1
+        self.negcache.invalidate_all()
+        return self.policy_epoch
+
+    def negcache_watch_records(self, record_ids) -> None:
+        """Subscribe the cache to revocation pushes for ``record_ids``.
+
+        A ``disc.revoked``/``disc.lease_revoked`` push evicts every entry
+        whose choice uses the record — the push is best-effort, so this
+        only protects the hit rate; a resume that slips through still
+        fails the server's reservation revalidation and falls back.
+        """
+        for record_id in sorted(set(record_ids) - self._negcache_watched):
+            self._negcache_watched.add(record_id)
+            self.reconfig.discovery_watcher.watch_record(
+                record_id,
+                lambda rid, _kind, _body: self.negcache.invalidate_tag(rid),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Runtime on {self.entity.name!r} registry={len(self.registry)}>"
@@ -276,6 +331,27 @@ class Endpoint:
         """The body of :meth:`connect` (wrapped for lifecycle tracing)."""
         runtime = self.runtime
         env = runtime.env
+        # Round trip 0 (the fast path): with the negotiation cache enabled
+        # and a fresh entry for (target, DAG fingerprint, policy epoch),
+        # RESUME the cached choice in one control round trip — no discovery
+        # query, no offer gathering, no policy walk.  Any failure falls
+        # back to the full path below under a fresh conn_id.
+        resumable = runtime.negcache.enabled and isinstance(
+            target, (str, Address)
+        )
+        resume_key = self._resume_key(target) if resumable else None
+        if resumable:
+            entry = runtime.negcache.lookup(resume_key)
+            if entry is not None:
+                connection = yield from self._try_resume(
+                    conn_id, span, resume_key, entry, timeout, retries
+                )
+                if connection is not None:
+                    return connection
+                # The resume may have half-landed (e.g. the accept was
+                # lost after the server established): a fresh conn_id
+                # keeps the fallback offer unambiguous.
+                conn_id = next_conn_id(runtime.entity)
         # Round trip 1: discovery (implementation offers + name resolution).
         # With client-side caching enabled (non-default), a fresh cache
         # entry skips this round trip — at the cost of stale placement.
@@ -374,6 +450,23 @@ class Endpoint:
             span, peers=len(peers), degraded=degraded, transport=first.transport
         )
 
+        if resumable and not degraded and len(accepts) == 1:
+            # Remember the negotiated binding for one-RTT resumption.
+            # Degraded results are deliberately not cached: they encode a
+            # discovery outage, not a negotiation outcome.
+            record_ids = {o.record_id for o in choice.values() if o.record_id}
+            runtime.negcache.store(
+                resume_key,
+                {
+                    "ctl_addr": targets[0],
+                    "choice": choice,
+                    "server_epoch": first.policy_epoch,
+                },
+                tags=record_ids
+                | {self.dag.canonical_shape(), dag.canonical_shape()},
+            )
+            runtime.negcache_watch_records(record_ids)
+
         return establish_connection(
             runtime,
             name=self.name,
@@ -464,6 +557,100 @@ class Endpoint:
                     return chosen
         return instances[0]
 
+    def _resume_key(self, target: ConnectTarget):
+        """The client-side resumption key: (peer, DAG fingerprint, policy
+        epoch).  Name targets key on the name — resolution happens per
+        connect, so a resumed instance is whichever one last accepted."""
+        if isinstance(target, str):
+            peer = ("name", target)
+        else:
+            peer = ("addr", target.host, target.port)
+        return ("peer", peer, self.dag.canonical_shape(), self.runtime.policy_epoch)
+
+    def _try_resume(self, conn_id: str, span, key, entry: dict, timeout, retries):
+        """Generator: one RESUME round trip against the cached binding.
+
+        Returns the established Connection, or None to fall back to the
+        full path — a rejection, a remote error, and a timeout all fall
+        back rather than fail: resumption is an optimization, never a new
+        way for connect() to break.
+        """
+        runtime = self.runtime
+        trace = runtime.network.trace
+        ctl_addr = entry["ctl_addr"]
+        rspan = trace.begin("resume", conn_id, target=str(ctl_addr))
+        resume_msg = msgs.Resume(
+            conn_id=conn_id,
+            dag=self.dag,
+            choice=entry["choice"],
+            client_entity=runtime.entity.name,
+            policy_epoch=entry["server_epoch"],
+        )
+        payload = msgs.encode_message(resume_msg)
+        size = message_size(payload)
+        ctl = UdpSocket(runtime.entity)
+
+        def send(_attempt: int) -> None:
+            ctl.send(payload, ctl_addr, size=size)
+
+        def match(dgram, _attempt: int):
+            try:
+                reply = msgs.decode_message(dgram.payload)
+            except WireError:
+                return None
+            if getattr(reply, "conn_id", None) != conn_id:
+                return None
+            if isinstance(reply, (msgs.Accept, msgs.ResumeReject, msgs.Error)):
+                return reply
+            return None
+
+        try:
+            reply = yield from rpc.call(
+                runtime.env,
+                rpc.RetryPolicy(timeout=timeout, retries=retries),
+                send,
+                rpc.socket_waiter(runtime.env, ctl, match),
+                stats=runtime.negotiation_stats,
+                describe=f"resume with {ctl_addr}",
+                trace=trace,
+                conn_id=conn_id,
+            )
+        except ConnectionTimeoutError:
+            reply = None
+        finally:
+            ctl.close()
+
+        if not isinstance(reply, msgs.Accept):
+            if reply is None:
+                reason = "timeout"
+            elif isinstance(reply, msgs.ResumeReject):
+                reason = reply.reason or "rejected"
+            else:
+                reason = f"remote error: {reply.error}"
+            runtime.negcache.note_fallback(key)
+            trace.finish(rspan, status="fallback", reason=reason)
+            return None
+
+        peers = [reply.data_addr]
+        trace.finish(rspan)
+        trace.finish(
+            span, peers=1, degraded=False, transport=reply.transport, resumed=True
+        )
+        return establish_connection(
+            runtime,
+            name=self.name,
+            conn_id=conn_id,
+            role=Role.CLIENT,
+            dag=reply.dag,
+            choice=reply.choice,
+            client_entity=runtime.entity.name,
+            server_entity=peers[0].host,
+            peers=peers,
+            transport=reply.transport,
+            params=dict(reply.params),
+            hello=True,
+        )
+
     def _negotiate_once(
         self,
         ctl: SimSocket,
@@ -539,8 +726,9 @@ class Listener:
         obs.bind(f"{prefix}.ctl_malformed_total", self, "ctl_malformed_total", replace=True)
         obs.bind(f"{prefix}.negotiations_failed", self, "negotiations_failed", replace=True)
         self._closed = False
-        # Reply cache for offer retransmissions: retries arrive within a
-        # retry window, so old entries are safe to evict.
+        # Reply cache for offer/resume retransmissions, keyed on
+        # (kind, conn_id): retries arrive within a retry window, so old
+        # entries are safe to evict.
         self._replies: rpc.ReplyCache = rpc.ReplyCache(1024)
         self._network_offers: dict[str, list[Offer]] = {}
         self._network_offers_at: Optional[float] = None
@@ -606,23 +794,31 @@ class Listener:
             except WireError as error:
                 self._count_malformed(dgram.payload, error)
                 continue
-            if not isinstance(message, msgs.Offer):
+            if not isinstance(message, (msgs.Offer, msgs.Resume)):
                 self._count_malformed(
                     dgram.payload, f"unexpected {message.KIND} on a listener"
                 )
                 continue
             conn_id = message.conn_id
-            cached = self._replies.get(conn_id)
-            if cached is not None:
+            # Keyed on (kind, conn_id): a rejected RESUME must never be
+            # replayed against an OFFER, however the ids line up.  The
+            # MISSING sentinel keeps a legitimately-cached falsy verdict
+            # distinguishable from a first sighting.
+            cache_key = (message.KIND, conn_id)
+            cached = self._replies.get(cache_key, rpc.MISSING)
+            if cached is not rpc.MISSING:
                 # Client retransmission: repeat the original verdict.
                 self._send_reply(cached, dgram.src)
                 continue
             try:
-                reply = yield from self._handle_offer(message)
+                if isinstance(message, msgs.Resume):
+                    reply = yield from self._handle_resume(message)
+                else:
+                    reply = yield from self._handle_offer(message)
             except NegotiationError as error:
                 self.negotiations_failed += 1
                 reply = msgs.Error.from_exception(conn_id, error)
-            self._replies.put(conn_id, reply)
+            self._replies.put(cache_key, reply)
             self._send_reply(reply, dgram.src)
 
     def _send_reply(self, message: "msgs.ControlMessage", dst: Address) -> None:
@@ -798,6 +994,24 @@ class Listener:
             runtime.reconfig.watch(connection)
         self.connections.append(connection)
         self.accepted.put(connection)
+        if runtime.negcache.enabled:
+            # Remember the decision for one-RTT resumption: a later RESUME
+            # from this client (same DAG, same policy epoch) skips offer
+            # gathering and the policy walk, revalidating reservations only.
+            record_ids = {o.record_id for o in choice.values() if o.record_id}
+            runtime.negcache.store(
+                self._resume_key(client_entity, message.dag),
+                {
+                    "dag": dag,
+                    "choice": choice,
+                    "message": message,
+                    "ctx": ctx,
+                    "owner": owner,
+                },
+                tags=record_ids
+                | {message.dag.canonical_shape(), dag.canonical_shape()},
+            )
+            runtime.negcache_watch_records(record_ids)
         return msgs.Accept(
             conn_id=conn_id,
             dag=dag,
@@ -805,6 +1019,119 @@ class Listener:
             data_addr=connection.local_address,
             transport=connection.transport,
             params=dict(connection.params),
+            policy_epoch=runtime.policy_epoch,
+        )
+
+    def _resume_key(self, client_entity: str, client_dag: ChunnelDag):
+        """The server-side resumption key (PROTOCOL.md §7): who is asking,
+        for which client DAG shape, under which policy generation."""
+        return (
+            "client",
+            client_entity,
+            client_dag.canonical_shape(),
+            self.runtime.policy_epoch,
+        )
+
+    @staticmethod
+    def _same_choice(claimed: dict, cached: dict) -> bool:
+        """Whether the client's carried choice still names the cached
+        bindings (implementation name, discovery record, location)."""
+        if set(claimed) != set(cached):
+            return False
+        return all(
+            offer.meta.name == cached[node_id].meta.name
+            and offer.record_id == cached[node_id].record_id
+            and offer.location == cached[node_id].location
+            for node_id, offer in claimed.items()
+        )
+
+    def _handle_resume(self, message: "msgs.Resume"):
+        """Generator: revalidate a cached negotiation result; returns the
+        Accept, or a ResumeReject steering the client to the full path.
+
+        Only the reservation walk re-runs — offer gathering and the policy
+        rank are pinned by the cache entry, which is exactly what makes the
+        fast path one round trip.  Reservation revalidation (not cache
+        invalidation, which is best-effort) is the correctness gate: a
+        revoked or exhausted record rejects the resume here even if every
+        invalidation push was lost.
+        """
+        runtime = self.runtime
+        conn_id = message.conn_id
+        trace = runtime.network.trace
+        span = trace.begin("resume", conn_id, client=message.client_entity)
+        key = self._resume_key(message.client_entity, message.dag)
+        entry = runtime.negcache.lookup(key)
+        reason: Optional[str] = None
+        if entry is None:
+            reason = "no cached negotiation result"
+        elif message.policy_epoch != runtime.policy_epoch:
+            reason = (
+                f"policy epoch {message.policy_epoch} != "
+                f"{runtime.policy_epoch}"
+            )
+        elif not self._same_choice(message.choice, entry["choice"]):
+            reason = "cached choice diverged"
+        if reason is not None:
+            if entry is not None:
+                runtime.negcache.note_fallback(key)
+            trace.finish(span, status="reject", reason=reason)
+            return msgs.ResumeReject(conn_id=conn_id, reason=reason)
+
+        dag: ChunnelDag = entry["dag"]
+        choice = entry["choice"]
+        owner = entry["owner"]
+        confirmed: list[tuple[str, str]] = []
+        for node_id, offer in sorted(choice.items()):
+            if offer.record_id is None or offer.meta.resources.is_zero:
+                continue
+            node_owner = dag.nodes[node_id].reservation_scope() or owner
+            try:
+                ok = yield from runtime.discovery.reserve(
+                    offer.record_id, node_owner
+                )
+            except ConnectionTimeoutError:
+                ok = False
+            if not ok:
+                for record_id, held_owner in confirmed:
+                    runtime.spawn_release(record_id, held_owner)
+                runtime.negcache.note_fallback(key)
+                reject_reason = (
+                    f"reservation revalidation failed for {offer.record_id}"
+                )
+                trace.finish(span, status="reject", reason=reject_reason)
+                return msgs.ResumeReject(conn_id=conn_id, reason=reject_reason)
+            confirmed.append((offer.record_id, node_owner))
+
+        connection = establish_connection(
+            runtime,
+            name=self.endpoint.name,
+            conn_id=conn_id,
+            role=Role.SERVER,
+            dag=dag,
+            choice=choice,
+            client_entity=message.client_entity,
+            server_entity=runtime.entity.name,
+            reservations=confirmed,
+            negotiation_state={
+                "message": entry["message"],
+                "ctx": entry["ctx"],
+                "owner": owner,
+            },
+        )
+        if self.auto_reconfig:
+            runtime.reconfig.watch(connection)
+        self.connections.append(connection)
+        self.accepted.put(connection)
+        trace.finish(span, reservations=len(confirmed))
+        return msgs.Accept(
+            conn_id=conn_id,
+            dag=dag,
+            choice=choice,
+            data_addr=connection.local_address,
+            transport=connection.transport,
+            params=dict(connection.params),
+            policy_epoch=runtime.policy_epoch,
         )
 
     def _policy_context(self, client_entity: str) -> PolicyContext:

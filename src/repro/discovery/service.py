@@ -449,8 +449,12 @@ class DiscoveryService:
                 continue
             req_id = getattr(request, "req_id", None)
             attempt = getattr(request, "attempt", 0)
-            cached = self._replies.get(req_id) if req_id is not None else None
-            if cached is not None:
+            cached = (
+                self._replies.get(req_id, rpc.MISSING)
+                if req_id is not None
+                else rpc.MISSING
+            )
+            if cached is not rpc.MISSING:
                 self.duplicate_requests += 1
                 response = cached
             else:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments fig5 [--full]
     python -m repro.experiments reconfig
     python -m repro.experiments chaos [--smoke] [--loss 0,0.05,0.1,0.2]
+    python -m repro.experiments churn [--smoke] [--sessions N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
 
@@ -41,6 +42,7 @@ from .ablations import (
     run_serialization_comparison,
 )
 from .chaos import ChaosConfig, run_chaos
+from .churn import ChurnConfig, run_churn
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
@@ -198,12 +200,46 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def _churn_config(args) -> ChurnConfig:
+    config = ChurnConfig.smoke(seed=args.seed) if args.smoke else ChurnConfig(
+        seed=args.seed
+    )
+    if args.sessions is not None:
+        config.sessions = args.sessions
+    if args.cache_size is not None:
+        config.cache_size = args.cache_size
+    if args.cache_ttl is not None:
+        config.cache_ttl = args.cache_ttl
+    return config
+
+
+def cmd_churn(args) -> None:
+    config = _churn_config(args)
+    label = (
+        f"Churn: {config.sessions} short-lived connections, cold vs "
+        f"resumed (cache {config.cache_size}, seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_churn(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        # Churn runs two worlds (cold + resumed); export both snapshots.
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
     "reconfig": cmd_reconfig,
     "chaos": cmd_chaos,
+    "churn": cmd_churn,
     "ablations": cmd_ablations,
 }
 
@@ -262,7 +298,29 @@ def main(argv=None) -> int:
     chaos_group.add_argument(
         "--baseline",
         metavar="PATH",
-        help="write the chaos baseline JSON (BENCH_chaos.json) here",
+        help=(
+            "write the experiment's baseline JSON here "
+            "(chaos: BENCH_chaos.json; churn: BENCH_churn.json)"
+        ),
+    )
+    churn_group = parser.add_argument_group("churn options")
+    churn_group.add_argument(
+        "--sessions",
+        type=int,
+        metavar="N",
+        help="short-lived connections per mode (cold and resumed)",
+    )
+    churn_group.add_argument(
+        "--cache-size",
+        type=int,
+        metavar="N",
+        help="negotiation-cache capacity for the resumed mode",
+    )
+    churn_group.add_argument(
+        "--cache-ttl",
+        type=float,
+        metavar="SECONDS",
+        help="negotiation-cache entry TTL (virtual seconds; default none)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "all":

@@ -23,6 +23,8 @@ fault injector emit):
 
 ====================  ====================================================
 ``negotiate``         client connect: discovery query + offer/accept
+``resume``            one-RTT resumption attempt (client send / server
+                      revalidation; status ``fallback``/``reject`` on miss)
 ``reserve``           resource reservation during a decision
 ``establish``         instantiate + setup + after-establish pipeline
 ``data``              first application payload delivered (per connection)

@@ -217,7 +217,7 @@ class ReconfigManager:
         if not in_use:
             return
         state = self._state(conn)
-        if kind == "disc.revoked":
+        if kind == msgs.Revoked.KIND:
             # The record is gone for good: never pick it again.
             for offer in conn.choice.values():
                 if offer.record_id == record_id:
@@ -334,6 +334,7 @@ class ReconfigManager:
                 "(server) side of a negotiated connection can transition"
             )
         message, ctx, owner = ns["message"], ns["ctx"], ns["owner"]
+        old_shape = conn.dag.canonical_shape()
         dag = target_dag if target_dag is not None else conn.dag
 
         # Re-decide against fresh offers: the client's stored offers, our
@@ -460,6 +461,13 @@ class ReconfigManager:
             conn.mark_broken(old_epoch)
         conn.retire_epoch(old_epoch, grace=self.retire_grace)
 
+        # The committed binding supersedes whatever negotiation results
+        # were cached for this DAG shape: evict them so a later resume
+        # renegotiates instead of replaying the pre-transition choice.
+        runtime.negcache.invalidate_tag(old_shape)
+        if dag.canonical_shape() != old_shape:
+            runtime.negcache.invalidate_tag(dag.canonical_shape())
+
         self.transitions_committed += 1
         self._log(
             conn,
@@ -554,6 +562,7 @@ class ReconfigManager:
         try:
             # Same shape ⇒ keep our DAG object so node identities (and the
             # setup contexts keyed on them) survive the transition.
+            old_shape = conn.dag.canonical_shape()
             dag = (
                 conn.dag
                 if message.dag.canonical_shape() == conn.dag.canonical_shape()
@@ -606,6 +615,12 @@ class ReconfigManager:
                 if impl is not None and octx is not None:
                     impl.teardown(octx)
             conn.retire_epoch(old_epoch, grace=self.retire_grace)
+            # Adopted a new binding: the client's cached negotiation
+            # results for this DAG shape no longer match what the server
+            # would accept — evict so the next connect renegotiates.
+            self.runtime.negcache.invalidate_tag(old_shape)
+            if dag.canonical_shape() != old_shape:
+                self.runtime.negcache.invalidate_tag(dag.canonical_shape())
             ack = msgs.TransitionAck(conn_id=conn.conn_id, epoch=epoch, ok=True)
             self._log(conn, "adopted", f"epoch {epoch}")
             for done in state.pending_requests:

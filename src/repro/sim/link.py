@@ -11,7 +11,7 @@ but per-link byte counters are kept so experiments can report traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .faults import FaultPlan
@@ -54,6 +54,12 @@ class Link:
     up: bool = True
     bytes_carried: int = field(default=0, init=False)
     datagrams_carried: int = field(default=0, init=False)
+    #: Invoked with the link after every administrative state *change*
+    #: (``Network.add_link`` installs a route-cache invalidator here, so
+    #: chaos link flaps cannot leave stale shortest paths behind).
+    on_state_change: Optional[Callable[["Link"], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.latency < 0:
@@ -78,3 +84,21 @@ class Link:
         """Account a datagram of ``size`` bytes crossing the link."""
         self.bytes_carried += size
         self.datagrams_carried += 1
+
+
+def _get_up(self: Link) -> bool:
+    return self._up  # type: ignore[attr-defined]
+
+
+def _set_up(self: Link, value: bool) -> None:
+    previous = getattr(self, "_up", None)
+    self._up = bool(value)  # type: ignore[attr-defined]
+    if previous is not None and previous != self._up and self.on_state_change:
+        self.on_state_change(self)
+
+
+# ``up`` is a property so that *every* writer — ChaosController.set_link,
+# flap_link's direct assignments, tests poking the attribute — triggers
+# the state-change hook; the dataclass-generated ``__init__`` assigns
+# through the setter too (initial assignment does not fire the hook).
+Link.up = property(_get_up, _set_up)  # type: ignore[assignment]

@@ -45,6 +45,14 @@ __all__ = ["Network", "NameService", "ServiceRecord"]
 _MAX_REDIRECTS = 32
 
 
+def _up_weight(u: str, v: str, data: dict) -> Optional[float]:
+    """Edge-weight callable for routing: ``None`` (= unusable) for down
+    links, the configured latency weight otherwise."""
+    if not data["link"].up:
+        return None
+    return data["weight"]
+
+
 class ServiceRecord:
     """One registered instance of a named service."""
 
@@ -109,7 +117,9 @@ class Network:
         self._route_cache: dict[tuple[str, str], list[str]] = {}
         #: Active partition: node name → group index (see
         #: ``ChaosController.partition``); None means fully connected.
-        self._partition: Optional[dict[str, int]] = None
+        #: Assigned through the ``_partition`` property so that setting or
+        #: healing a partition also invalidates cached routes.
+        self._partition_state: Optional[dict[str, int]] = None
         # Counters.
         self.delivered = 0
         self.dropped_unbound = 0
@@ -182,6 +192,7 @@ class Network:
             if node not in self.graph:
                 raise AddressError(f"unknown node {node!r}")
         link = Link(a, b, latency=latency, bandwidth=bandwidth)
+        link.on_state_change = self._on_link_state_change
         self.graph.add_edge(a, b, link=link, weight=latency)
         self._route_cache.clear()
         self.obs.bind(f"link.{a}-{b}.bytes", link, "bytes_carried")
@@ -201,17 +212,51 @@ class Network:
             raise AddressError(f"unknown entity {name!r}") from None
 
     def route(self, src: str, dst: str) -> list[str]:
-        """Latency-weighted shortest path between two graph vertices."""
+        """Latency-weighted shortest path between two graph vertices.
+
+        Down links are excluded, so traffic reroutes over an alternate up
+        path when one exists.  When no up path remains, the path over the
+        full topology is returned instead: the walk then drops at the dead
+        link and counts ``link_down``, preserving the pre-failure loss
+        semantics (routing does not mask a genuinely severed network).
+        Cached paths are invalidated on every link state change and on
+        partition set/clear (see :meth:`_on_link_state_change`).
+        """
         key = (src, dst)
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
         try:
-            path = nx.shortest_path(self.graph, src, dst, weight="weight")
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            path = nx.shortest_path(self.graph, src, dst, weight=_up_weight)
+        except nx.NetworkXNoPath:
+            try:
+                path = nx.shortest_path(self.graph, src, dst, weight="weight")
+            except nx.NetworkXNoPath:
+                raise AddressError(
+                    f"no route from {src!r} to {dst!r}"
+                ) from None
+        except nx.NodeNotFound:
             raise AddressError(f"no route from {src!r} to {dst!r}") from None
         self._route_cache[key] = path
         return path
+
+    def _on_link_state_change(self, _link: Link) -> None:
+        """Route-cache invalidation hook installed on every link.
+
+        Without this, only ``add_link`` cleared the cache: a link that
+        failed after a path was cached kept attracting traffic (dropped as
+        ``link_down``) even when an alternate up path existed.
+        """
+        self._route_cache.clear()
+
+    @property
+    def _partition(self) -> Optional[dict[str, int]]:
+        return self._partition_state
+
+    @_partition.setter
+    def _partition(self, membership: Optional[dict[str, int]]) -> None:
+        self._partition_state = membership
+        self._route_cache.clear()
 
     def link_between(self, a: str, b: str) -> Link:
         """The link connecting two adjacent vertices."""

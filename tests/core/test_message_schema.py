@@ -62,7 +62,16 @@ def samples():
             data_addr=Address("srv", 40001),
             transport="udp",
             params={"window": 4},
+            policy_epoch=3,
         ),
+        msgs.Resume(
+            conn_id="c1",
+            dag=dag,
+            choice={node: impl_offer()},
+            client_entity="cl",
+            policy_epoch=3,
+        ),
+        msgs.ResumeReject(conn_id="c1", reason="policy epoch 3 != 4"),
         msgs.Error(conn_id="c1", error_type="NegotiationError", error="boom"),
         msgs.Hello(conn_id="c1"),
         msgs.Transition(
@@ -164,6 +173,31 @@ class TestStrictDecode:
             msgs.decode_message("hello")
 
 
+class TestEpochZeroIsImplicit:
+    def test_accept_epoch_zero_omitted_from_the_wire(self):
+        """``policy_epoch`` 0 (the never-bumped default) must not appear in
+        the encoded form: message sizes are content-derived, so a stamped
+        zero would change every establishment timing."""
+        accept = samples()["bertha.accept"]
+        plain = msgs.Accept(
+            conn_id=accept.conn_id,
+            dag=accept.dag,
+            choice=accept.choice,
+            data_addr=accept.data_addr,
+            transport=accept.transport,
+            params=accept.params,
+        )
+        encoded = msgs.encode_message(plain)
+        assert "policy_epoch" not in encoded
+        decoded = msgs.decode_message(encoded)
+        assert decoded.policy_epoch == 0
+
+    def test_accept_nonzero_epoch_round_trips(self):
+        encoded = msgs.encode_message(samples()["bertha.accept"])
+        assert encoded["policy_epoch"] == 3
+        assert msgs.decode_message(encoded).policy_epoch == 3
+
+
 class TestMessageSize:
     def test_small_messages_hit_the_framing_floor(self):
         assert message_size(msgs.encode_message(msgs.Hello(conn_id="c"))) == 64
@@ -197,5 +231,27 @@ class TestNoRawKindLiterals:
                     offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}")
         assert offenders == [], (
             "raw control-dict literals outside core/messages.py: "
+            + ", ".join(offenders)
+        )
+
+    def test_no_raw_kind_strings_outside_the_schema_module(self):
+        """Companion gate for the registered kind *names* themselves
+        (``bertha.resume``, ``disc.revoked``, ...): production code matches
+        on ``SomeMessage.KIND``, never a string literal — otherwise adding
+        a message type silently forks the dispatch table."""
+        kinds = "|".join(re.escape(kind) for kind in ALL_KINDS)
+        pattern = re.compile(rf"""["']({kinds})["']""")
+        offenders = []
+        src = REPO_ROOT / "src" / "repro"
+        for path in sorted(src.rglob("*.py")):
+            if path == src / "core" / "messages.py":
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}")
+        assert offenders == [], (
+            "raw message-kind string literals outside core/messages.py: "
             + ", ".join(offenders)
         )

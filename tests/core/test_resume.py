@@ -1,0 +1,412 @@
+"""One-RTT resumption: the negotiation cache end to end (PROTOCOL.md §7).
+
+World shape mirrors the chaos/churn experiments — echo server with a
+contended NIC offload behind a priority-first policy, remote discovery —
+so resumed connects exercise real reservation revalidation, not a
+reservation-free stack.  The invalidation tests pin the ISSUE's
+correctness bar: a revocation push or a policy-epoch bump between
+connects must force full renegotiation, and a stale choice is never
+instantiated — including when 10% loss eats the best-effort pushes and
+only the server's reservation revalidation stands in the way.
+"""
+
+import warnings
+
+import pytest
+
+from repro.apps.rpc import EchoServer
+from repro.chunnels import (
+    Reliable,
+    ReliableFallback,
+    ReliableToe,
+    Serialize,
+    SerializeFallback,
+)
+from repro.core import Runtime
+from repro.core.dag import wrap
+from repro.core.negcache import NegotiationCache
+from repro.core.policy import PriorityFirstPolicy
+from repro.discovery import DiscoveryService
+from repro.discovery.client import RemoteDiscoveryClient
+from repro.errors import DegradedEstablishmentWarning
+from repro.sim import FaultPlan, Network, SmartNic
+
+CONNECT = dict(timeout=2e-3, retries=80)
+
+
+def build_world(cache_size=8, cache_ttl=None, loss=0.0, seed=7):
+    """Echo server + client + remote discovery, negotiation cache on both
+    runtimes; returns (net, discovery, toe_record, server, client_rt)."""
+    net = Network()
+    server_host = net.add_host(
+        "srv", nic=SmartNic(net.env, name="srv.nic", offload_slots=4)
+    )
+    client_host = net.add_host("cl")
+    discovery_host = net.add_host("dsc")
+    net.add_switch("tor")
+    for name in ("srv", "cl", "dsc"):
+        net.add_link(name, "tor", latency=5e-6)
+    if loss:
+        net.attach_faults_everywhere(FaultPlan(drop_rate=loss, seed=seed))
+    discovery = DiscoveryService(discovery_host)
+    toe_record = discovery.register(ReliableToe.meta, location="srv")
+
+    def _runtime(host, **kwargs):
+        runtime = Runtime(
+            host,
+            discovery=RemoteDiscoveryClient(host, discovery.address),
+            negotiation_cache_size=cache_size,
+            negotiation_cache_ttl=cache_ttl,
+            **kwargs,
+        )
+        runtime.register_chunnel(SerializeFallback)
+        runtime.register_chunnel(ReliableFallback)
+        return runtime
+
+    server_rt = _runtime(server_host, policy=PriorityFirstPolicy())
+    client_rt = _runtime(client_host)
+    server = EchoServer(server_rt, port=7400, dag=dag())
+    return net, discovery, toe_record, server, client_rt
+
+
+def dag():
+    return wrap(Serialize() >> Reliable())
+
+
+def drive(net, generator, until=30.0):
+    done = {}
+
+    def _main():
+        done["value"] = yield from generator
+        done["at"] = net.env.now
+
+    net.env.process(_main(), name="test.main")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstablishmentWarning)
+        net.env.run(until=until)
+    assert "value" in done or "at" in done, "driver did not finish"
+    return done.get("value")
+
+
+def connect_once(client_rt, server, session, **kwargs):
+    endpoint = client_rt.new(f"resume-{session}", dag())
+    params = {**CONNECT, **kwargs}
+    return (yield from endpoint.connect(server.address, **params))
+
+
+def echo_roundtrip(conn):
+    conn.send(b"ping", size=64)
+    reply = yield conn.recv()
+    return reply
+
+
+class TestResumeFastPath:
+    def test_second_connect_resumes_in_one_control_round_trip(self):
+        net, _disc, toe, server, client_rt = build_world()
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            yield from echo_roundtrip(first)
+            first.close()
+            disc_before = client_rt.discovery.stats.round_trips
+            nego_before = client_rt.negotiation_stats.round_trips
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            second.close()
+            return first, second, disc_before, nego_before
+
+        first, second, disc_before, nego_before = drive(net, scenario())
+        # One control round trip total: no discovery query, one resume.
+        assert client_rt.discovery.stats.round_trips == disc_before
+        assert client_rt.negotiation_stats.round_trips == nego_before + 1
+        assert client_rt.negcache.hits == 1
+        assert client_rt.negcache.fallbacks == 0
+        # The resumed binding is the negotiated one, offload included.
+        offloads = lambda conn: {
+            o.record_id for o in conn.choice.values() if o.record_id
+        }
+        assert offloads(second) == offloads(first) == {toe.record_id}
+
+    def test_resume_replays_the_trace_span(self):
+        net, _disc, _toe, server, client_rt = build_world()
+
+        def scenario():
+            conn = yield from connect_once(client_rt, server, 0)
+            conn.close()
+            conn = yield from connect_once(client_rt, server, 1)
+            conn.close()
+
+        drive(net, scenario())
+        phases = [s.phase for s in net.trace.spans]
+        assert "resume" in phases  # client attempt + server revalidation
+        resumes = [s for s in net.trace.spans if s.phase == "resume"]
+        assert all(s.status == "ok" for s in resumes)
+
+    def test_cache_disabled_changes_nothing(self):
+        net, _disc, _toe, server, client_rt = build_world(cache_size=0)
+
+        def scenario():
+            for session in range(2):
+                conn = yield from connect_once(client_rt, server, session)
+                yield from echo_roundtrip(conn)
+                conn.close()
+
+        drive(net, scenario())
+        cache = client_rt.negcache
+        assert not cache.enabled
+        assert (cache.hits, cache.misses, cache.fallbacks) == (0, 0, 0)
+        # Both connects paid the full two control round trips.
+        assert client_rt.discovery.stats.round_trips == 2
+        assert client_rt.negotiation_stats.round_trips == 2
+
+    def test_resume_against_cache_free_server_falls_back(self):
+        # A client with a cache talking to a default (cache-off) server:
+        # the resume is rejected and the connect still succeeds.
+        net, _disc, _toe, server, client_rt = build_world()
+        server.runtime.negcache = NegotiationCache(size=0)
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            second.close()
+
+        drive(net, scenario())
+        assert client_rt.negcache.hits == 1
+        assert client_rt.negcache.fallbacks == 1
+
+
+class TestInvalidation:
+    def test_revocation_push_evicts_and_renegotiates(self):
+        net, discovery, toe, server, client_rt = build_world()
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            # The watch registration RPC is asynchronous (fire-and-forget
+            # from the cache's point of view); let it land first.
+            yield net.env.timeout(1e-3)
+            # Operator revokes the offload; the watch push (lossless
+            # fabric here) evicts the cached entries on both runtimes.
+            discovery.revoke(toe.record_id)
+            yield net.env.timeout(1e-3)
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            return second
+
+        second = drive(net, scenario())
+        assert client_rt.negcache.invalidations >= 1
+        assert server.runtime.negcache.invalidations >= 1
+        # Full renegotiation, not a resume-and-reject: the entry was gone
+        # before the second connect looked.
+        assert client_rt.negcache.hits == 0
+        assert client_rt.negcache.fallbacks == 0
+        # And the fresh choice cannot name the revoked record.
+        assert toe.record_id not in {
+            o.record_id for o in second.choice.values()
+        }
+
+    def test_server_epoch_bump_rejects_stale_resume(self):
+        net, _disc, _toe, server, client_rt = build_world()
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            # Operator policy change on the server only: the client's
+            # entry is still present and is offered — and must be refused.
+            server.runtime.bump_policy_epoch()
+            second = yield from connect_once(client_rt, server, 1)
+            second.close()
+            # The fallback re-stored a fresh entry under the new server
+            # epoch; the third connect resumes again.
+            third = yield from connect_once(client_rt, server, 2)
+            yield from echo_roundtrip(third)
+            third.close()
+
+        drive(net, scenario())
+        assert client_rt.negcache.hits == 2  # attempts 2 and 3
+        assert client_rt.negcache.fallbacks == 1  # only attempt 2
+        # The bump evicted the server's entry (and the server key embeds
+        # the new epoch), so the stale resume reads as a server-side miss.
+        rejected = [
+            s
+            for s in net.trace.spans
+            if s.phase == "resume" and s.status == "reject"
+        ]
+        assert len(rejected) == 1
+        assert "no cached negotiation result" in rejected[0].attrs["reason"]
+
+    def test_client_epoch_bump_clears_local_cache(self):
+        net, _disc, _toe, server, client_rt = build_world()
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            client_rt.bump_policy_epoch()
+            second = yield from connect_once(client_rt, server, 1)
+            second.close()
+
+        drive(net, scenario())
+        # No resume was even attempted: the bump evicted the entry and the
+        # new epoch is part of the lookup key.
+        assert client_rt.negcache.invalidations == 1
+        assert client_rt.negcache.hits == 0
+        assert client_rt.negcache.fallbacks == 0
+        # Two full discovery queries plus the first connect's one watch
+        # registration; a resumed second connect would have stayed at 2.
+        assert client_rt.discovery.stats.round_trips == 3
+        assert client_rt.negotiation_stats.round_trips == 2
+
+    def test_ttl_expiry_reads_as_miss(self):
+        net, _disc, _toe, server, client_rt = build_world(cache_ttl=1e-3)
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            yield net.env.timeout(5e-3)  # past the TTL
+            second = yield from connect_once(client_rt, server, 1)
+            second.close()
+
+        drive(net, scenario())
+        assert client_rt.negcache.hits == 0
+        assert client_rt.negcache.misses == 2
+        assert client_rt.negcache.fallbacks == 0
+
+
+class TestInvalidationUnderLoss:
+    """The ISSUE's bar: no stale choice is ever instantiated even when
+    10% loss eats the best-effort revocation pushes — the server's
+    reservation revalidation is the safety net."""
+
+    @pytest.mark.parametrize("seed", [7, 11, 23])
+    def test_revocation_between_connects_never_resumes_stale(self, seed):
+        net, discovery, toe, server, client_rt = build_world(
+            loss=0.10, seed=seed
+        )
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first_records = {
+                o.record_id for o in first.choice.values() if o.record_id
+            }
+            first.close()
+            yield net.env.timeout(1e-3)  # let the watch registration land
+            discovery.revoke(toe.record_id)
+            yield net.env.timeout(1e-3)
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            second_records = {
+                o.record_id for o in second.choice.values() if o.record_id
+            }
+            second.close()
+            return first_records, second_records
+
+        first_records, second_records = drive(net, scenario(), until=60.0)
+        # The first negotiation used the offload; the second must not,
+        # whether the eviction push survived the loss or the resume was
+        # rejected at reservation revalidation.
+        assert toe.record_id in first_records
+        assert toe.record_id not in second_records
+        # However it played out, nothing resumed onto the stale binding:
+        # a hit either became a fallback or never happened.
+        assert client_rt.negcache.hits == client_rt.negcache.fallbacks
+        assert discovery.audit_leases()["ok"]
+
+    def test_epoch_bump_between_connects_under_loss(self):
+        net, _disc, _toe, server, client_rt = build_world(loss=0.10, seed=13)
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            server.runtime.bump_policy_epoch()
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            second.close()
+
+        drive(net, scenario(), until=60.0)
+        # The stale-epoch resume must have been rejected, never adopted.
+        assert client_rt.negcache.hits == client_rt.negcache.fallbacks
+
+
+class TestReservationRevalidation:
+    def test_discovery_outage_fails_resume_then_degrades(self):
+        # With discovery down, the server cannot revalidate the
+        # reservation: the resume is refused (or times out) and the
+        # fallback path establishes degraded — same contract as a cold
+        # connect during an outage (PROTOCOL.md §6.3).
+        net, discovery, _toe, server, client_rt = build_world()
+
+        def scenario():
+            first = yield from connect_once(client_rt, server, 0)
+            first.close()
+            discovery.crash()
+            second = yield from connect_once(client_rt, server, 1)
+            yield from echo_roundtrip(second)
+            return second
+
+        second = drive(net, scenario(), until=60.0)
+        assert second.degraded
+        assert client_rt.negcache.hits == 1
+        assert client_rt.negcache.fallbacks == 1
+
+
+class TestNegotiationCacheUnit:
+    def test_disabled_cache_is_inert(self):
+        cache = NegotiationCache(size=0)
+        assert not cache.enabled
+        cache.store("k", {"x": 1})
+        assert cache.lookup("k") is None
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_lru_eviction_and_hit_refresh(self):
+        cache = NegotiationCache(size=2)
+        cache.store("a", {"n": 1})
+        cache.store("b", {"n": 2})
+        assert cache.lookup("a")["n"] == 1  # refreshes a
+        cache.store("c", {"n": 3})  # evicts b (LRU)
+        assert "b" not in cache
+        assert cache.lookup("a")["n"] == 1
+        assert cache.lookup("c")["n"] == 3
+
+    def test_ttl_uses_the_injected_clock(self):
+        now = {"t": 0.0}
+        cache = NegotiationCache(size=4, ttl=1.0, clock=lambda: now["t"])
+        cache.store("k", {"n": 1})
+        assert cache.lookup("k") is not None
+        now["t"] = 2.0
+        assert cache.lookup("k") is None
+        assert "k" not in cache  # expiry evicts
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_tag_invalidation(self):
+        cache = NegotiationCache(size=4)
+        cache.store("a", {}, tags={"rec-1", "shape"})
+        cache.store("b", {}, tags={"rec-2", "shape"})
+        cache.store("c", {}, tags={"rec-3"})
+        assert cache.invalidate_tag("rec-1") == 1
+        assert cache.invalidate_tag("shape") == 1  # only b left with it
+        assert cache.invalidate_tag("nothing") == 0
+        assert len(cache) == 1 and "c" in cache
+        assert cache.invalidations == 2
+
+    def test_invalidate_all_counts(self):
+        cache = NegotiationCache(size=4)
+        cache.store("a", {})
+        cache.store("b", {})
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0 and cache.invalidations == 2
+
+    def test_note_fallback_evicts_the_proved_stale_entry(self):
+        cache = NegotiationCache(size=4)
+        cache.store("a", {})
+        cache.note_fallback("a")
+        assert "a" not in cache and cache.fallbacks == 1
+        cache.note_fallback("missing")  # timeout after eviction: no error
+        assert cache.fallbacks == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            NegotiationCache(size=-1)
+        with pytest.raises(ValueError, match="ttl"):
+            NegotiationCache(size=1, ttl=0)

@@ -89,17 +89,19 @@ class TestReplyCache:
         with pytest.raises(ValueError, match="cache limit must be >= 1"):
             rpc.ReplyCache(0)
 
-    def test_retransmit_replay_does_not_refresh_position(self):
+    def test_retransmit_replay_moves_entry_to_back(self):
         # A retransmitted request re-caches its reply under the same key.
-        # Eviction order must stay *insertion* order — replaying an old
-        # entry must not push a fresher entry out first.
+        # The re-put must refresh the eviction position: a hot, still-
+        # retransmitting request outlives entries nobody has asked about
+        # since (the old insertion-order behaviour evicted the hot entry
+        # first, replaying nothing exactly when replay mattered most).
         cache = rpc.ReplyCache(2)
         cache.put("req-1", "reply-1")
         cache.put("req-2", "reply-2")
-        cache.put("req-1", "reply-1")  # retransmit replay
+        cache.put("req-1", "reply-1")  # retransmit replay: now hottest
         cache.put("req-3", "reply-3")
-        assert "req-1" not in cache  # oldest by insertion, despite replay
-        assert cache.get("req-2") == "reply-2"
+        assert "req-2" not in cache  # coldest — nobody re-asked
+        assert cache.get("req-1") == "reply-1"
         assert cache.get("req-3") == "reply-3"
 
     def test_replay_lookup_does_not_affect_eviction(self):
@@ -108,7 +110,7 @@ class TestReplyCache:
         cache.put("req-2", "reply-2")
         assert cache.get("req-1") == "reply-1"  # dedup hit on retransmit
         cache.put("req-3", "reply-3")
-        assert "req-1" not in cache
+        assert "req-1" not in cache  # get() reads; only put() refreshes
         assert "req-2" in cache and "req-3" in cache
 
     def test_replayed_value_updates_in_place(self):
@@ -117,6 +119,25 @@ class TestReplyCache:
         cache.put("req-1", "reply-b")
         assert cache.get("req-1") == "reply-b"
         assert len(cache) == 1
+
+    def test_cached_none_distinguishable_from_miss(self):
+        # Handlers whose legitimate verdict is None (fire-and-forget
+        # releases) need a real miss test: get(key, MISSING).
+        cache = rpc.ReplyCache(2)
+        cache.put("req-1", None)
+        assert cache.get("req-1") is None
+        assert cache.get("req-1", rpc.MISSING) is None
+        assert cache.get("req-2", rpc.MISSING) is rpc.MISSING
+
+    def test_retransmit_after_eviction_is_a_miss_not_a_replay(self):
+        # Regression: once an entry is evicted, a late retransmission must
+        # read as a miss (re-execute) rather than replay a neighbour's
+        # verdict or a stale default.
+        cache = rpc.ReplyCache(2)
+        cache.put("req-1", "reply-1")
+        cache.put("req-2", "reply-2")
+        cache.put("req-3", "reply-3")  # evicts req-1
+        assert cache.get("req-1", rpc.MISSING) is rpc.MISSING
 
 
 class TestCall:

@@ -1,0 +1,147 @@
+"""The churn experiment: invariants asserted, deterministic, CI-usable."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.churn import ChurnConfig, ChurnResult, run_churn
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_churn.json"
+
+
+@pytest.fixture(scope="module")
+def smoke_result() -> ChurnResult:
+    """One shared smoke run (the CI tier: 50 sessions per mode)."""
+    return run_churn(ChurnConfig.smoke(seed=7))
+
+
+class TestInvariants:
+    def test_overall_ok(self, smoke_result):
+        assert smoke_result.ok
+
+    def test_each_invariant_holds(self, smoke_result):
+        invariants = smoke_result.invariants
+        assert invariants["all_established"]
+        assert invariants["zero_app_loss"]
+        assert invariants["resumed_fewer_rtts"]
+        assert invariants["resumed_faster_median"]
+        assert invariants["cache_effective"]
+        assert invariants["cold_path_untouched"]
+
+    def test_resumption_actually_happened(self, smoke_result):
+        resumed = smoke_result.resumed
+        # Only the very first connect misses; every later one resumes.
+        assert resumed.negcache_misses == 1
+        assert resumed.negcache_hits == resumed.sessions - 1
+        assert resumed.negcache_fallbacks == 0
+        # One control round trip per connect, amortizing toward 1.0 as the
+        # single cold connect's share shrinks.
+        assert resumed.ctl_rtts_per_connect < 1.5
+        assert smoke_result.cold.ctl_rtts_per_connect >= 2.0
+
+    def test_violated_invariant_flips_ok(self, smoke_result):
+        broken = ChurnResult(
+            cold=smoke_result.cold,
+            resumed=smoke_result.resumed.__class__(
+                **{
+                    **smoke_result.resumed.__dict__,
+                    "negcache_fallbacks": 3,
+                }
+            ),
+            config=smoke_result.config,
+        )
+        assert not broken.invariants["cache_effective"]
+        assert not broken.ok
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_metrics_payload(self, smoke_result):
+        # The CI churn gate in code form: two same-seed runs serialize to
+        # the exact same canonical JSON (both modes' full snapshots).
+        again = run_churn(ChurnConfig.smoke(seed=7))
+        first = json.dumps(
+            smoke_result.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        second = json.dumps(
+            again.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        assert first == second
+
+
+class TestMetricsPayload:
+    def test_sides_carry_full_snapshots(self, smoke_result):
+        for side in (smoke_result.cold, smoke_result.resumed):
+            names = set(side.metrics)
+            for prefix in (
+                "experiment.established",
+                "rpc.discovery.cl.",
+                "rpc.negotiation.cl.",
+                "negcache.cl.",
+                "negcache.srv.",
+            ):
+                assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_side_fields_derive_from_snapshots(self, smoke_result):
+        resumed = smoke_result.resumed
+        snap = resumed.metrics
+        assert resumed.established == snap["experiment.established"]
+        assert resumed.negcache_hits == snap["negcache.cl.hits"]
+        assert resumed.negcache_misses == snap["negcache.cl.misses"]
+
+    def test_write_metrics_file(self, smoke_result, tmp_path):
+        path = tmp_path / "metrics.json"
+        smoke_result.write_metrics(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "churn"
+        assert payload["seed"] == 7
+        assert payload["cold"] and payload["resumed"]
+        assert payload["invariants"]["cache_effective"] is True
+
+
+class TestBaselineShape:
+    def test_baseline_payload(self, smoke_result, tmp_path):
+        path = tmp_path / "BENCH_churn.json"
+        smoke_result.write_baseline(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "churn"
+        assert payload["seed"] == 7
+        assert payload["sessions"] == 50
+        assert payload["cache"] == {"size": 64, "ttl": None}
+        assert payload["speedup_p50"] > 1.0
+        assert (
+            payload["resumed"]["ctl_rtts_per_connect"]
+            < payload["cold"]["ctl_rtts_per_connect"]
+        )
+
+    def test_rows_render(self, smoke_result):
+        rendered = smoke_result.render()
+        assert "ctl_rtts" in rendered
+        assert "invariants:" in rendered
+        assert "resumption: setup p50" in rendered
+
+
+class TestRecordedBaseline:
+    """The checked-in BENCH_churn.json (full 2000-session run) must show
+    the tentpole's claim: one-RTT resumption, faster medians, no
+    fallbacks."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self) -> dict:
+        return json.loads(BASELINE_PATH.read_text())
+
+    def test_invariants_recorded_ok(self, recorded):
+        assert all(recorded["invariants"].values())
+
+    def test_resumed_is_one_round_trip(self, recorded):
+        assert recorded["resumed"]["ctl_rtts_per_connect"] < 1.01
+        assert recorded["cold"]["ctl_rtts_per_connect"] >= 2.0
+
+    def test_resumed_is_faster(self, recorded):
+        assert recorded["speedup_p50"] > 1.0
+        assert (
+            recorded["resumed"]["setup_p50_us"]
+            < recorded["cold"]["setup_p50_us"]
+        )
+        assert recorded["resumed"]["negcache_fallbacks"] == 0

@@ -81,6 +81,71 @@ class TestTopology:
         assert net.entity("ct").host is net.hosts["h0"]
 
 
+def two_path_net():
+    """a and b joined by a cheap path (via ``fast``) and a dear one
+    (via ``slow``)."""
+    net = Network()
+    for name in ("a", "b"):
+        net.add_host(name)
+    net.add_switch("fast")
+    net.add_switch("slow")
+    net.add_link("a", "fast", latency=1e-6)
+    net.add_link("fast", "b", latency=1e-6)
+    net.add_link("a", "slow", latency=50e-6)
+    net.add_link("slow", "b", latency=50e-6)
+    return net
+
+
+class TestRoutingUnderLinkFailure:
+    """Regression: only ``add_link`` used to clear the route cache — a
+    link failing *after* a path was cached kept attracting traffic
+    (dropped as ``link_down``) even when an up alternate existed."""
+
+    def test_link_failure_invalidates_cached_route(self):
+        net = two_path_net()
+        assert net.route("a", "b") == ["a", "fast", "b"]  # cached now
+        net.link_between("a", "fast").up = False
+        assert net.route("a", "b") == ["a", "slow", "b"]
+
+    def test_link_recovery_restores_preferred_route(self):
+        net = two_path_net()
+        link = net.link_between("a", "fast")
+        link.up = False
+        assert net.route("a", "b") == ["a", "slow", "b"]
+        link.up = True
+        assert net.route("a", "b") == ["a", "fast", "b"]
+
+    def test_severed_network_keeps_link_down_semantics(self):
+        # With *no* up path left, route() must still return the full-
+        # topology path so the walk drops at the dead link and counts
+        # link_down — routing does not mask a genuinely severed network.
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s1")
+        net.add_link("a", "s1", latency=1e-6)
+        net.add_link("s1", "b", latency=1e-6)
+        net.link_between("a", "s1").up = False
+        assert net.route("a", "b") == ["a", "s1", "b"]
+
+    def test_partition_set_and_clear_invalidate_route_cache(self):
+        net = two_path_net()
+        net.route("a", "b")
+        assert net._route_cache
+        net._partition = {"a": 0, "b": 1}
+        assert not net._route_cache
+        net.route("a", "b")
+        assert net._route_cache
+        net._partition = None
+        assert not net._route_cache
+
+    def test_redundant_state_write_does_not_thrash_cache(self):
+        net = two_path_net()
+        net.route("a", "b")
+        net.link_between("a", "fast").up = True  # already up: no change
+        assert net._route_cache
+
+
 class TestDelivery:
     def ping(self, net, src_entity, dst_entity, dst_port=5000, size=64):
         """Send one datagram; returns (delivered dgram or None, rtt)."""
@@ -108,6 +173,33 @@ class TestDelivery:
         result = self.ping(net, "h0", "h1")
         assert result["dgram"].payload == b"x" * 64
         assert net.delivered == 1
+
+    def test_delivery_reroutes_around_failed_link(self):
+        # End-to-end shape of the route-cache fix: traffic that cached the
+        # cheap path keeps flowing over the alternate after a failure
+        # instead of being dropped as link_down.
+        net = two_path_net()
+        env = net.env
+        received = []
+
+        def server(env):
+            sock = UdpSocket(net.entity("b"), 5000)
+            while True:
+                dgram = yield sock.recv()
+                received.append(dgram)
+
+        def client(env):
+            sock = UdpSocket(net.entity("a"))
+            sock.send(b"x" * 64, Address("b", 5000), size=64)  # caches fast path
+            yield env.timeout(1e-3)
+            net.link_between("a", "fast").up = False
+            sock.send(b"y" * 64, Address("b", 5000), size=64)
+
+        env.process(server(env))
+        env.process(client(env))
+        env.run(until=1.0)
+        assert [d.payload for d in received] == [b"x" * 64, b"y" * 64]
+        assert net.dropped_link_down == 0
 
     def test_hop_trace_records_path(self):
         net = star(2)
