@@ -16,6 +16,7 @@ from ..core.connection import Connection
 from ..core.dag import ChunnelDag
 from ..core.runtime import Listener, Runtime
 from ..sim.datagram import Address
+from ..sim.eventloop import Interrupt
 
 __all__ = ["EchoServer", "PingResult", "ping_connection", "ping_session"]
 
@@ -35,6 +36,7 @@ class EchoServer:
         dag: Optional[ChunnelDag] = None,
         service_name: Optional[str] = None,
         name: str = "echo-server",
+        idle_close: Optional[float] = None,
     ):
         self.runtime = runtime
         self.endpoint = runtime.new(name, dag)
@@ -43,7 +45,21 @@ class EchoServer:
         )
         self.connections_served = 0
         self.requests_served = 0
+        self.idle_closed = 0
+        #: A client close is silent on the wire, so a fleet-scale server
+        #: must shed server-side state itself: when ``idle_close`` is set,
+        #: a reaper closes any connection with no traffic for one full
+        #: sweep interval.  Off by default — the reaper's periodic timeout
+        #: keeps the event heap non-empty until the deadline.
+        self.idle_close = idle_close
+        #: conn -> (serve process, messages_received at last sweep)
+        self._sessions: dict[Connection, tuple] = {}
         self._acceptor = runtime.env.process(self._accept_loop(), name=f"{name}.accept")
+        self._reaper = (
+            runtime.env.process(self._reap_loop(), name=f"{name}.reaper")
+            if idle_close is not None
+            else None
+        )
 
     @property
     def address(self) -> Address:
@@ -53,18 +69,46 @@ class EchoServer:
         while True:
             conn = yield self.listener.accept()
             self.connections_served += 1
-            self.runtime.env.process(
+            proc = self.runtime.env.process(
                 self._serve(conn), name=f"{self.endpoint.name}.conn"
             )
+            if self.idle_close is not None:
+                self._sessions[conn] = (proc, -1)
 
     def _serve(self, conn: Connection):
         while not conn.closed:
-            msg = yield conn.recv()
+            try:
+                msg = yield conn.recv()
+            except Interrupt:
+                return
             self.requests_served += 1
             conn.send(msg.payload, size=msg.size, dst=msg.src)
 
+    def _reap_loop(self):
+        while True:
+            try:
+                yield self.runtime.env.timeout(self.idle_close)
+            except Interrupt:
+                return
+            for conn in list(self._sessions):
+                proc, seen = self._sessions[conn]
+                if conn.closed:
+                    del self._sessions[conn]
+                elif conn.messages_received == seen:
+                    # A full interval without traffic: the client is gone
+                    # (its close never crosses the wire).
+                    del self._sessions[conn]
+                    self.idle_closed += 1
+                    if proc.is_alive:
+                        proc.interrupt("idle close")
+                    conn.close()
+                else:
+                    self._sessions[conn] = (proc, conn.messages_received)
+
     def close(self) -> None:
-        """Stop accepting new connections."""
+        """Stop accepting new connections (and the idle reaper)."""
+        if self._reaper is not None and self._reaper.is_alive:
+            self._reaper.interrupt("server closed")
         self.listener.close()
 
 

@@ -4,9 +4,17 @@ The paper's consensus example: with the network providing ordered
 multicast (Speculative Paxos / NOPaxos style), replicas can apply client
 operations in network order and reply directly; the client accepts a result
 once a quorum of replicas agrees on the sequence number.  Gap recovery —
-what NOPaxos does when the ``mcast_gap`` marker appears — is stubbed to
-counting (a full view-change protocol is out of the paper's scope and
-ours).
+what NOPaxos does when the ``mcast_gap`` marker appears — is counted per
+replica and surfaced in metrics snapshots as ``rsm.<group>.gaps_total``
+(a full view-change protocol is out of the paper's scope and ours).
+
+Client retransmission rides the control plane's one retry loop
+(:mod:`repro.core.rpc`): capped exponential backoff with deterministic
+jitter, charged to a shared :class:`~repro.core.rpc.RpcStats`.  Because a
+retransmitted operation re-enters the ordered multicast and is assigned a
+*new* sequence number, replicas dedup by (client address, request id) and
+replay their original (seq, result) — otherwise a retransmit would both
+double-apply the op and split the quorum across two sequence numbers.
 
 The state machine is a dictionary with compare-and-swap, enough to exercise
 "replies must agree" semantics.
@@ -15,13 +23,16 @@ The state machine is a dictionary with compare-and-swap, enough to exercise
 from __future__ import annotations
 
 import itertools
+import random
+import zlib
 from typing import Optional
 
 from ..chunnels.multicast import GAP_HEADER, SEQ_HEADER, OrderedMcast
 from ..chunnels.serialize import Serialize
+from ..core import rpc
 from ..core.dag import wrap
 from ..core.runtime import Runtime
-from ..errors import BerthaError
+from ..errors import BerthaError, ConnectionTimeoutError
 from ..sim.datagram import Address
 from ..sim.eventloop import Interrupt
 
@@ -50,11 +61,34 @@ class RsmReplica:
         self.state: dict[str, object] = {}
         self.applied = 0
         self.gaps_seen = 0
+        #: Chaos flag: while down, multicast deliveries are consumed but
+        #: neither applied nor answered — the replica falls behind exactly
+        #: as a crashed process would (recovery/state transfer is out of
+        #: scope; a restarted replica simply rejoins from where it died).
+        self.down = False
+        #: (client address, request id) → (seq, result): a retransmitted op
+        #: re-enters the multicast under a fresh sequence number, so replay
+        #: of the original verdict is what keeps ops at-most-once *and* the
+        #: quorum agreeing on one (seq, result).
+        self._replies = rpc.ReplyCache(1024)
         dag = wrap(Serialize() >> OrderedMcast(group=group, members=members))
         self.endpoint = runtime.new(f"rsm-{group}", dag)
         self.listener = self.endpoint.listen(port=port)
         self._acceptor = runtime.env.process(
             self._accept_loop(), name=f"rsm:{self.name}.accept"
+        )
+        obs = runtime.network.obs
+        obs.bind(
+            f"rsm.{group}.{self.name}.gaps_total", self, "gaps_seen",
+            replace=True,
+        )
+        roster = runtime.network.__dict__.setdefault(
+            "_rsm_groups", {}
+        ).setdefault(group, [])
+        roster.append(self)
+        obs.replace(
+            f"rsm.{group}.gaps_total",
+            lambda roster=roster: sum(r.gaps_seen for r in roster),
         )
 
     @property
@@ -75,16 +109,34 @@ class RsmReplica:
         env = self.runtime.env
         while not conn.closed:
             msg = yield conn.recv()
+            if self.down:
+                continue
             if msg.headers.get(GAP_HEADER):
                 self.gaps_seen += 1
-            yield env.timeout(self.apply_cost)
-            result = self._apply(msg.payload)
-            self.applied += 1
+            payload = msg.payload
+            request_id = (
+                payload.get("request_id") if isinstance(payload, dict) else None
+            )
+            key = (repr(msg.src), request_id)
+            cached = (
+                self._replies.get(key, rpc.MISSING)
+                if request_id is not None
+                else rpc.MISSING
+            )
+            if cached is not rpc.MISSING:
+                seq, result = cached
+            else:
+                yield env.timeout(self.apply_cost)
+                seq = msg.headers.get(SEQ_HEADER)
+                result = self._apply(payload)
+                self.applied += 1
+                if request_id is not None:
+                    self._replies.put(key, (seq, result))
             conn.send(
                 {
                     "replica": self.name,
-                    "seq": msg.headers.get(SEQ_HEADER),
-                    "request_id": msg.payload.get("request_id"),
+                    "seq": seq,
+                    "request_id": request_id,
                     "result": result,
                 },
                 dst=msg.src,
@@ -105,14 +157,33 @@ class RsmReplica:
             return f"conflict:{current!r}"
         return "error:unknown-op"
 
+    def crash(self) -> None:
+        """Stop applying and answering (see :attr:`down`)."""
+        self.down = True
+
+    def restart(self) -> None:
+        """Resume from the pre-crash state (missed ops stay missed)."""
+        self.down = False
+
     def close(self) -> None:
         self.listener.close()
 
 
 class RsmClient:
-    """Submit operations to the whole group; wait for a quorum."""
+    """Submit operations to the whole group; wait for a quorum.
 
-    def __init__(self, runtime: Runtime, group: str, name: str = "rsm-client"):
+    Retries ride :func:`repro.core.rpc.call` under ``policy`` (capped
+    exponential backoff, deterministic per-client jitter); retransmit and
+    round-trip counts accumulate on :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        group: str,
+        name: str = "rsm-client",
+        policy: Optional[rpc.RetryPolicy] = None,
+    ):
         self.runtime = runtime
         self.group = group
         dag = wrap(Serialize() >> OrderedMcast(group=group))
@@ -120,6 +191,13 @@ class RsmClient:
         self.conn = None
         self._request_ids = itertools.count(1)
         self.mismatches = 0
+        self.policy = policy or rpc.RetryPolicy(
+            timeout=5e-3, retries=3, backoff=2.0, jitter=0.1
+        )
+        self.stats = rpc.RpcStats()
+        self._rng = random.Random(
+            zlib.crc32(f"{runtime.entity.name}:{group}:{name}".encode())
+        )
 
     def connect(self, replica_addresses: list[Address]):
         """Generator: negotiate with every group member (Listing 2)."""
@@ -131,11 +209,14 @@ class RsmClient:
         self,
         op: dict,
         quorum: Optional[int] = None,
-        timeout: float = 5e-3,
+        timeout: Optional[float] = None,
     ):
         """Generator → result once ``quorum`` replicas agree on the order.
 
-        Raises :class:`QuorumError` on timeout or ordering disagreement
+        ``timeout`` (when given) bounds a single attempt with no
+        retransmits — the pre-retry-policy contract some callers still
+        want; otherwise :attr:`policy` drives backed-off retransmissions.
+        Raises :class:`QuorumError` on exhaustion or ordering disagreement
         (the trigger for a real protocol's recovery path).
         """
         if self.conn is None:
@@ -144,28 +225,60 @@ class RsmClient:
         needed = quorum if quorum is not None else group_size // 2 + 1
         request_id = next(self._request_ids)
         env = self.runtime.env
-        deadline = env.now + timeout
-        self.conn.send({**op, "request_id": request_id})
-        replies: dict[str, dict] = {}
-        while env.now < deadline:
-            receive = self.conn.recv()
-            timer = env.timeout(max(deadline - env.now, 0))
-            yield env.any_of([receive, timer])
-            if not receive.processed:
-                if not receive.triggered:
-                    receive.succeed(None)  # cancel the mailbox getter
-                break
-            reply = receive.value.payload
-            if not isinstance(reply, dict) or reply.get("request_id") != request_id:
-                continue  # stale reply from an earlier, timed-out request
-            replies[reply["replica"]] = reply
-            agreeing = self._largest_agreement(replies)
-            if len(agreeing) >= needed:
-                return agreeing[0]["result"]
-        raise QuorumError(
-            f"no quorum for request {request_id} "
-            f"({len(replies)}/{group_size} replies, need {needed} agreeing)"
+        policy = (
+            rpc.RetryPolicy(timeout=timeout, retries=1)
+            if timeout is not None
+            else self.policy
         )
+        payload = {**op, "request_id": request_id}
+        #: Accumulated across attempts: replicas replay their original
+        #: (seq, result) on retransmits, so late first-attempt replies
+        #: still count toward the quorum.
+        replies: dict[str, dict] = {}
+
+        def send(attempt: int) -> None:
+            self.conn.send(payload)
+
+        def wait(attempt: int, budget: float):
+            deadline = env.now + budget
+            while env.now < deadline:
+                receive = self.conn.recv()
+                timer = env.timeout(max(deadline - env.now, 0.0))
+                yield env.any_of([receive, timer])
+                if not receive.processed:
+                    if not receive.triggered:
+                        receive.succeed(None)  # cancel the mailbox getter
+                    return None
+                reply = receive.value.payload
+                if (
+                    not isinstance(reply, dict)
+                    or reply.get("request_id") != request_id
+                ):
+                    continue  # stale reply from an earlier, timed-out request
+                replies[reply["replica"]] = reply
+                agreeing = self._largest_agreement(replies)
+                if len(agreeing) >= needed:
+                    # Containered: a ``get`` legitimately returns None,
+                    # which rpc.call would read as an attempt timeout.
+                    return {"result": agreeing[0]["result"]}
+            return None
+
+        try:
+            outcome = yield from rpc.call(
+                env,
+                policy,
+                send,
+                wait,
+                stats=self.stats,
+                rng=self._rng,
+                describe=f"rsm:{self.group}",
+            )
+        except ConnectionTimeoutError:
+            raise QuorumError(
+                f"no quorum for request {request_id} "
+                f"({len(replies)}/{group_size} replies, need {needed} agreeing)"
+            ) from None
+        return outcome["result"]
 
     def _largest_agreement(self, replies: dict[str, dict]) -> list[dict]:
         """The largest subset of replies agreeing on (seq, result)."""

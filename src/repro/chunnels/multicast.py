@@ -67,6 +67,8 @@ SEQ_HEADER = "mcast_seq"
 MEMBERS_HEADER = "mcast_members"
 ORIGIN_HEADER = "mcast_origin"
 GAP_HEADER = "mcast_gap"
+NACK_HEADER = "mcast_nack"
+NACK_TO_HEADER = "mcast_nack_to"
 
 
 @register_spec
@@ -119,10 +121,17 @@ def sequencer_service_name(group: str) -> str:
 # Fallback: host sequencer process
 # --------------------------------------------------------------------------
 class GroupSequencer:
-    """A userspace sequencer: stamp, then forward to every member."""
+    """A userspace sequencer: stamp, then forward to every member.
+
+    Keeps a bounded history of recently sequenced messages so a replica
+    that lost one fan-out leg can NACK the missing sequence numbers and
+    get a unicast retransmission — the sequencer half of NOPaxos's gap
+    recovery, without involving the other replicas.
+    """
 
     BASE_COST = 0.7e-6
     PER_MEMBER_COST = 0.3e-6
+    HISTORY = 512
 
     def __init__(self, entity, group: str):
         self.entity = entity
@@ -131,6 +140,9 @@ class GroupSequencer:
         self.socket = UdpSocket(entity)
         self.next_seq = 1
         self.messages_sequenced = 0
+        self.retransmits_served = 0
+        #: seq -> (payload, size, per-member header template)
+        self._history: dict[int, tuple] = {}
         self._proc = self.env.process(self._run(), name=f"mcastseq:{group}")
 
     @property
@@ -143,6 +155,11 @@ class GroupSequencer:
                 dgram: Datagram = yield self.socket.recv()
             except Interrupt:
                 return
+            nacked = dgram.headers.get(NACK_HEADER)
+            if nacked is not None:
+                yield self.env.timeout(self.BASE_COST)
+                self._serve_nack(dgram, nacked)
+                continue
             members = dgram.headers.get(MEMBERS_HEADER) or []
             yield self.env.timeout(
                 self.BASE_COST + self.PER_MEMBER_COST * len(members)
@@ -150,17 +167,33 @@ class GroupSequencer:
             seq = self.next_seq
             self.next_seq += 1
             self.messages_sequenced += 1
+            template = dict(dgram.headers)
+            template[SEQ_HEADER] = seq
+            template[ORIGIN_HEADER] = [dgram.src.host, dgram.src.port]
+            template.pop(MEMBERS_HEADER, None)
+            self._history[seq] = (dgram.payload, dgram.size, template)
+            while len(self._history) > self.HISTORY:
+                self._history.pop(next(iter(self._history)))
             for host, port in members:
-                headers = dict(dgram.headers)
-                headers[SEQ_HEADER] = seq
-                headers[ORIGIN_HEADER] = [dgram.src.host, dgram.src.port]
-                headers.pop(MEMBERS_HEADER, None)
                 self.socket.send(
                     dgram.payload,
                     Address(host, port),
                     size=dgram.size,
-                    headers=headers,
+                    headers=dict(template),
                 )
+
+    def _serve_nack(self, dgram: Datagram, nacked) -> None:
+        reply_to = dgram.headers.get(NACK_TO_HEADER)
+        if not reply_to:
+            return
+        target = Address(reply_to[0], reply_to[1])
+        for seq in nacked:
+            entry = self._history.get(seq)
+            if entry is None:
+                continue  # evicted or never sequenced: the gap flush owns it
+            payload, size, template = entry
+            self.retransmits_served += 1
+            self.socket.send(payload, target, size=size, headers=dict(template))
 
     def stop(self) -> None:
         if self._proc.is_alive:
@@ -235,7 +268,13 @@ class _GroupResequencer:
     different connection than client B's request n.
     """
 
-    def __init__(self, env: Environment, group: str, flush_after: float):
+    #: How many flush_after windows to spend NACKing the sequencer before
+    #: giving up and flushing the gap to the application.
+    NACK_RETRIES = 2
+    #: Cap on missing seqs requested per NACK.
+    MAX_NACK_SEQS = 64
+
+    def __init__(self, env: Environment, group: str, flush_after: float, entity=None):
         self.env = env
         self.group = group
         self.flush_after = flush_after
@@ -244,6 +283,12 @@ class _GroupResequencer:
         self._timer = None
         self.gaps_flushed = 0
         self.delivered = 0
+        self.nacks_sent = 0
+        self._entity = entity
+        self._nack_socket: Optional[UdpSocket] = None
+        #: Learned from in-band traffic (host-sequencer flavour only).
+        self._sequencer: Optional[Address] = None
+        self._reply_to: Optional[Address] = None
 
     def feed(self, stage: ChunnelStage, msg: Message) -> list[Message]:
         """Offer one stamped message; returns those releasable via ``stage``.
@@ -255,8 +300,11 @@ class _GroupResequencer:
         if seq < self.expected:
             return []  # duplicate
         if seq > self.expected:
+            newly_armed = self._timer is None or not self._timer.is_alive
             self._buffer[seq] = (stage, msg)
             self._arm_timer()
+            if newly_armed:
+                self._send_nack()
             return []
         releasable = [msg]
         self.expected += 1
@@ -288,12 +336,61 @@ class _GroupResequencer:
             self._timer.interrupt("gap filled")
         self._timer = None
 
+    def note_path(self, sequencer: Address, reply_to: Address) -> None:
+        """Learn the sequencer and our delivery address from in-band traffic."""
+        self._sequencer = sequencer
+        self._reply_to = reply_to
+
+    def _can_nack(self) -> bool:
+        return (
+            self._entity is not None
+            and self._sequencer is not None
+            and self._reply_to is not None
+        )
+
+    def _send_nack(self) -> bool:
+        """Ask the sequencer to retransmit the missing seqs; False if we
+        have no sequencer to ask (switch flavour) or nothing is missing."""
+        if not self._can_nack() or not self._buffer:
+            return False
+        missing = [
+            seq
+            for seq in range(self.expected, max(self._buffer))
+            if seq not in self._buffer
+        ][: self.MAX_NACK_SEQS]
+        if not missing:
+            return False
+        if self._nack_socket is None:
+            self._nack_socket = UdpSocket(self._entity)
+        self._nack_socket.send(
+            b"",
+            self._sequencer,
+            headers={
+                GROUP_HEADER: self.group,
+                NACK_HEADER: missing,
+                NACK_TO_HEADER: [self._reply_to.host, self._reply_to.port],
+            },
+        )
+        self.nacks_sent += 1
+        return True
+
     def _flush_loop(self):
+        retries = self.NACK_RETRIES if self._can_nack() else 0
+        for _ in range(retries):
+            try:
+                yield self.env.timeout(self.flush_after)
+            except Interrupt:
+                return
+            if not self._buffer:
+                self._timer = None
+                return
+            self._send_nack()
         try:
             yield self.env.timeout(self.flush_after)
         except Interrupt:
             return
         if not self._buffer:
+            self._timer = None
             return
         self.gaps_flushed += 1
         top = max(self._buffer)
@@ -348,13 +445,25 @@ class _McastClientStage(ChunnelStage):
 class _McastReplicaStage(ChunnelStage):
     """Replica side: feed the group's shared resequencer."""
 
-    def __init__(self, impl: ChunnelImpl, role: Role, resequencer: _GroupResequencer):
+    def __init__(
+        self,
+        impl: ChunnelImpl,
+        role: Role,
+        resequencer: _GroupResequencer,
+        host_sequencer: bool = False,
+    ):
         super().__init__(impl, role)
         self.resequencer = resequencer
+        #: With a host sequencer, msg.src before the origin restore IS the
+        #: sequencer's socket — learn the NACK path from it.  The switch
+        #: flavour preserves the client src, so gap recovery stays off.
+        self.host_sequencer = host_sequencer
 
     def on_recv(self, msg: Message) -> Iterable[Message]:
         if SEQ_HEADER not in msg.headers:
             return [msg]  # non-multicast traffic
+        if self.host_sequencer and msg.src is not None and self.connection:
+            self.resequencer.note_path(msg.src, self.connection.local_address)
         origin = msg.headers.pop(ORIGIN_HEADER, None)
         if origin is not None:
             msg.src = Address(origin[0], origin[1])
@@ -383,7 +492,7 @@ class _McastImplBase(ChunnelImpl):
         resequencer = ctx.shared.get(key)
         if resequencer is None:
             resequencer = _GroupResequencer(
-                ctx.env, spec.group, spec.args["flush_after"]
+                ctx.env, spec.group, spec.args["flush_after"], entity=ctx.local_entity
             )
             ctx.shared[key] = resequencer
         return resequencer
@@ -395,7 +504,12 @@ class _McastImplBase(ChunnelImpl):
                 "ordered_mcast stage requested before setup ran"
             )
         if role is Role.SERVER:
-            return _McastReplicaStage(self, role, self._replica_resequencer(ctx))
+            return _McastReplicaStage(
+                self,
+                role,
+                self._replica_resequencer(ctx),
+                host_sequencer=self._USE_SEQUENCER,
+            )
         return _McastClientStage(self, role, use_sequencer=self._USE_SEQUENCER)
 
 

@@ -410,8 +410,13 @@ class ChunnelStage:
         self.stack.send_from(self._index + 1, msg)
 
     def deliver_above(self, msg: Message) -> None:
-        """Inject ``msg`` upward from this stage (e.g. reassembled data)."""
-        self.stack.receive_from(self._index - 1, msg)
+        """Inject ``msg`` upward from this stage (e.g. reassembled data).
+
+        Runs every stage strictly above this one (``receive_from`` is
+        exclusive at ``_index``), mirroring :meth:`send_below` — a flushed
+        reorder buffer must still be decoded by the stages above.
+        """
+        self.stack.receive_from(self._index, msg)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} role={self.role.value}>"

@@ -145,6 +145,9 @@ class Connection:
         self._started_stages: set[int] = set()
         self._start_new_stages(self.stack)
         self._first_delivery_seen = False
+        #: Set by the accepting Listener (server side) so an ephemeral
+        #: close can drop out of its connection list.
+        self.listener = None
         # Per-connection data-path counters.  conn ids are shared by the
         # two ends of one connection, so the role disambiguates; replace
         # covers a conn id reused after a simulated process restart.
@@ -530,6 +533,23 @@ class Connection:
         if self._pump.is_alive:
             self._pump.interrupt("connection closed")
         self.socket.close()
+        if self.runtime.ephemeral_connections:
+            obs = self.runtime.network.obs
+            prefix = f"conn.{self.conn_id}.{self.role.value}"
+            for suffix in (
+                "messages_sent",
+                "messages_received",
+                "ctl_malformed_total",
+                "transitions",
+                "stack_retransmissions",
+            ):
+                obs.unregister(f"{prefix}.{suffix}")
+            if self.listener is not None:
+                try:
+                    self.listener.connections.remove(self)
+                except ValueError:
+                    pass
+                self.listener = None
 
     def _context_for(self, node_id: int) -> Optional[SetupContext]:
         for ctx in self._setup_contexts:

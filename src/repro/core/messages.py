@@ -70,6 +70,12 @@ __all__ = [
     "Revoked",
     "LeaseRevoked",
     "ServiceError",
+    "GetShardMap",
+    "ShardMapReply",
+    "Ping",
+    "Pong",
+    "Promote",
+    "PromoteReply",
     "decode_message",
     "encode_message",
     "protocol_appendix",
@@ -638,6 +644,117 @@ class ServiceError(DiscoveryMessage):
     KIND: ClassVar[str] = "disc.error"
 
     error: str = ""
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+# --------------------------------------------------------------------------
+# Sharded discovery tier (PROTOCOL.md §8)
+# --------------------------------------------------------------------------
+@control_message
+@dataclass(frozen=True)
+class GetShardMap(DiscoveryMessage):
+    """Fetch the current shard map: which discovery shard owns which
+    chunnel types and service names, and each shard's primary replica.
+
+    Direction: any runtime → shard router, dedicated socket.
+    Retransmit: backoff like ``disc.query``; the reply is idempotent (the
+    map is versioned, so duplicates are harmless).
+    """
+
+    KIND: ClassVar[str] = "disc.shard_map"
+
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class ShardMapReply(DiscoveryMessage):
+    """The shard map: a monotonically versioned list of shard descriptors
+    (``shard_id``, ``primary`` address, ``replicas`` addresses).  Clients
+    route by hashing chunnel type / service name over ``len(shards)`` and
+    refresh the map when a primary stops answering.
+
+    Direction: shard router → requester (reply to ``disc.shard_map``).
+    Retransmit: replayed from the router's reply cache on duplicates.
+    """
+
+    KIND: ClassVar[str] = "disc.shard_map_reply"
+
+    version: int = 0
+    shards: List[dict] = field(default_factory=list)
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Ping(DiscoveryMessage):
+    """Liveness probe for a shard primary (the router's failure detector).
+
+    Direction: shard router → shard replica, dedicated socket.
+    Retransmit: none per probe — the router counts consecutive unanswered
+    probes and promotes a standby after the miss threshold.
+    """
+
+    KIND: ClassVar[str] = "disc.ping"
+
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Pong(DiscoveryMessage):
+    """Liveness probe answer.
+
+    Direction: shard replica → shard router (reply to ``disc.ping``).
+    Retransmit: sent once per received probe.
+    """
+
+    KIND: ClassVar[str] = "disc.pong"
+
+    ok: bool = True
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class Promote(DiscoveryMessage):
+    """Failover handshake: the router instructs a standby replica to take
+    over as primary of ``shard_id`` under map version ``version``.  The
+    promoted replica starts serving reads/pushes and re-mirrors its name
+    table; watchers re-subscribe via the refreshed map.
+
+    Direction: shard router → shard replica, dedicated socket.
+    Retransmit: backoff like ``disc.query``; promotion is idempotent for
+    the same (shard, version) pair.
+    """
+
+    KIND: ClassVar[str] = "disc.promote"
+
+    shard_id: int = 0
+    version: int = 0
+    req_id: Optional[str] = None
+    attempt: Any = 0
+
+
+@control_message
+@dataclass(frozen=True)
+class PromoteReply(DiscoveryMessage):
+    """Promotion acknowledgement (``ok=False`` when the replica refuses —
+    e.g. it has already seen a newer map version).
+
+    Direction: shard replica → shard router (reply to ``disc.promote``).
+    Retransmit: replayed from the reply cache on duplicate requests.
+    """
+
+    KIND: ClassVar[str] = "disc.promote_reply"
+
+    ok: bool = True
+    version: int = 0
     req_id: Optional[str] = None
     attempt: Any = 0
 

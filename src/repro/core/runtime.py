@@ -85,6 +85,7 @@ class Runtime:
         optimizer=None,
         negotiation_cache_size: int = 0,
         negotiation_cache_ttl: Optional[float] = None,
+        ephemeral_connections: bool = False,
     ):
         from ..discovery.client import (
             DirectDiscoveryClient,
@@ -113,6 +114,12 @@ class Runtime:
         #: specialize the unified DAG before choosing implementations.
         self.optimizer = optimizer
         self._reconfig = None
+        #: Fleet-scale mode: a closed connection unbinds its per-connection
+        #: metrics and drops out of its listener's connection list, so a
+        #: world driving 10^5 establishments stays proportional to *live*
+        #: connections.  Off by default — per-connection history stays
+        #: visible in snapshots, byte-identical with earlier baselines.
+        self.ephemeral_connections = ephemeral_connections
         #: Degraded-mode establishment metrics: connections that proceeded
         #: with fallback-only stacks because discovery was unreachable.
         self.degraded_establishments = 0
@@ -818,6 +825,11 @@ class Listener:
             except NegotiationError as error:
                 self.negotiations_failed += 1
                 reply = msgs.Error.from_exception(conn_id, error)
+            except Interrupt:
+                # close() interrupts the serve process wherever it is —
+                # including mid-decision inside a handler (reservation
+                # RPCs yield).  The client's retransmit will time out.
+                return
             self._replies.put(cache_key, reply)
             self._send_reply(reply, dgram.src)
 
@@ -992,6 +1004,7 @@ class Listener:
         )
         if self.auto_reconfig:
             runtime.reconfig.watch(connection)
+        connection.listener = self
         self.connections.append(connection)
         self.accepted.put(connection)
         if runtime.negcache.enabled:
@@ -1121,6 +1134,7 @@ class Listener:
         )
         if self.auto_reconfig:
             runtime.reconfig.watch(connection)
+        connection.listener = self
         self.connections.append(connection)
         self.accepted.put(connection)
         trace.finish(span, reservations=len(confirmed))

@@ -1,4 +1,4 @@
-"""The Bertha discovery service and its clients (§4.2)."""
+"""The Bertha discovery service and its clients (§4.2, §8)."""
 
 from .client import (
     DirectDiscoveryClient,
@@ -8,16 +8,32 @@ from .client import (
     RemoteDiscoveryClient,
 )
 from .records import ImplementationRecord, Lease
+from .router import DEFAULT_ROUTER_PORT, ShardedDiscoveryClient, ShardRouter
 from .service import DEFAULT_DISCOVERY_PORT, DiscoveryService
+from .shard import (
+    DEFAULT_RSM_PORT,
+    DiscoveryShardTier,
+    ShardInfo,
+    ShardMap,
+    ShardReplica,
+)
 
 __all__ = [
     "DEFAULT_DISCOVERY_PORT",
+    "DEFAULT_ROUTER_PORT",
+    "DEFAULT_RSM_PORT",
     "DirectDiscoveryClient",
     "DiscoveryClientBase",
     "DiscoveryService",
+    "DiscoveryShardTier",
     "ImplementationRecord",
     "Lease",
     "NullDiscoveryClient",
     "QueryResult",
     "RemoteDiscoveryClient",
+    "ShardInfo",
+    "ShardMap",
+    "ShardReplica",
+    "ShardRouter",
+    "ShardedDiscoveryClient",
 ]

@@ -121,6 +121,8 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         backoff: float = 2.0,
         max_timeout: float = 20e-3,
         jitter: float = 0.2,
+        stats: Optional[rpc.RpcStats] = None,
+        req_tag: Optional[str] = None,
     ):
         self.policy = rpc.RetryPolicy(
             timeout=timeout,
@@ -141,7 +143,18 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         # the retransmit schedule nondeterministic across runs.
         self._rng = random.Random(zlib.crc32(entity.name.encode()))
         self._req_counter = 0
-        self.stats = rpc.RpcStats()
+        #: Request ids must be unique per service, and the service dedups
+        #: them globally — so when several clients share one entity (the
+        #: sharded client's pool), each needs its own namespace or their
+        #: counters collide and the dedup cache replays one client's reply
+        #: to another's fresh request.
+        self._req_prefix = (
+            f"{entity.name}#{req_tag}" if req_tag else entity.name
+        )
+        # ``stats`` lets an aggregating caller (the sharded client routes
+        # through one RemoteDiscoveryClient per shard primary) charge all
+        # its children to one shared counter set.
+        self.stats = stats if stats is not None else rpc.RpcStats()
 
     # Counter views over the shared RPC stats (the chaos experiment and
     # the robustness tests read these names).
@@ -167,7 +180,7 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
     def _rpc(self, request: "msgs.DiscoveryMessage"):
         """One request/response exchange with backoff-based retransmit."""
         self._req_counter += 1
-        req_id = f"{self.entity.name}-{self._req_counter}"
+        req_id = f"{self._req_prefix}-{self._req_counter}"
         socket = UdpSocket(self.entity)
 
         def send(attempt: int) -> None:

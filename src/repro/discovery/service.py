@@ -58,12 +58,23 @@ class DiscoveryService:
         entity: "NetEntity",
         port: int = DEFAULT_DISCOVERY_PORT,
         scheduler: Optional["OffloadScheduler"] = None,
+        record_prefix: str = "rec",
+        metrics_prefix: str = "discovery",
+        durable_watches: bool = False,
     ):
         self.entity = entity
         self.env = entity.env
         self.network = entity.network
         self.socket = UdpSocket(entity, port)
         self.address = self.socket.address
+        #: Record-id namespace (``<prefix>-<n>``).  The sharded tier gives
+        #: each shard its own prefix so a record id names its owning shard
+        #: and clients can route reserve/release/watch without a lookup.
+        self.record_prefix = record_prefix
+        #: Watch subscriptions are volatile (in-memory) by default; a
+        #: replicated shard sets ``durable_watches`` because its watch
+        #: table is re-applied from the replication log.
+        self.durable_watches = durable_watches
         self._records: dict[str, ImplementationRecord] = {}
         #: Per-service record ids (not the module-global fallback counter):
         #: record ids ride inside sized negotiation messages, so a
@@ -102,7 +113,9 @@ class DiscoveryService:
         self.crashes = 0
         # One discovery service per deployment owns the flat ``discovery.*``
         # namespace (replace: a test that builds a second service — e.g. to
-        # model a migration — hands the names to the newest one).
+        # model a migration — hands the names to the newest one).  Shard
+        # replicas pass a per-shard ``metrics_prefix`` instead, so every
+        # replica's counters coexist in one snapshot.
         obs = self.network.obs
         for counter in (
             "queries_served",
@@ -116,10 +129,15 @@ class DiscoveryService:
             "malformed_total",
             "crashes",
         ):
-            obs.bind(f"discovery.{counter}", self, counter, replace=True)
-        obs.replace("discovery.leases", lambda: len(self._leases))
-        obs.replace("discovery.audit_ok", lambda: int(self.audit_leases()["ok"]))
-        self._server = self.env.process(self._serve(), name="discovery.serve")
+            obs.bind(f"{metrics_prefix}.{counter}", self, counter, replace=True)
+        obs.replace(f"{metrics_prefix}.leases", lambda: len(self._leases))
+        obs.replace(
+            f"{metrics_prefix}.audit_ok",
+            lambda: int(self.audit_leases()["ok"]),
+        )
+        self._server = self.env.process(
+            self._serve(), name=f"{metrics_prefix}.serve"
+        )
 
     # ------------------------------------------------------------------
     # Direct (operator/test) API
@@ -138,7 +156,7 @@ class DiscoveryService:
             meta=meta,
             location=location,
             registered_by=registered_by,
-            record_id=f"rec-{next(self._record_ids)}",
+            record_id=f"{self.record_prefix}-{next(self._record_ids)}",
         )
         self._records[record.record_id] = record
         return record
@@ -352,10 +370,11 @@ class DiscoveryService:
 
         Durable state (records, leases, device accounting) survives — it
         models stable storage — but volatile state does not: queued requests
-        are lost and the request dedup cache is cleared, which is exactly
-        the window the client-side retry and server-side refcount semantics
-        must tolerate.  The socket stays bound so a restart reuses the
-        address.
+        are lost, the request dedup cache is cleared, and (unless the
+        service replicates its watch table, see ``durable_watches``) watch
+        subscriptions are dropped — which is exactly the window the
+        client-side retry, refcount, and watch re-arm semantics must
+        tolerate.  The socket stays bound so a restart reuses the address.
         """
         if self.down:
             return
@@ -364,6 +383,8 @@ class DiscoveryService:
         self.socket.dropping = True
         self.socket.store._items.clear()
         self._replies.clear()
+        if not self.durable_watches:
+            self._watchers.clear()
 
     def restart(self) -> None:
         """Bring a crashed service back on the same address."""
@@ -459,7 +480,7 @@ class DiscoveryService:
                 response = cached
             else:
                 self.requests_served += 1
-                response = self._handle(request)
+                response = yield from self._handle_request(request)
                 if req_id is not None:
                     self._replies.put(req_id, response)
             self._send(response.stamped(req_id, attempt), dgram.src)
@@ -490,7 +511,22 @@ class DiscoveryService:
             return None
         return msgs.ServiceError(error=str(error), req_id=req_id)
 
+    def _handle_request(self, request: "msgs.ControlMessage"):
+        """Generator hook between the serve loop and :meth:`_handle`.
+
+        The base service answers synchronously; the sharded tier overrides
+        this to submit mutations through its replication group (which takes
+        simulated time) before replying.  Handling stays serialized — one
+        request at a time per service — so overriding handlers need no
+        extra locking.
+        """
+        if False:  # pragma: no cover - makes this a generator
+            yield
+        return self._handle(request)
+
     def _handle(self, request: "msgs.ControlMessage") -> "msgs.DiscoveryMessage":
+        if isinstance(request, msgs.Ping):
+            return msgs.Pong(ok=not self.down)
         if isinstance(request, msgs.Query):
             self.queries_served += 1
             instances = []

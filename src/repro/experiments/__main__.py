@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments reconfig
     python -m repro.experiments chaos [--smoke] [--loss 0,0.05,0.1,0.2]
     python -m repro.experiments churn [--smoke] [--sessions N]
+    python -m repro.experiments fleet [--smoke] [--shards N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
 
@@ -46,6 +47,7 @@ from .churn import ChurnConfig, run_churn
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
+from .fleet import FleetConfig, run_fleet
 from .reconfig import ReconfigConfig, run_epoch_overhead, run_reconfig
 
 
@@ -161,6 +163,16 @@ def cmd_reconfig(args) -> None:
     )
 
 
+def _apply_shard_flags(config, args) -> None:
+    """``--shards``/``--replicas-per-shard`` are shared by chaos, churn,
+    and fleet; the single-shard default keeps the chaos/churn baselines
+    byte-identical."""
+    if args.shards is not None:
+        config.shards = args.shards
+    if args.replicas_per_shard is not None:
+        config.replicas_per_shard = args.replicas_per_shard
+
+
 def _chaos_config(args) -> ChaosConfig:
     config = ChaosConfig.smoke(seed=args.seed) if args.smoke else ChaosConfig(
         seed=args.seed
@@ -175,6 +187,7 @@ def _chaos_config(args) -> ChaosConfig:
         config.discovery_retries = args.disc_retries
     if args.disc_backoff is not None:
         config.discovery_backoff = args.disc_backoff
+    _apply_shard_flags(config, args)
     return config
 
 
@@ -210,6 +223,7 @@ def _churn_config(args) -> ChurnConfig:
         config.cache_size = args.cache_size
     if args.cache_ttl is not None:
         config.cache_ttl = args.cache_ttl
+    _apply_shard_flags(config, args)
     return config
 
 
@@ -233,6 +247,40 @@ def cmd_churn(args) -> None:
         raise SystemExit(1)
 
 
+def _fleet_config(args) -> FleetConfig:
+    # Under ``all`` the fleet drops to smoke tier: the full run is the
+    # one ten-minute experiment in the suite, and ``all`` is a sweep.
+    smoke = args.smoke or args.experiment == "all"
+    config = FleetConfig.smoke(seed=args.seed) if smoke else FleetConfig(
+        seed=args.seed
+    )
+    if args.establishments is not None:
+        config.establishments = args.establishments
+    _apply_shard_flags(config, args)
+    return config
+
+
+def cmd_fleet(args) -> None:
+    config = _fleet_config(args)
+    hosts = config.racks * config.clients_per_rack + config.servers
+    label = (
+        f"Fleet: {config.establishments} establishments across {hosts} hosts, "
+        f"{config.shards} shards x {config.replicas_per_shard} replicas "
+        f"(seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_fleet(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
@@ -240,6 +288,7 @@ COMMANDS = {
     "reconfig": cmd_reconfig,
     "chaos": cmd_chaos,
     "churn": cmd_churn,
+    "fleet": cmd_fleet,
     "ablations": cmd_ablations,
 }
 
@@ -321,6 +370,31 @@ def main(argv=None) -> int:
         type=float,
         metavar="SECONDS",
         help="negotiation-cache entry TTL (virtual seconds; default none)",
+    )
+    shard_group = parser.add_argument_group(
+        "discovery tier options (chaos, churn, fleet)"
+    )
+    shard_group.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help=(
+            "discovery shard count (chaos/churn default 1 = the single "
+            "service; >1 builds the replicated shard tier)"
+        ),
+    )
+    shard_group.add_argument(
+        "--replicas-per-shard",
+        type=int,
+        metavar="N",
+        help="RSM replicas per discovery shard (default 3)",
+    )
+    fleet_group = parser.add_argument_group("fleet options")
+    fleet_group.add_argument(
+        "--establishments",
+        type=int,
+        metavar="N",
+        help="fleet establishment count (default 100000; smoke 300)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "all":

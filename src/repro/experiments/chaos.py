@@ -44,11 +44,10 @@ from ..chunnels import (
 from ..core import Runtime
 from ..core.dag import wrap
 from ..core.policy import PriorityFirstPolicy
-from ..discovery import DiscoveryService
-from ..discovery.client import RemoteDiscoveryClient
 from ..errors import DegradedEstablishmentWarning, NegotiationError
 from ..metrics import format_table, percentile
 from ..sim import FaultPlan, Network, SmartNic
+from ._plane import DiscoveryPlane, audits_ok
 
 __all__ = ["ChaosConfig", "ChaosPoint", "ChaosResult", "run_chaos"]
 
@@ -87,6 +86,14 @@ class ChaosConfig:
     discovery_backoff: float = 2.0
     #: Invariant bound on the slowest establishment (virtual seconds).
     setup_bound: float = 0.5
+    #: Discovery-plane shape (CLI ``--shards``/``--replicas-per-shard``).
+    #: The single-service default keeps the recorded baseline
+    #: byte-identical; ``shards > 1`` swaps in the RSM-replicated shard
+    #: tier behind a router, so the same sweep — and the outage, which
+    #: then crashes *every* replica at once — runs against the
+    #: planet-scale control plane.
+    shards: int = 1
+    replicas_per_shard: int = 3
     #: Discovery-outage segment: runs at this loss rate.
     run_outage: bool = True
     outage_loss: float = 0.05
@@ -315,10 +322,18 @@ def _build_world(config: ChaosConfig, loss: float, seed: int):
         "srv", nic=SmartNic(net.env, name="srv.nic", offload_slots=4)
     )
     client_host = net.add_host("cl")
-    discovery_host = net.add_host("dsc")
+    plane = DiscoveryPlane(
+        config.shards,
+        config.replicas_per_shard,
+        timeout=config.discovery_timeout,
+        retries=config.discovery_retries,
+        backoff=config.discovery_backoff,
+    )
+    plane.add_hosts(net)
     net.add_switch("tor")
-    for name in ("srv", "cl", "dsc"):
+    for name in ("srv", "cl"):
         net.add_link(name, "tor", latency=5e-6)
+    plane.add_links(net, "tor", 5e-6)
     plan = FaultPlan(
         drop_rate=loss,
         duplicate_rate=config.duplicate_rate,
@@ -328,21 +343,14 @@ def _build_world(config: ChaosConfig, loss: float, seed: int):
     )
     net.attach_faults_everywhere(plan)
 
-    discovery = DiscoveryService(discovery_host)
+    plane.build(net)
     # A contended NIC offload so the sweep exercises real reservations:
     # retransmitted disc.reserve calls hitting this record are what the
     # no-double-reservation invariant audits.
-    discovery.register(ReliableToe.meta, location="srv")
+    plane.register(ReliableToe.meta, "srv")
 
     def _runtime(host, **kwargs):
-        client = RemoteDiscoveryClient(
-            host,
-            discovery.address,
-            timeout=config.discovery_timeout,
-            retries=config.discovery_retries,
-            backoff=config.discovery_backoff,
-        )
-        runtime = Runtime(host, discovery=client, **kwargs)
+        runtime = Runtime(host, discovery=plane.client(host), **kwargs)
         runtime.register_chunnel(SerializeFallback)
         runtime.register_chunnel(ReliableFallback)
         return runtime
@@ -355,7 +363,7 @@ def _build_world(config: ChaosConfig, loss: float, seed: int):
     server_rt = _runtime(server_host, policy=PriorityFirstPolicy())
     client_rt = _runtime(client_host)
     server = EchoServer(server_rt, port=7400, dag=_chaos_dag(config))
-    return net, discovery, server, server_rt, client_rt
+    return net, plane, server, server_rt, client_rt
 
 
 # --------------------------------------------------------------------------
@@ -363,7 +371,7 @@ def _build_world(config: ChaosConfig, loss: float, seed: int):
 # --------------------------------------------------------------------------
 def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
     seed = config.seed + 101 * (index + 1)
-    net, discovery, server, server_rt, client_rt = _build_world(
+    net, _plane, server, server_rt, client_rt = _build_world(
         config, loss, seed
     )
     env = net.env
@@ -430,9 +438,9 @@ def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
         reliability_retransmissions=int(
             snap.sum("conn.", ".client.stack_retransmissions")
         ),
-        duplicate_requests=int(snap.get("discovery.duplicate_requests")),
+        duplicate_requests=int(snap.sum("discovery.", "duplicate_requests")),
         fault_drops=int(snap.get("net.fault_drops")),
-        audit_ok=bool(snap.get("discovery.audit_ok")),
+        audit_ok=audits_ok(snap),
         metrics=snap.as_dict(),
     )
 
@@ -442,7 +450,7 @@ def _run_point(config: ChaosConfig, loss: float, index: int) -> ChaosPoint:
 # --------------------------------------------------------------------------
 def _run_outage(config: ChaosConfig) -> dict:
     seed = config.seed + 9001
-    net, discovery, server, server_rt, client_rt = _build_world(
+    net, plane, server, server_rt, client_rt = _build_world(
         config, config.outage_loss, seed
     )
     env = net.env
@@ -480,8 +488,9 @@ def _run_outage(config: ChaosConfig) -> dict:
     def driver():
         # Healthy baseline connection.
         yield from _session("before", 3)
-        # Crash the service: new establishments must degrade, not fail.
-        discovery.crash()
+        # Crash the plane (every replica): new establishments must
+        # degrade, not fail.
+        plane.crash()
         conn, setup, degraded = yield from _session(
             "during", config.requests_per_session
         )
@@ -491,7 +500,7 @@ def _run_outage(config: ChaosConfig) -> dict:
             out["degraded_completed"] == out["degraded_offered"]
         )
         # Restart: the next connection negotiates at full fidelity.
-        discovery.restart()
+        plane.restart()
         _conn, _setup, degraded_after = yield from _session("after", 3)
         out["recovered_full"] = not degraded_after
 
@@ -505,7 +514,7 @@ def _run_outage(config: ChaosConfig) -> dict:
         if issubclass(w.category, DegradedEstablishmentWarning)
     )
     snap = net.obs.snapshot()
-    out["audit_ok"] = bool(snap.get("discovery.audit_ok"))
+    out["audit_ok"] = audits_ok(snap)
     out["metrics"] = snap.as_dict()
     return out
 

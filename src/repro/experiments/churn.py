@@ -46,11 +46,10 @@ from ..chunnels import (
 from ..core import Runtime
 from ..core.dag import wrap
 from ..core.policy import PriorityFirstPolicy
-from ..discovery import DiscoveryService
-from ..discovery.client import RemoteDiscoveryClient
 from ..errors import DegradedEstablishmentWarning
 from ..metrics import format_table, percentile
 from ..sim import FaultPlan, Network, SmartNic
+from ._plane import DiscoveryPlane
 
 __all__ = ["ChurnConfig", "ChurnSide", "ChurnResult", "run_churn"]
 
@@ -76,6 +75,13 @@ class ChurnConfig:
     loss: float = 0.0
     negotiation_timeout: float = 2e-3
     negotiation_retries: int = 8
+    #: Discovery-plane shape (CLI ``--shards``/``--replicas-per-shard``).
+    #: The single-service default keeps the recorded baseline
+    #: byte-identical; ``shards > 1`` swaps in the RSM-replicated shard
+    #: tier behind a router, so resume revalidation (and its one-RTT
+    #: saving) is measured against the planet-scale control plane.
+    shards: int = 1
+    replicas_per_shard: int = 3
     #: Virtual-time budget (the driver finishes far earlier).
     deadline: float = 120.0
 
@@ -280,25 +286,27 @@ def _build_world(config: ChurnConfig, cache_size: int):
         "srv", nic=SmartNic(net.env, name="srv.nic", offload_slots=4)
     )
     client_host = net.add_host("cl")
-    discovery_host = net.add_host("dsc")
+    plane = DiscoveryPlane(config.shards, config.replicas_per_shard)
+    plane.add_hosts(net)
     net.add_switch("tor")
-    for name in ("srv", "cl", "dsc"):
+    for name in ("srv", "cl"):
         net.add_link(name, "tor", latency=5e-6)
+    plane.add_links(net, "tor", 5e-6)
     if config.loss > 0:
         net.attach_faults_everywhere(
             FaultPlan(drop_rate=config.loss, seed=config.seed)
         )
 
-    discovery = DiscoveryService(discovery_host)
+    plane.build(net)
     # A NIC offload with real resource accounting, so resumed connects
     # exercise the server's reservation-revalidation path rather than a
     # trivially reservation-free stack.
-    discovery.register(ReliableToe.meta, location="srv")
+    plane.register(ReliableToe.meta, "srv")
 
     def _runtime(host, **kwargs):
         runtime = Runtime(
             host,
-            discovery=RemoteDiscoveryClient(host, discovery.address),
+            discovery=plane.client(host),
             negotiation_cache_size=cache_size,
             negotiation_cache_ttl=config.cache_ttl,
             **kwargs,

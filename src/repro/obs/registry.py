@@ -235,6 +235,22 @@ class MetricsRegistry:
         method = self.replace if replace else self.register
         method(name, lambda: getattr(obj, attr))
 
+    def unregister(self, name: str) -> None:
+        """Drop ``name``'s source if present (idempotent).
+
+        For ephemeral owners — e.g. per-connection counters in a
+        fleet-scale world, unbound at close so the registry (and every
+        snapshot) stays proportional to *live* objects, not history.
+        """
+        self._sources.pop(name, None)
+
+    def unregister_prefix(self, prefix: str) -> int:
+        """Drop every source under ``prefix``; returns how many."""
+        doomed = [name for name in self._sources if name.startswith(prefix)]
+        for name in doomed:
+            del self._sources[name]
+        return len(doomed)
+
     def bind_stats(self, prefix: str, stats: Any, replace: bool = False) -> None:
         """Register every ``RpcStats`` field of ``stats`` under
         ``<prefix>.<field>`` (round_trips, retransmits_total, late_replies,

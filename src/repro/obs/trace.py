@@ -90,15 +90,27 @@ class Span:
 class TraceLog:
     """Append-only log of lifecycle spans for one simulated world."""
 
-    def __init__(self, env):
+    def __init__(self, env, limit: Optional[int] = None):
         self.env = env
         self.spans: list[Span] = []
+        #: Optional cap on recorded spans.  Fleet-scale worlds set this so
+        #: tracing stays O(limit): the first ``limit`` spans are kept,
+        #: later ones are counted in ``dropped`` (deterministic — event
+        #: order is seeded, so two same-seed runs drop identically).
+        self.limit = limit
+        self.dropped = 0
+
+    def _record(self, span: Span) -> None:
+        if self.limit is not None and len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append(span)
 
     # -- recording ----------------------------------------------------------
     def begin(self, phase: str, conn_id: str = "", **attrs: Any) -> Span:
         """Open an interval span at the current virtual time."""
         span = Span(phase, conn_id, start=self.env.now, attrs=attrs)
-        self.spans.append(span)
+        self._record(span)
         return span
 
     def finish(self, span: Span, status: str = "ok", **attrs: Any) -> Span:
@@ -112,7 +124,7 @@ class TraceLog:
         """Record an instant (a closed zero-duration span)."""
         now = self.env.now
         span = Span(phase, conn_id, start=now, end=now, status="ok", attrs=attrs)
-        self.spans.append(span)
+        self._record(span)
         return span
 
     # -- queries ------------------------------------------------------------

@@ -94,13 +94,35 @@ class DiscoveryWatcher:
     Lazily opens one datagram socket per runtime; the service sends
     fire-and-forget ``disc.revoked``/``disc.lease_revoked`` datagrams to it
     (see :meth:`repro.discovery.service.DiscoveryService.add_watch`).
+
+    Service-side watch state is *volatile*: a discovery ``crash()`` drops
+    the subscription table, so a watcher whose registration landed before
+    the crash would silently stop receiving pushes after the restart.  Two
+    defences: registration retries across an outage (bounded, backed off —
+    the inner discovery RPC already retries within one outage window), and
+    :meth:`rearm` / the optional ``refresh_interval`` re-registration loop
+    (re-subscribing is idempotent at the service).
     """
 
-    def __init__(self, runtime: "Runtime"):
+    #: Outer registration attempts (each one a full discovery RPC with its
+    #: own retry/backoff schedule) and the pause between them — sized to
+    #: span a short service outage rather than a single loss burst.
+    REGISTER_RETRIES = 3
+    REGISTER_BACKOFF = 20e-3
+
+    def __init__(
+        self, runtime: "Runtime", refresh_interval: Optional[float] = None
+    ):
         self.runtime = runtime
         self.env = runtime.env
+        #: When set, every watched record is re-registered this often — the
+        #: subscription-lease pattern.  Off by default: the refresh loop
+        #: keeps the event heap non-empty, so short-lived worlds must opt
+        #: in (and call :meth:`stop` when done).
+        self.refresh_interval = refresh_interval
         self._socket: Optional[UdpSocket] = None
         self._proc = None
+        self._refresher = None
         self._callbacks: dict[str, list[Callable]] = {}
         self.notifications = 0
         #: Pushes that failed schema decoding (dropped, never dispatched).
@@ -109,11 +131,17 @@ class DiscoveryWatcher:
         #: the registration process, so failures must be swallowed and
         #: counted — an unwaited error would crash the simulation).
         self.watch_failures = 0
+        #: Outer re-attempts after a failed registration RPC.
+        self.watch_retries = 0
+        #: Idempotent re-registrations sent by rearm()/the refresh loop.
+        self.rearms = 0
         obs = runtime.network.obs
         prefix = f"reconfig.{runtime.entity.name}.watcher"
         obs.bind(f"{prefix}.notifications", self, "notifications", replace=True)
         obs.bind(f"{prefix}.malformed_total", self, "malformed_total", replace=True)
         obs.bind(f"{prefix}.watch_failures", self, "watch_failures", replace=True)
+        obs.bind(f"{prefix}.watch_retries", self, "watch_retries", replace=True)
+        obs.bind(f"{prefix}.rearms", self, "rearms", replace=True)
 
     @property
     def address(self) -> Address:
@@ -127,6 +155,11 @@ class DiscoveryWatcher:
                 self._listen(),
                 name=f"{self.runtime.entity.name}.disc-watch",
             )
+        if self._refresher is None and self.refresh_interval is not None:
+            self._refresher = self.env.process(
+                self._refresh(),
+                name=f"{self.runtime.entity.name}.disc-watch-refresh",
+            )
 
     def watch_record(
         self, record_id: str, callback: Callable[[str, str, dict], None]
@@ -138,16 +171,52 @@ class DiscoveryWatcher:
         first = record_id not in self._callbacks
         self._callbacks.setdefault(record_id, []).append(callback)
         if first:
+            self.env.process(
+                self._register(record_id), name=f"disc-watch:{record_id}"
+            )
 
-            def _register():
+    def _register(self, record_id: str):
+        """Register one watch, retrying across (not just within) outages."""
+        for attempt in range(self.REGISTER_RETRIES):
+            try:
+                yield from self.runtime.discovery.watch(
+                    record_id, self._socket.address
+                )
+                return
+            except (ConnectionTimeoutError, Interrupt):
+                self.watch_failures += 1
+            if attempt + 1 < self.REGISTER_RETRIES:
+                self.watch_retries += 1
                 try:
-                    yield from self.runtime.discovery.watch(
-                        record_id, self._socket.address
+                    yield self.env.timeout(
+                        self.REGISTER_BACKOFF * (2**attempt)
                     )
-                except ConnectionTimeoutError:
-                    self.watch_failures += 1
+                except Interrupt:
+                    return
 
-            self.env.process(_register(), name=f"disc-watch:{record_id}")
+    def rearm(self) -> None:
+        """Re-register every watched record with the discovery service.
+
+        Idempotent (the service's watch table is a set), so callers fire it
+        whenever service-side watch state may have been lost: after a
+        discovery crash()/restart() cycle, or after a shard failover moved
+        the records to a new primary.
+        """
+        if self._socket is None:
+            return
+        for record_id in sorted(self._callbacks):
+            self.rearms += 1
+            self.env.process(
+                self._register(record_id), name=f"disc-rearm:{record_id}"
+            )
+
+    def _refresh(self):
+        while True:
+            try:
+                yield self.env.timeout(self.refresh_interval)
+            except Interrupt:
+                return
+            self.rearm()
 
     def _listen(self):
         while True:
@@ -173,6 +242,8 @@ class DiscoveryWatcher:
     def stop(self) -> None:
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("discovery watcher stopped")
+        if self._refresher is not None and self._refresher.is_alive:
+            self._refresher.interrupt("discovery watcher stopped")
         if self._socket is not None:
             self._socket.close()
 

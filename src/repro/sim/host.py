@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["CostModel", "NetEntity", "Host", "Container"]
 
 _EPHEMERAL_BASE = 40000
+_EPHEMERAL_MAX = 65536
 
 
 @dataclass
@@ -124,12 +125,21 @@ class NetEntity:
         self.ports.pop(port, None)
 
     def alloc_port(self) -> int:
-        """Pick a free ephemeral port."""
-        while self._next_ephemeral in self.ports:
+        """Pick a free ephemeral port, wrapping like a real OS allocator.
+
+        Long-lived entities that mint one short-lived socket per RPC (the
+        discovery clients) walk through the ephemeral range; without the
+        wrap a busy entity runs off the end of the port space after ~25k
+        allocations even though almost every earlier port is free again.
+        """
+        for _ in range(_EPHEMERAL_MAX - _EPHEMERAL_BASE):
+            if self._next_ephemeral >= _EPHEMERAL_MAX:
+                self._next_ephemeral = _EPHEMERAL_BASE
+            port = self._next_ephemeral
             self._next_ephemeral += 1
-        port = self._next_ephemeral
-        self._next_ephemeral += 1
-        return port
+            if port not in self.ports:
+                return port
+        raise AddressError(f"{self.name}: no free ephemeral ports")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} ports={sorted(self.ports)}>"

@@ -227,7 +227,7 @@ class Network:
         if cached is not None:
             return cached
         try:
-            path = nx.shortest_path(self.graph, src, dst, weight=_up_weight)
+            path = self._shortest_path(src, dst, _up_weight)
         except nx.NetworkXNoPath:
             try:
                 path = nx.shortest_path(self.graph, src, dst, weight="weight")
@@ -239,6 +239,20 @@ class Network:
             raise AddressError(f"no route from {src!r} to {dst!r}") from None
         self._route_cache[key] = path
         return path
+
+    #: Vertex count beyond which routing switches to bidirectional
+    #: Dijkstra.  Small worlds keep the plain algorithm so their paths —
+    #: and therefore every recorded baseline — are bit-for-bit unchanged;
+    #: fleet-scale topologies get the roughly-halved search frontier.
+    ROUTE_BIDIRECTIONAL_OVER = 256
+
+    def _shortest_path(self, src: str, dst: str, weight) -> list[str]:
+        if self.graph.number_of_nodes() > self.ROUTE_BIDIRECTIONAL_OVER:
+            _length, path = nx.bidirectional_dijkstra(
+                self.graph, src, dst, weight=weight
+            )
+            return path
+        return nx.shortest_path(self.graph, src, dst, weight=weight)
 
     def _on_link_state_change(self, _link: Link) -> None:
         """Route-cache invalidation hook installed on every link.

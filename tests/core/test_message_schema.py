@@ -105,6 +105,23 @@ def samples():
         ),
         msgs.UnregisterNameReply(req_id="r6", attempt=0),
         msgs.ServiceError(error="unsupported", req_id="r7", attempt=0),
+        msgs.GetShardMap(req_id="r8", attempt=1),
+        msgs.ShardMapReply(
+            version=2,
+            shards=[
+                {
+                    "shard_id": 0,
+                    "primary": Address("s0a", 7400),
+                    "replicas": [Address("s0a", 7400), Address("s0b", 7400)],
+                }
+            ],
+            req_id="r8",
+            attempt=1,
+        ),
+        msgs.Ping(req_id="r9", attempt=0),
+        msgs.Pong(ok=True, req_id="r9", attempt=0),
+        msgs.Promote(shard_id=1, version=3, req_id="r10", attempt=0),
+        msgs.PromoteReply(ok=False, version=3, req_id="r10", attempt=0),
         msgs.Revoked(record_id="rec-1"),
         msgs.LeaseRevoked(record_id="rec-1", owner="me"),
     ]

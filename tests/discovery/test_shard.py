@@ -1,0 +1,435 @@
+"""The sharded discovery tier (PROTOCOL.md §8): routing, replication,
+failover, and cross-shard negotiation-cache invalidation.
+
+World shape: ``shards × replicas`` discovery hosts behind one ToR, a
+router host serving the shard map, and client/server hosts whose runtimes
+route through :class:`ShardedDiscoveryClient`.  With two shards, the
+``reliable`` chunnel type hashes to shard 0 and ``serialize`` to shard 1
+(and ``svc-0`` to shard 1), so a single establishment genuinely fans out
+across shards — which is what the cross-shard invalidation test needs.
+"""
+
+import warnings
+
+import pytest
+
+from repro.chunnels import (
+    Reliable,
+    ReliableFallback,
+    ReliableToe,
+    Serialize,
+    SerializeFallback,
+)
+from repro.core import Runtime
+from repro.core.chunnel import ImplMeta
+from repro.core.dag import wrap
+from repro.core.policy import PriorityFirstPolicy
+from repro.core.resources import ResourceVector
+from repro.core.scope import Endpoints, Placement, Scope
+from repro.discovery import (
+    DiscoveryShardTier,
+    ShardedDiscoveryClient,
+    ShardInfo,
+    ShardMap,
+    ShardRouter,
+)
+from repro.core import messages as msgs
+from repro.errors import ConnectionTimeoutError, DegradedEstablishmentWarning
+from repro.sim import Address, FaultPlan, Network, SmartNic
+from repro.sim.transport import UdpSocket
+
+from ..conftest import run
+
+
+def soft_meta(chunnel_type="reliable", name="soft"):
+    """A zero-resource implementation record (no device accounting)."""
+    return ImplMeta(
+        chunnel_type=chunnel_type,
+        name=name,
+        priority=10,
+        scope=Scope.GLOBAL,
+        endpoints=Endpoints.BOTH,
+        placement=Placement.HOST_SOFTWARE,
+        resources=ResourceVector(),
+    )
+
+
+def shard_world(shards=2, replicas=3, loss=0.0, seed=7, extra_hosts=("cli",)):
+    net = Network()
+    shard_hosts = [
+        [f"s{k}r{i}" for i in range(replicas)] for k in range(shards)
+    ]
+    for group in shard_hosts:
+        for name in group:
+            net.add_host(name)
+    router_host = net.add_host("rtr")
+    for name in extra_hosts:
+        net.add_host(name)
+    net.add_switch("tor")
+    for name in [n for g in shard_hosts for n in g] + ["rtr", *extra_hosts]:
+        net.add_link(name, "tor", latency=5e-6)
+    if loss:
+        net.attach_faults_everywhere(FaultPlan(drop_rate=loss, seed=seed))
+    tier = DiscoveryShardTier(net, shard_hosts)
+    router = ShardRouter(router_host, tier.map)
+    return net, tier, router
+
+
+class TestShardMap:
+    def setup_method(self):
+        self.map = ShardMap(
+            1,
+            [
+                ShardInfo(k, Address(f"s{k}", 1), [Address(f"s{k}", 1)])
+                for k in range(4)
+            ],
+        )
+
+    def test_routing_is_deterministic_and_total(self):
+        other = ShardMap(9, list(self.map.shards))
+        for key in ("reliable", "serialize", "multicast", "encrypt"):
+            assert self.map.shard_for_type(key) == other.shard_for_type(key)
+            assert 0 <= self.map.shard_for_type(key) < 4
+        names = [self.map.shard_for_name(f"svc-{i}") for i in range(32)]
+        assert len(set(names)) > 1  # names actually spread
+
+    def test_type_and_name_namespaces_hash_independently(self):
+        assert self.map.shard_for_type("echo") != self.map.shard_for_name(
+            "echo"
+        ) or self.map.shard_for_type("x") != self.map.shard_for_name("x")
+
+    def test_record_ids_route_by_prefix(self):
+        assert self.map.shard_for_record("s2-17") == 2
+        assert self.map.shard_for_record("s7-1") == 3  # modulo shard count
+        # Foreign-format ids still route (hashed), just not by prefix.
+        assert 0 <= self.map.shard_for_record("rec-3") < 4
+
+    def test_wire_round_trip(self):
+        wire = self.map.to_wire()
+        back = ShardMap.from_wire(self.map.version, wire)
+        assert back.version == self.map.version
+        assert [s.to_wire() for s in back.shards] == wire
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(1, [])
+
+
+class TestShardedRegistry:
+    def test_seed_records_are_identical_across_replicas(self):
+        net, tier, _router = shard_world()
+        record = tier.seed_record(soft_meta("reliable"), "cli")
+        assert record.record_id.startswith("s0-")  # reliable → shard 0
+        for replica in tier.shards[0]:
+            assert record.record_id in replica._records
+        for replica in tier.shards[1]:
+            assert record.record_id not in replica._records
+
+    def test_query_fans_out_across_shards(self):
+        net, tier, router = shard_world()
+        rel = tier.seed_record(soft_meta("reliable", "rel"), "cli")
+        ser = tier.seed_record(soft_meta("serialize", "ser"), "cli")
+        assert rel.record_id.startswith("s0-")
+        assert ser.record_id.startswith("s1-")
+        client = ShardedDiscoveryClient(net.entity("cli"), router.address)
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            yield from client.register_name("svc-0", Address("cli", 4100))
+            result = yield from client.query(
+                ["reliable", "serialize"], service_name="svc-0"
+            )
+            return result
+
+        result = run(net.env, scenario(net.env))
+        assert [o.record_id for o in result.offers["reliable"]] == [
+            rel.record_id
+        ]
+        assert [o.record_id for o in result.offers["serialize"]] == [
+            ser.record_id
+        ]
+        assert result.instances == [Address("cli", 4100)]
+        # Both shards actually served a leg of the query — on a standby,
+        # not the primary: reads are replica-local and the client pins
+        # them away from the primary's (mutation-serialized) serve loop.
+        for shard_id in (0, 1):
+            served = sum(r.queries_served for r in tier.shards[shard_id])
+            assert served >= 1
+            assert tier.primary(shard_id).queries_served == 0
+        assert router.maps_served >= 1
+
+    def test_read_pin_walks_off_a_dead_standby(self):
+        # The router only monitors primaries, so a client pinned to a
+        # dead standby must walk off it on its own: the timed-out read
+        # advances the pin and the next read lands on a live replica.
+        net, tier, router = shard_world()
+        tier.seed_record(soft_meta("reliable"), "cli")
+        client = ShardedDiscoveryClient(net.entity("cli"), router.address)
+        shard_id = tier.map.shard_for_type("reliable")
+        by_address = {r.address: r for r in tier.shards[shard_id]}
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            yield from client.query(["reliable"])
+            pinned = by_address[client._read_replica(shard_id)]
+            assert not pinned.is_primary
+            pinned.crash()
+            try:
+                yield from client.query(["reliable"])
+            except ConnectionTimeoutError:
+                pass
+            else:
+                raise AssertionError("read against a dead standby succeeded")
+            assert client.read_repins == 1
+            moved = client._read_replica(shard_id)
+            assert moved != pinned.address
+            result = yield from client.query(["reliable"])
+            assert result.offers["reliable"]
+            return by_address[moved].queries_served
+
+        assert run(net.env, scenario(net.env)) >= 1
+
+    def test_mutations_replicate_to_every_replica(self):
+        net, tier, router = shard_world()
+        record = tier.seed_record(soft_meta("reliable"), "cli")
+        client = ShardedDiscoveryClient(net.entity("cli"), router.address)
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            first = yield from client.reserve(record.record_id, "alice")
+            second = yield from client.reserve(record.record_id, "alice")
+            yield from client.release(record.record_id, "alice")
+            yield from client.register_name("svc-1", Address("cli", 4200))
+            yield env.timeout(2e-3)  # let the slowest replica apply
+            return first, second
+
+        first, second = run(net.env, scenario(net.env))
+        assert first and second
+        key = (record.record_id, "alice")
+        for replica in tier.shards[0]:
+            lease = replica._leases[key]
+            assert lease.count == 1  # two reserves, one release — everywhere
+            assert replica.reservations_granted == 1
+        # svc-1 → shard 1: replicated to the shard-local name table on all
+        # replicas, mirrored into the cluster name service by the primary.
+        for replica in tier.shards[1]:
+            assert replica._names["svc-1"] == [Address("cli", 4200)]
+        assert [r.address for r in net.names.resolve("svc-1")] == [
+            Address("cli", 4200)
+        ]
+
+    def test_revocation_pushes_once_from_the_primary(self):
+        net, tier, router = shard_world()
+        record = tier.seed_record(soft_meta("reliable"), "cli")
+        client = ShardedDiscoveryClient(net.entity("cli"), router.address)
+        watcher = UdpSocket(net.entity("cli"))
+        pushes = []
+
+        def listen(env):
+            while True:
+                dgram = yield watcher.recv()
+                pushes.append(msgs.decode_message(dgram.payload))
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            yield from client.watch(record.record_id, watcher.address)
+            yield env.timeout(1e-3)
+            result = yield from tier.revoke(record.record_id)
+            yield env.timeout(2e-3)
+            return result
+
+        net.env.process(listen(net.env), name="test.watcher")
+        result = run(net.env, scenario(net.env))
+        assert result is True
+        # Watch table replicated everywhere; push emitted exactly once (by
+        # the primary), not once per live replica.
+        assert [p.KIND for p in pushes] == ["disc.revoked"]
+        for replica in tier.shards[0]:
+            assert record.record_id not in replica._records
+            assert replica.revocations == 1
+
+
+class TestFailover:
+    def test_promote_rejects_stale_versions(self):
+        net, tier, _router = shard_world(shards=1)
+        standby = tier.shards[0][1]
+        standby.map_version = 5
+        assert standby.promote(3) is False
+        assert not standby.is_primary
+        assert standby.promote(5) is True
+        assert standby.is_primary and standby.promotions == 1
+
+    def test_router_promotes_standby_and_watches_survive(self):
+        net, tier, router = shard_world()
+        record = tier.seed_record(soft_meta("reliable"), "cli")
+        client = ShardedDiscoveryClient(net.entity("cli"), router.address)
+        watcher = UdpSocket(net.entity("cli"))
+        pushes = []
+        old_primary = tier.primary(0)
+
+        def listen(env):
+            while True:
+                dgram = yield watcher.recv()
+                pushes.append(msgs.decode_message(dgram.payload))
+
+        def scenario(env):
+            yield env.timeout(1e-3)
+            yield from client.watch(record.record_id, watcher.address)
+            yield env.timeout(1e-3)
+            router.start_monitor(interval=1e-3, miss_threshold=3)
+            yield env.timeout(5e-3)  # a few healthy probe rounds
+            tier.crash_primary(0)
+            crash_at = env.now
+            yield env.timeout(40e-3)  # detect (3 misses) + promote
+            assert router.failovers == 1
+            # A routed mutation still works: the client times out against
+            # the dead primary, refreshes the map, and retries.
+            ok = yield from client.reserve(record.record_id, "owner-1")
+            # Revocation through the replicated log still reaches the
+            # watcher via the *new* primary's replicated watch table.
+            yield from tier.revoke(record.record_id)
+            yield env.timeout(5e-3)
+            router.stop()
+            return ok, crash_at
+
+        net.env.process(listen(net.env), name="test.watcher")
+        ok, _crash_at = run(net.env, scenario(net.env), until=10.0)
+        assert ok is True
+        new_primary = tier.primary(0)
+        assert new_primary is not old_primary
+        assert new_primary.is_primary and not new_primary.down
+        assert tier.map.version == 2
+        assert client.map.version == 2  # refreshed after the timeout
+        assert client.map_refreshes >= 1
+        assert [p.KIND for p in pushes] == ["disc.revoked"]
+        assert len(router.failover_durations) == 1
+        assert 0 < router.failover_durations[0] < 50e-3
+
+
+CONNECT = dict(timeout=2e-3, retries=80)
+
+
+def resume_world(loss=0.0, seed=7):
+    """test_resume's echo world, rebuilt on the sharded tier: SmartNIC
+    offload behind priority-first policy, negotiation caches both sides,
+    discovery fanned across two shards."""
+    net, tier, router = shard_world(
+        loss=loss, seed=seed, extra_hosts=("cl",)
+    )
+    server_host = net.add_host(
+        "srv", nic=SmartNic(net.env, name="srv.nic", offload_slots=4)
+    )
+    net.add_link("srv", "tor", latency=5e-6)
+    toe_record = tier.seed_record(ReliableToe.meta, location="srv")
+    assert toe_record.record_id.startswith("s0-")  # reliable → shard 0
+
+    def _runtime(host, **kwargs):
+        runtime = Runtime(
+            host,
+            discovery=ShardedDiscoveryClient(host, router.address),
+            negotiation_cache_size=8,
+            **kwargs,
+        )
+        runtime.register_chunnel(SerializeFallback)
+        runtime.register_chunnel(ReliableFallback)
+        return runtime
+
+    from repro.apps.rpc import EchoServer
+
+    server_rt = _runtime(net.entity("srv"), policy=PriorityFirstPolicy())
+    client_rt = _runtime(net.entity("cl"))
+    server = EchoServer(
+        server_rt, port=7400, dag=wrap(Serialize() >> Reliable())
+    )
+    return net, tier, router, toe_record, server, client_rt
+
+
+def drive(net, generator, until=60.0):
+    done = {}
+
+    def _main():
+        done["value"] = yield from generator
+        done["at"] = net.env.now
+
+    net.env.process(_main(), name="test.main")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstablishmentWarning)
+        net.env.run(until=until)
+    assert "value" in done or "at" in done, "driver did not finish"
+    return done.get("value")
+
+
+class TestCrossShardNegcacheInvalidation:
+    """Satellite: a revocation landing on shard A must evict cached
+    negotiation results on clients whose establishment routed through
+    shard B's map too — under 10% loss, where the best-effort push may
+    die and the server-side reservation revalidation is the safety net."""
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_revocation_on_shard_a_evicts_across_shard_routing(self, seed):
+        net, tier, _router, toe, server, client_rt = resume_world(
+            loss=0.10, seed=seed
+        )
+
+        def scenario():
+            endpoint = client_rt.new("x0", wrap(Serialize() >> Reliable()))
+            first = yield from endpoint.connect(server.address, **CONNECT)
+            first_records = {
+                o.record_id for o in first.choice.values() if o.record_id
+            }
+            first.close()
+            yield net.env.timeout(2e-3)  # let the watch registrations land
+            # The establishment fanned out: serialize legs hit shard 1,
+            # the reliable (offload) leg hit shard 0 (reads land on a
+            # replica of the shard, not necessarily its primary).
+            assert sum(r.queries_served for r in tier.shards[1]) >= 1
+            # Operator revokes the offload through shard 0's replicated
+            # log; the (primary-only) push races 10% loss.
+            yield from tier.revoke(toe.record_id)
+            yield net.env.timeout(2e-3)
+            endpoint = client_rt.new("x1", wrap(Serialize() >> Reliable()))
+            second = yield from endpoint.connect(server.address, **CONNECT)
+            second_records = {
+                o.record_id for o in second.choice.values() if o.record_id
+            }
+            second.close()
+            return first_records, second_records
+
+        first_records, second_records = drive(net, scenario())
+        # The first negotiation offloaded; the second must not — whether
+        # the eviction push survived the loss or the stale resume died at
+        # reservation revalidation against the replicated lease table.
+        assert toe.record_id in first_records
+        assert toe.record_id not in second_records
+        # Nothing resumed onto the stale binding.
+        assert client_rt.negcache.hits == client_rt.negcache.fallbacks
+        # Every replica of the owning shard expired the record and stayed
+        # consistent under loss (the RSM retransmit/dedup path).
+        for replica in tier.shards[0]:
+            assert toe.record_id not in replica._records
+            assert replica.audit_leases()["ok"]
+
+    def test_push_evicts_on_lossless_fabric(self):
+        net, tier, _router, toe, server, client_rt = resume_world(loss=0.0)
+
+        def scenario():
+            endpoint = client_rt.new("x0", wrap(Serialize() >> Reliable()))
+            first = yield from endpoint.connect(server.address, **CONNECT)
+            first.close()
+            yield net.env.timeout(2e-3)
+            yield from tier.revoke(toe.record_id)
+            yield net.env.timeout(2e-3)
+            endpoint = client_rt.new("x1", wrap(Serialize() >> Reliable()))
+            second = yield from endpoint.connect(server.address, **CONNECT)
+            second.close()
+            return second
+
+        second = drive(net, scenario())
+        # Loss-free: the push always lands, so the entry was gone before
+        # the second connect even looked (a miss, not a fallback).
+        assert client_rt.negcache.invalidations >= 1
+        assert server.runtime.negcache.invalidations >= 1
+        assert client_rt.negcache.hits == 0
+        assert toe.record_id not in {
+            o.record_id for o in second.choice.values()
+        }

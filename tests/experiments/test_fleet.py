@@ -1,0 +1,96 @@
+"""The fleet experiment: invariants asserted, deterministic, CI-usable."""
+
+import json
+
+import pytest
+
+from repro.experiments.fleet import FleetConfig, run_fleet
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    """One shared smoke run (the CI tier: 300 establishments, 2 shards)."""
+    return run_fleet(FleetConfig.smoke(seed=7))
+
+
+class TestInvariants:
+    def test_overall_ok(self, smoke_result):
+        assert smoke_result.ok
+
+    def test_each_invariant_holds(self, smoke_result):
+        invariants = smoke_result.invariants
+        assert invariants["all_established"]
+        assert invariants["zero_app_loss"]
+        assert invariants["bounded_setup_p99"]
+        assert invariants["failover_recovered"]
+        assert invariants["zero_lost_revocations"]
+        assert invariants["all_shards_loaded"]
+        assert invariants["resume_effective"]
+        assert invariants["final_wave_clean"]
+
+    def test_scale_reached(self, smoke_result):
+        config = smoke_result.config
+        assert smoke_result.established == config.establishments
+        assert smoke_result.completed == config.establishments
+        assert smoke_result.final_established == config.final_wave
+
+    def test_failover_actually_happened(self, smoke_result):
+        # The scripted replica crash fired mid-run, the router detected it
+        # and promoted a follower, and revocations landed afterwards —
+        # through the promoted primary, not the corpse.
+        assert smoke_result.failovers >= 1
+        assert smoke_result.failovers_failed == 0
+        assert 0 < smoke_result.failover_recovery_ms < 50.0
+        assert smoke_result.revoked == smoke_result.config.revocations
+        assert smoke_result.lost_revocations == 0
+
+    def test_discovery_load_spreads_across_shards(self, smoke_result):
+        assert len(smoke_result.per_shard_queries) == smoke_result.config.shards
+        assert all(count > 0 for count in smoke_result.per_shard_queries)
+
+    def test_resume_carries_most_establishments(self, smoke_result):
+        # Zipf popularity concentrates repeats, so the one-RTT resume path
+        # should dominate; revocation pushes must still invalidate.
+        assert smoke_result.resume_hit_rate > 0.5
+        assert smoke_result.negcache_invalidations > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_baseline(self, smoke_result):
+        again = run_fleet(FleetConfig.smoke(seed=7))
+        assert json.dumps(again.to_baseline(), sort_keys=True) == json.dumps(
+            smoke_result.to_baseline(), sort_keys=True
+        )
+
+    def test_same_seed_bit_identical_metrics_snapshots(self, smoke_result):
+        again = run_fleet(FleetConfig.smoke(seed=7))
+        first = json.dumps(
+            smoke_result.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        second = json.dumps(
+            again.metrics_payload(), sort_keys=True, separators=(",", ":")
+        )
+        assert first == second
+
+
+class TestMetricsPayload:
+    def test_snapshot_covers_the_tier(self, smoke_result):
+        names = set(smoke_result.metrics)
+        for prefix in (
+            "experiment.established",
+            "discovery.s0.",
+            "discovery.s1.",
+            "router.failovers",
+            "negcache.",
+            "rsm.",
+        ):
+            assert any(n.startswith(prefix) for n in names), prefix
+
+    def test_write_metrics_file(self, smoke_result, tmp_path):
+        path = tmp_path / "metrics.json"
+        smoke_result.write_metrics(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "fleet"
+        assert payload["seed"] == 7
+        assert payload["invariants"]["zero_lost_revocations"]
+        assert payload["fleet"]

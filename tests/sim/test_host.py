@@ -65,6 +65,28 @@ class TestPorts:
         sock = UdpSocket(host)
         assert sock.port not in (40000, 40001)
 
+    def test_ephemeral_allocation_wraps_at_port_space_end(self):
+        # A long-lived entity that mints one socket per RPC walks through
+        # the ephemeral range; after ~25k allocations the allocator must
+        # wrap back to the base instead of minting port 65536.
+        net = Network()
+        host = net.add_host("box")
+        pinned = UdpSocket(host, 40000)
+        host._next_ephemeral = 65535
+        last = UdpSocket(host)
+        wrapped = UdpSocket(host)
+        assert last.port == 65535
+        assert wrapped.port == 40001  # skips the still-bound base port
+        assert pinned.port == 40000
+
+    def test_ephemeral_exhaustion_raises_address_error(self):
+        net = Network()
+        host = net.add_host("box")
+        for port in range(40000, 65536):
+            host.ports[port] = object()
+        with pytest.raises(AddressError):
+            host.alloc_port()
+
 
 class TestKernelPrograms:
     def test_install_and_remove(self):
