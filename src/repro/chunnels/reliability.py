@@ -78,6 +78,7 @@ class _ReliableStage(ChunnelStage):
         self.retransmissions = 0
         self.abandoned = 0
         self.duplicates_suppressed = 0
+        self.replays = 0
         self._stopped = False
 
     # -- send side --------------------------------------------------------
@@ -140,6 +141,65 @@ class _ReliableStage(ChunnelStage):
 
     def _after_ack(self, seq: int) -> None:
         """Hook for subclasses reacting to acks (e.g. window opening)."""
+
+    # -- migration support --------------------------------------------------
+    # The failover engine (repro.core.failover) carries this stage across a
+    # peer migration: the unacked window IS the connection's transport
+    # state, so freezing it at suspicion time (instead of letting retransmit
+    # budgets drain against a dead peer) and replaying it to the standby is
+    # what makes delivery exactly-once with zero app loss across a crash.
+    def freeze_retransmits(self) -> int:
+        """Stop retransmit timers without abandoning their messages.
+
+        Called at suspicion time: the peer is presumed dead, so further
+        retransmissions are wasted and — worse — a timer that exhausts
+        ``max_retries`` mid-blackout would abandon a message the standby
+        could still receive.  Returns the number of frozen messages.
+        """
+        for timer in self._timers.values():
+            if timer.is_alive:
+                timer.interrupt("migration freeze")
+        self._timers.clear()
+        return len(self._unacked)
+
+    def replay_unacked(self) -> int:
+        """Re-send the frozen unacked window (in sequence order) and
+        restart its retransmit timers.
+
+        Called after the migration handshake commits: the stage object
+        itself survived the transition (an unchanged DAG node is carried
+        over by ``build_binding(reuse=...)``), so ``_unacked`` still holds
+        every message the old peer never acked.  The standby's receive
+        side has never seen this sender's sequence numbers, so each replay
+        delivers exactly once.  Returns the number of messages replayed.
+        """
+        replayed = 0
+        for seq in sorted(self._unacked):
+            self.send_below(self._unacked[seq].copy())
+            self._timers[seq] = self.env.process(
+                self._retransmit_loop(seq), name=f"rel.replay#{seq}"
+            )
+            replayed += 1
+        self.replays += replayed
+        return replayed
+
+    def adopt_window(self, frozen: dict) -> None:
+        """Inherit a predecessor stage's frozen unacked window.
+
+        A migration that *changes* the reliability binding cannot carry
+        the stage object over, so the replacement adopts the window
+        instead.  Sequence numbering must then continue past the adopted
+        seqs: the receiver dedups on ``(sender, seq)``, so a fresh stage
+        restarting at 1 would eventually collide with a replayed seq and
+        silently swallow a brand-new message.
+        """
+        for seq, message in frozen.items():
+            self._unacked.setdefault(seq, message.copy())
+        if self._unacked:
+            next_fresh = next(self._seq)
+            self._seq = itertools.count(
+                max(max(self._unacked) + 1, next_fresh)
+            )
 
     def stop(self) -> None:
         self._stopped = True

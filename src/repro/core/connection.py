@@ -118,6 +118,13 @@ class Connection:
         #: Live-reconfiguration state.
         self.epoch = 0
         self.transitions = 0
+        #: Mid-connection failover state (repro.core.failover).  Plain
+        #: attributes — no timing or wire impact unless a failover watcher
+        #: is attached to the connection.
+        self.migrations = 0
+        self.parked = False
+        self.blackout = 0.0
+        self.last_inbound_at: Optional[float] = None
         self.last_src: Optional[Address] = None
         self._send_paused = False
         self._send_buffer: list[Message] = []
@@ -355,6 +362,25 @@ class Connection:
         if stack is not None:
             self._dispose_stack(stack)
 
+    def rebind_socket(self, socket: "SimSocket") -> None:
+        """Swap the data socket under the connection (migration rebind).
+
+        The pump blocks on the old socket's receive; closing that socket
+        would terminate the pump for good, so the rebind interrupts it,
+        closes the old socket, and respawns the pump on the new one.  The
+        Chunnel stacks are untouched — ``_transmit`` always reads
+        ``self.socket``, so in-flight stage state (unacked windows,
+        sequence counters) carries over to the new binding.
+        """
+        old = self.socket
+        self.socket = socket
+        if self._pump.is_alive:
+            self._pump.interrupt("socket rebound")
+        old.close()
+        self._pump = self.runtime.env.process(
+            self._pump_loop(), name=f"{self.conn_id}.pump"
+        )
+
     def _stack_for(self, epoch: int) -> ChunnelStack:
         """The stack that should process a message stamped with ``epoch``.
 
@@ -460,6 +486,7 @@ class Connection:
             except (Interrupt, ConnectionClosedError):
                 return
             self.last_src = dgram.src
+            self.last_inbound_at = self.env.now
             headers = dict(dgram.headers)
             ctl_kind = headers.get(CTL_HEADER)
             if ctl_kind is not None:

@@ -96,6 +96,12 @@ def build_binding(
     failure the nodes built so far are torn down before re-raising, so a
     half-built binding never leaks device programs.
 
+    Both live-update paths ride this carry-over: the reconfiguration
+    engine rebuilds only the nodes whose choice changed, and the failover
+    engine (:mod:`repro.core.failover`) rebuilds against a *standby's*
+    accept while unchanged stages — including the reliability stage whose
+    unacked window must survive the migration — carry straight over.
+
     Returns ``(impls, contexts, stage_map)`` where ``contexts`` maps node
     id → :class:`SetupContext` and ``stage_map`` maps node id → stage (or
     None where the implementation runs elsewhere).

@@ -55,6 +55,10 @@ __all__ = [
     "Transition",
     "TransitionAck",
     "TransitionRequest",
+    "Heartbeat",
+    "HeartbeatAck",
+    "Migrate",
+    "MigrateAck",
     "Query",
     "QueryReply",
     "Reserve",
@@ -407,6 +411,85 @@ class TransitionRequest(ControlMessage):
 
     conn_id: str
     reason: str = ""
+
+
+# --------------------------------------------------------------------------
+# Connection survivability: liveness probes and migration (PROTOCOL.md §9)
+# --------------------------------------------------------------------------
+@control_message
+@dataclass(frozen=True)
+class Heartbeat(ControlMessage):
+    """Per-connection liveness probe, sent on the data socket while it is
+    otherwise idle.  ``seq`` matches probe to answer; any inbound traffic
+    (data, acks, or a heartbeat answer) counts as liveness, so probes only
+    flow when the connection is quiet.
+
+    Direction: failover watcher (client) → peer, in-band (``bertha_ctl``).
+    Retransmit: none per probe — the watcher counts consecutive unanswered
+    probes against an adaptive RTT-derived timeout and suspects the peer
+    after the miss threshold.
+    """
+
+    KIND: ClassVar[str] = "bertha.heartbeat"
+
+    conn_id: str
+    seq: int
+
+
+@control_message
+@dataclass(frozen=True)
+class HeartbeatAck(ControlMessage):
+    """Liveness probe answer, echoing the probe's ``seq`` so the watcher
+    can compute an RTT sample for its adaptive suspicion timeout.
+
+    Direction: peer → failover watcher, in-band (``bertha_ctl``).
+    Retransmit: sent once per received heartbeat.
+    """
+
+    KIND: ClassVar[str] = "bertha.heartbeat_ack"
+
+    conn_id: str
+    seq: int
+
+
+@control_message
+@dataclass(frozen=True)
+class Migrate(ControlMessage):
+    """Mid-connection failover handshake: after renegotiating with a
+    standby, the client announces migration epoch ``epoch`` on its rebound
+    data socket so the standby learns the return address and the epoch
+    under which replayed and future data will arrive.
+
+    Direction: migrating client → standby server, in-band (``bertha_ctl``)
+    on the rebound data socket.
+    Retransmit: client resends on a fixed timeout until acked; the server
+    replays cached acks per ``(conn_id, epoch)`` on duplicates.
+    """
+
+    KIND: ClassVar[str] = "bertha.migrate"
+
+    conn_id: str
+    epoch: int
+    client_entity: str = ""
+
+
+@control_message
+@dataclass(frozen=True)
+class MigrateAck(ControlMessage):
+    """Migration acknowledgement: the standby accepted the migration epoch
+    and is ready to receive the replayed unacked window.
+
+    Direction: standby server → migrating client, in-band (``bertha_ctl``).
+    Retransmit: sent once per received MIGRATE; duplicates re-trigger it
+    from the server's per-``(conn_id, epoch)`` ack cache.
+    """
+
+    KIND: ClassVar[str] = "bertha.migrate_ack"
+
+    conn_id: str
+    epoch: int
+    ok: bool = True
+    error: Optional[str] = None
 
 
 # --------------------------------------------------------------------------

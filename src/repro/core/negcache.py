@@ -126,6 +126,24 @@ class NegotiationCache:
         self.invalidations += len(stale)
         return len(stale)
 
+    @staticmethod
+    def instance_tag(host: str) -> str:
+        """The tag under which entries bound to a serving host are stored
+        (``instance:<host>``).  Connect and migration store sites stamp
+        it; :meth:`suspect_instance` evicts by it."""
+        return f"instance:{host}"
+
+    def suspect_instance(self, host: str) -> int:
+        """Evict every entry bound to a suspected/crashed serving host.
+
+        Failure suspicion (PROTOCOL.md §9) calls this the moment a peer
+        is declared dead — *not* waiting for TTL or a revocation push —
+        so no connect or migration resumes against the corpse and burns
+        a timeout chain inside its deadline budget.  Returns the
+        eviction count.
+        """
+        return self.invalidate_tag(self.instance_tag(host))
+
     def invalidate_all(self) -> int:
         """Evict everything (policy-epoch bump); returns the count."""
         count = len(self._entries)

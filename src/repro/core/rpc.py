@@ -30,7 +30,7 @@ import random
 from collections import OrderedDict
 from typing import Any, Callable, Generator, Optional
 
-from ..errors import ConnectionTimeoutError
+from ..errors import ConnectionTimeoutError, DeadlineExceeded
 
 __all__ = [
     "MISSING",
@@ -55,6 +55,13 @@ class RetryPolicy:
     ``timeout * backoff**attempt`` capped at ``max_timeout``, scaled by a
     deterministic ±``jitter`` fraction when the caller supplies an RNG
     (retransmit desynchronization without breaking reproducibility).
+
+    ``deadline`` is an optional end-to-end budget: the maximum *total*
+    elapsed time one :func:`call` may spend across every attempt.  Without
+    it, ``timeout * backoff**attempt`` summed over ``retries`` attempts can
+    blow far past any caller budget; with it, the final attempt's wait is
+    clamped to whatever budget remains and a call that would start an
+    attempt past the budget raises :class:`DeadlineExceeded` instead.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class RetryPolicy:
         backoff: float = 1.0,
         max_timeout: Optional[float] = None,
         jitter: float = 0.0,
+        deadline: Optional[float] = None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout!r}")
@@ -73,11 +81,17 @@ class RetryPolicy:
             raise ValueError(f"backoff must be >= 1, got {backoff!r}")
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        if deadline is not None and deadline < timeout:
+            raise ValueError(
+                f"deadline must cover at least one attempt "
+                f"(deadline={deadline!r} < timeout={timeout!r})"
+            )
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_timeout = max_timeout
         self.jitter = jitter
+        self.deadline = deadline
 
     def attempt_timeout(
         self, attempt: int, rng: Optional[random.Random] = None
@@ -169,6 +183,7 @@ def call(
     describe: str = "rpc",
     trace: Optional[Any] = None,
     conn_id: str = "",
+    deadline: Optional[float] = None,
 ) -> Generator[Any, Any, Any]:
     """Generator: drive one RPC to a matched reply or exhaustion.
 
@@ -180,20 +195,48 @@ def call(
     :class:`ConnectionTimeoutError` (counted as a failure).  ``wait`` may
     raise to abort early — e.g. a peer-reported negotiation error.
 
+    ``deadline`` is an *absolute* virtual-time budget (``env.now`` units),
+    merged with the policy's relative :attr:`RetryPolicy.deadline` into one
+    effective limit.  Attempt waits are clamped to the remaining budget;
+    once it is spent the call raises :class:`DeadlineExceeded` (counted as
+    a failure) carrying elapsed/attempt context.  Nested control-plane
+    loops pass the same absolute deadline down so discovery, negotiation,
+    and reservation retries share a single elapsed-time budget.
+
     ``trace`` (a :class:`repro.obs.TraceLog`) records the whole call as
     one ``rpc`` span — attrs carry ``call=describe`` plus the attempt
     count — tagged with ``conn_id`` when the caller has one.
     """
     stats = stats if stats is not None else RpcStats()
+    start = env.now
+    limit: Optional[float] = None
+    if policy.deadline is not None:
+        limit = start + policy.deadline
+    if deadline is not None:
+        limit = deadline if limit is None else min(limit, deadline)
     span = (
         trace.begin("rpc", conn_id, call=describe) if trace is not None else None
     )
     try:
         for attempt in range(policy.retries):
+            window = policy.attempt_timeout(attempt, rng)
+            if limit is not None:
+                remaining = limit - env.now
+                if remaining <= 0:
+                    stats.failures_total += 1
+                    if span is not None:
+                        trace.finish(span, status="deadline", attempts=attempt)
+                    raise DeadlineExceeded(
+                        f"{describe}: deadline exceeded after "
+                        f"{env.now - start:.6f}s and {attempt} attempts",
+                        elapsed=env.now - start,
+                        attempts=attempt,
+                    )
+                window = min(window, remaining)
             if attempt:
                 stats.retransmits_total += 1
             send(attempt)
-            reply = yield from wait(attempt, policy.attempt_timeout(attempt, rng))
+            reply = yield from wait(attempt, window)
             if reply is None:
                 continue
             stats.round_trips += 1
@@ -201,6 +244,15 @@ def call(
                 trace.finish(span, attempts=attempt + 1)
             return reply
         stats.failures_total += 1
+        if limit is not None and env.now >= limit:
+            if span is not None:
+                trace.finish(span, status="deadline", attempts=policy.retries)
+            raise DeadlineExceeded(
+                f"{describe}: deadline exceeded after "
+                f"{env.now - start:.6f}s and {policy.retries} attempts",
+                elapsed=env.now - start,
+                attempts=policy.retries,
+            )
         if span is not None:
             trace.finish(span, status="timeout", attempts=policy.retries)
         raise ConnectionTimeoutError(

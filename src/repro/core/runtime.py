@@ -86,6 +86,7 @@ class Runtime:
         negotiation_cache_size: int = 0,
         negotiation_cache_ttl: Optional[float] = None,
         ephemeral_connections: bool = False,
+        failover=None,
     ):
         from ..discovery.client import (
             DirectDiscoveryClient,
@@ -179,6 +180,15 @@ class Runtime:
             obs.bind(
                 f"negcache.{name}.{counter}", self.negcache, counter, replace=True
             )
+        #: Mid-connection failover (PROTOCOL.md §9).  Off by default
+        #: (None): no watcher, no heartbeat, no metric name, no wire byte.
+        #: Pass True for defaults or a FailoverConfig to tune.
+        self.failover = None
+        if failover:
+            from .failover import FailoverConfig, FailoverManager
+
+            config = failover if isinstance(failover, FailoverConfig) else None
+            self.failover = FailoverManager(self, config)
 
     def register_chunnel(self, impl_cls) -> None:
         """Register a fallback implementation (Listing 5, line 2)."""
@@ -306,25 +316,38 @@ class Endpoint:
         target: ConnectTarget,
         timeout: float = 2e-3,
         retries: int = 8,
+        deadline: Optional[float] = None,
     ):
         """Generator → :class:`Connection` (the paper's ``.connect``).
 
         ``target`` is a server control address, a service name, or — for
         group Chunnels like ordered multicast (Listing 2) — a list of
         addresses.  Drive with ``conn = yield from ep.connect(...)``.
+
+        ``deadline`` is a *relative* end-to-end budget in seconds: the
+        discovery query, the resume attempt, and every offer/accept
+        exchange share one elapsed-time allowance, threaded down as an
+        absolute :func:`repro.core.rpc.call` deadline.  Without it each
+        nested retry loop budgets independently and the worst case is
+        their sum.
         """
         runtime = self.runtime
         conn_id = next_conn_id(runtime.entity)
         trace = runtime.network.trace
         span = trace.begin("negotiate", conn_id, target=str(target))
+        deadline_at = (
+            None if deadline is None else runtime.env.now + deadline
+        )
         try:
             connection = yield from self._connect(
-                conn_id, span, target, timeout, retries
+                conn_id, span, target, timeout, retries, deadline_at
             )
         except BerthaError as error:
             if span.end is None:
                 trace.finish(span, status="error", error=type(error).__name__)
             raise
+        if runtime.failover is not None:
+            runtime.failover.watch(connection, endpoint=self, target=target)
         return connection
 
     def _connect(
@@ -334,6 +357,7 @@ class Endpoint:
         target: ConnectTarget,
         timeout: float,
         retries: int,
+        deadline: Optional[float] = None,
     ):
         """The body of :meth:`connect` (wrapped for lifecycle tracing)."""
         runtime = self.runtime
@@ -351,7 +375,8 @@ class Endpoint:
             entry = runtime.negcache.lookup(resume_key)
             if entry is not None:
                 connection = yield from self._try_resume(
-                    conn_id, span, resume_key, entry, timeout, retries
+                    conn_id, span, resume_key, entry, timeout, retries,
+                    deadline=deadline,
                 )
                 if connection is not None:
                     return connection
@@ -377,7 +402,9 @@ class Endpoint:
         if disc is None:
             try:
                 disc = yield from runtime.discovery.query(
-                    sorted(query_types), service_name=service_name
+                    sorted(query_types),
+                    service_name=service_name,
+                    deadline=deadline,
                 )
             except ConnectionTimeoutError:
                 # Degraded mode: discovery is unreachable.  Proceed with
@@ -435,7 +462,7 @@ class Endpoint:
             accepts: list[msgs.Accept] = []
             for addr in targets:
                 accept = yield from self._negotiate_once(
-                    ctl, addr, offer_msg, timeout, retries
+                    ctl, addr, offer_msg, timeout, retries, deadline=deadline
                 )
                 accepts.append(accept)
         finally:
@@ -470,7 +497,14 @@ class Endpoint:
                     "server_epoch": first.policy_epoch,
                 },
                 tags=record_ids
-                | {self.dag.canonical_shape(), dag.canonical_shape()},
+                | {
+                    self.dag.canonical_shape(),
+                    dag.canonical_shape(),
+                    # Suspicion (PROTOCOL.md §9) tag-evicts by serving
+                    # host, so a dead instance's cached binding never
+                    # burns a resume timeout inside a migration budget.
+                    runtime.negcache.instance_tag(peers[0].host),
+                },
             )
             runtime.negcache_watch_records(record_ids)
 
@@ -574,7 +608,10 @@ class Endpoint:
             peer = ("addr", target.host, target.port)
         return ("peer", peer, self.dag.canonical_shape(), self.runtime.policy_epoch)
 
-    def _try_resume(self, conn_id: str, span, key, entry: dict, timeout, retries):
+    def _try_resume(
+        self, conn_id: str, span, key, entry: dict, timeout, retries,
+        *, deadline=None,
+    ):
         """Generator: one RESUME round trip against the cached binding.
 
         Returns the established Connection, or None to fall back to the
@@ -621,6 +658,7 @@ class Endpoint:
                 describe=f"resume with {ctl_addr}",
                 trace=trace,
                 conn_id=conn_id,
+                deadline=deadline,
             )
         except ConnectionTimeoutError:
             reply = None
@@ -665,6 +703,7 @@ class Endpoint:
         offer_msg: "msgs.Offer",
         timeout: float,
         retries: int,
+        deadline: Optional[float] = None,
     ):
         """One offer/accept exchange, with retransmission (the shared
         reliable-RPC core; fixed timeout, no backoff — establishment's
@@ -699,6 +738,7 @@ class Endpoint:
                 describe=f"negotiation with {server_addr}",
                 trace=runtime.network.trace,
                 conn_id=offer_msg.conn_id,
+                deadline=deadline,
             )
         )
 

@@ -60,16 +60,28 @@ class QueryResult:
 
 
 class DiscoveryClientBase:
-    """Interface shared by all discovery clients (all methods generators)."""
+    """Interface shared by all discovery clients (all methods generators).
+
+    ``deadline`` on :meth:`query` / :meth:`reserve` is an *absolute*
+    virtual-time budget (``env.now`` units) the network-backed clients
+    thread into :func:`repro.core.rpc.call`; zero-cost clients accept and
+    ignore it so callers can pass it unconditionally.
+    """
 
     def query(
-        self, types: Iterable[str], service_name: Optional[str] = None
+        self,
+        types: Iterable[str],
+        service_name: Optional[str] = None,
+        *,
+        deadline: Optional[float] = None,
     ):
         """Generator → :class:`QueryResult`."""
         raise NotImplementedError
         yield  # pragma: no cover
 
-    def reserve(self, record_id: str, owner: str):
+    def reserve(
+        self, record_id: str, owner: str, *, deadline: Optional[float] = None
+    ):
         """Generator → bool."""
         raise NotImplementedError
         yield  # pragma: no cover
@@ -177,7 +189,11 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
     def _attempt_timeout(self, attempt: int) -> float:
         return self.policy.attempt_timeout(attempt, self._rng)
 
-    def _rpc(self, request: "msgs.DiscoveryMessage"):
+    def _rpc(
+        self,
+        request: "msgs.DiscoveryMessage",
+        deadline: Optional[float] = None,
+    ):
         """One request/response exchange with backoff-based retransmit."""
         self._req_counter += 1
         req_id = f"{self._req_prefix}-{self._req_counter}"
@@ -211,22 +227,24 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
                     rng=self._rng,
                     describe=f"discovery service at {self.service_address}",
                     trace=self.entity.network.trace,
+                    deadline=deadline,
                 )
             )
         finally:
             socket.close()
 
-    def query(self, types, service_name=None):
+    def query(self, types, service_name=None, *, deadline=None):
         reply = yield from self._rpc(
-            msgs.Query(types=sorted(set(types)), service_name=service_name)
+            msgs.Query(types=sorted(set(types)), service_name=service_name),
+            deadline=deadline,
         )
         if not isinstance(reply, msgs.QueryReply):
             return QueryResult({}, [])
         return QueryResult(dict(reply.offers), list(reply.instances))
 
-    def reserve(self, record_id, owner):
+    def reserve(self, record_id, owner, *, deadline=None):
         reply = yield from self._rpc(
-            msgs.Reserve(record_id=record_id, owner=owner)
+            msgs.Reserve(record_id=record_id, owner=owner), deadline=deadline
         )
         return isinstance(reply, msgs.ReserveReply) and reply.ok
 
@@ -250,7 +268,7 @@ class DirectDiscoveryClient(DiscoveryClientBase):
         self.service = service
         self.round_trips = 0
 
-    def query(self, types, service_name=None):
+    def query(self, types, service_name=None, *, deadline=None):
         offers = self.service.offers_for(sorted(set(types)))
         instances = []
         if service_name:
@@ -260,7 +278,7 @@ class DirectDiscoveryClient(DiscoveryClientBase):
         return QueryResult(offers, instances)
         yield  # pragma: no cover - generator form, never reached
 
-    def reserve(self, record_id, owner):
+    def reserve(self, record_id, owner, *, deadline=None):
         return self.service.reserve(record_id, owner)
         yield  # pragma: no cover
 
@@ -292,7 +310,7 @@ class NullDiscoveryClient(DiscoveryClientBase):
         self.entity = entity
         self.round_trips = 0
 
-    def query(self, types, service_name=None):
+    def query(self, types, service_name=None, *, deadline=None):
         instances = []
         if service_name:
             instances = [
@@ -302,7 +320,7 @@ class NullDiscoveryClient(DiscoveryClientBase):
         return QueryResult({t: [] for t in types}, instances)
         yield  # pragma: no cover
 
-    def reserve(self, record_id, owner):
+    def reserve(self, record_id, owner, *, deadline=None):
         return True
         yield  # pragma: no cover
 

@@ -385,14 +385,17 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
     ) -> None:
         self._client_pool.setdefault((address, probe), []).append(client)
 
-    def _call_once(self, address: Address, method: str, args, probe=False):
+    def _call_once(
+        self, address: Address, method: str, args, probe=False, deadline=None
+    ):
         client = self._checkout(address, probe)
+        kwargs = {} if deadline is None else {"deadline": deadline}
         try:
-            return (yield from getattr(client, method)(*args))
+            return (yield from getattr(client, method)(*args, **kwargs))
         finally:
             self._checkin(address, client, probe)
 
-    def _call_shard(self, shard_id: int, method: str, *args):
+    def _call_shard(self, shard_id: int, method: str, *args, deadline=None):
         """One mutation against a shard's primary: a short probe chain
         against the cached primary, then — on timeout — a map refresh and
         one full chain against whatever the refreshed map names.
@@ -411,14 +414,21 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
         try:
             return (
                 yield from self._call_once(
-                    self.map.primary_of(shard_id), method, args, probe=True
+                    self.map.primary_of(shard_id),
+                    method,
+                    args,
+                    probe=True,
+                    deadline=deadline,
                 )
             )
         except ConnectionTimeoutError:
             yield from self._refresh_map()
             return (
                 yield from self._call_once(
-                    self.map.primary_of(shard_id), method, args
+                    self.map.primary_of(shard_id),
+                    method,
+                    args,
+                    deadline=deadline,
                 )
             )
 
@@ -438,7 +448,9 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
             target = replicas[(index + 1) % len(replicas)]
         return target
 
-    def _call_shard_read(self, shard_id: int, method: str, *args):
+    def _call_shard_read(
+        self, shard_id: int, method: str, *args, deadline=None
+    ):
         """One read against the shard — any replica can answer, so this
         goes to the pinned replica rather than the primary.  A timeout
         advances the pin (the next read lands on a different replica) and
@@ -448,7 +460,11 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
         """
         target = self._read_replica(shard_id)
         try:
-            return (yield from self._call_once(target, method, args))
+            return (
+                yield from self._call_once(
+                    target, method, args, deadline=deadline
+                )
+            )
         except ConnectionTimeoutError:
             self._read_pins[shard_id] = self._read_pins.get(shard_id, 0) + 1
             self.read_repins += 1
@@ -482,7 +498,11 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
 
     # -- DiscoveryClientBase -------------------------------------------------
     def query(
-        self, types: Iterable[str], service_name: Optional[str] = None
+        self,
+        types: Iterable[str],
+        service_name: Optional[str] = None,
+        *,
+        deadline: Optional[float] = None,
     ):
         yield from self._ensure_map()
         wanted = sorted(set(types))
@@ -503,6 +523,7 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
                 "query",
                 subset,
                 service_name if shard_id == name_shard else None,
+                deadline=deadline,
             )
             for shard_id, subset in plans
         ]
@@ -518,11 +539,17 @@ class ShardedDiscoveryClient(DiscoveryClientBase):
                 instances = list(result.instances)
         return QueryResult(offers, instances)
 
-    def reserve(self, record_id: str, owner: str):
+    def reserve(
+        self, record_id: str, owner: str, *, deadline: Optional[float] = None
+    ):
         yield from self._ensure_map()
         return (
             yield from self._call_shard(
-                self.map.shard_for_record(record_id), "reserve", record_id, owner
+                self.map.shard_for_record(record_id),
+                "reserve",
+                record_id,
+                owner,
+                deadline=deadline,
             )
         )
 

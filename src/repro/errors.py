@@ -18,6 +18,7 @@ __all__ = [
     "NoImplementationError",
     "ResourceExhaustedError",
     "ConnectionTimeoutError",
+    "DeadlineExceeded",
     "DegradedEstablishmentWarning",
     "ReconfigurationError",
     "DiscoveryError",
@@ -68,6 +69,23 @@ class ResourceExhaustedError(NegotiationError):
 
 class ConnectionTimeoutError(NegotiationError):
     """The peer did not answer negotiation messages in time."""
+
+
+class DeadlineExceeded(ConnectionTimeoutError):
+    """An end-to-end deadline budget ran out before the RPC completed.
+
+    Subclasses :class:`ConnectionTimeoutError` so every existing
+    degraded-mode / fallback catch treats a blown budget exactly like an
+    unanswered peer; callers that care about the distinction catch this
+    type and read :attr:`elapsed` / :attr:`attempts`.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0, attempts: int = 0):
+        super().__init__(message)
+        #: Seconds of (virtual) time spent before the budget ran out.
+        self.elapsed = elapsed
+        #: Attempts actually sent before the budget ran out.
+        self.attempts = attempts
 
 
 class DegradedEstablishmentWarning(BerthaError, UserWarning):

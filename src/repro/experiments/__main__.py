@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments reconfig
     python -m repro.experiments chaos [--smoke] [--loss 0,0.05,0.1,0.2]
     python -m repro.experiments churn [--smoke] [--sessions N]
+    python -m repro.experiments failover [--smoke] [--seed N]
     python -m repro.experiments fleet [--smoke] [--shards N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
@@ -44,6 +45,7 @@ from .ablations import (
 )
 from .chaos import ChaosConfig, run_chaos
 from .churn import ChurnConfig, run_churn
+from .failover import FailoverConfig, run_failover
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
@@ -247,6 +249,35 @@ def cmd_churn(args) -> None:
         raise SystemExit(1)
 
 
+def _failover_config(args) -> FailoverConfig:
+    config = (
+        FailoverConfig.smoke(seed=args.seed)
+        if args.smoke
+        else FailoverConfig(seed=args.seed)
+    )
+    _apply_shard_flags(config, args)
+    return config
+
+
+def cmd_failover(args) -> None:
+    config = _failover_config(args)
+    label = (
+        f"Failover: {config.connections} connections surviving two host "
+        f"crashes and a total outage (seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_failover(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def _fleet_config(args) -> FleetConfig:
     # Under ``all`` the fleet drops to smoke tier: the full run is the
     # one ten-minute experiment in the suite, and ``all`` is a sweep.
@@ -288,6 +319,7 @@ COMMANDS = {
     "reconfig": cmd_reconfig,
     "chaos": cmd_chaos,
     "churn": cmd_churn,
+    "failover": cmd_failover,
     "fleet": cmd_fleet,
     "ablations": cmd_ablations,
 }

@@ -29,6 +29,11 @@ fault injector emit):
 ``establish``         instantiate + setup + after-establish pipeline
 ``data``              first application payload delivered (per connection)
 ``reconfig``          one transition attempt (attrs carry epoch/outcome)
+``migrate``           one mid-connection failover attempt (client span
+                      from suspicion to commit/park; server adoption
+                      events carry the migration epoch)
+``park``              a connection parked degraded (no standby), and the
+                      instant it resumed (attrs carry ``resumed``)
 ``teardown``          connection close
 ``rpc``               one reliable-RPC call (attrs carry attempts/outcome)
 ``chaos``             one fault-controller action

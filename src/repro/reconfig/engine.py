@@ -539,8 +539,55 @@ class ReconfigManager:
                 waiter.succeed(message)
         elif isinstance(message, msgs.TransitionRequest):
             self.request_transition(conn, reason=message.reason)
+        elif isinstance(message, msgs.Heartbeat):
+            # Passive liveness responder: any connection answers probes —
+            # the watcher side decides whether to send them at all.
+            conn.send_ctl(
+                msgs.HeartbeatAck(conn_id=conn.conn_id, seq=message.seq),
+                dst=src,
+            )
+        elif isinstance(message, msgs.Migrate):
+            self._handle_migrate(conn, message, src)
+        elif isinstance(message, (msgs.HeartbeatAck, msgs.MigrateAck)):
+            manager = self.runtime.failover
+            if manager is not None:
+                if isinstance(message, msgs.HeartbeatAck):
+                    manager.handle_heartbeat_ack(conn, message, src)
+                else:
+                    manager.handle_migrate_ack(conn, message, src)
         # anything else (Hello, ...) only updates conn.last_src, which the
         # pump already did.
+
+    def _handle_migrate(
+        self, conn: "Connection", message: "msgs.Migrate", src
+    ) -> None:
+        """Acknowledge a migration epoch announced by a failed-over client.
+
+        The heavy lifting (negotiation with this standby) already happened
+        before the MIGRATE was sent; the ack confirms the return address
+        and readiness for the replayed unacked window.  Duplicates replay
+        the cached verdict, like TRANSITION (keys are namespaced so
+        migration epochs cannot collide with transition epochs).
+        """
+        state = self._state(conn)
+        key = ("migrate", message.epoch)
+        cached = state.acks.get(key)
+        if cached is not None:
+            conn.send_ctl(cached, dst=src)
+            return
+        ack = msgs.MigrateAck(
+            conn_id=conn.conn_id, epoch=message.epoch, ok=True
+        )
+        state.acks.put(key, ack)
+        self._log(
+            conn,
+            "migrate-adopted",
+            f"epoch {message.epoch} from {message.client_entity or '?'}",
+        )
+        self.runtime.network.trace.event(
+            "migrate", conn.conn_id, epoch=message.epoch, role=conn.role.value
+        )
+        conn.send_ctl(ack, dst=src)
 
     def _handle_transition(
         self, conn: "Connection", message: "msgs.Transition", src

@@ -220,6 +220,12 @@ class ChaosController:
             at, lambda: setattr(host, "down", False), name, "restart_host"
         )
 
+    def host_outage(self, name: str, at: float, duration: float):
+        """Crash ``name`` at ``at`` and restart it ``duration`` later —
+        the failover experiment's one-liner for a bounded outage."""
+        self.crash_host(name, at=at)
+        return self.restart_host(name, at=at + duration)
+
     def _host(self, name: str):
         host = self.network.hosts.get(name)
         if host is None:

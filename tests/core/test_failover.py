@@ -1,0 +1,360 @@
+"""Mid-connection failover (PROTOCOL.md §9): liveness, migration, parking.
+
+These tests pin the tentpole's correctness bar end to end on small worlds:
+
+* a crashed serving host is *suspected* (adaptive heartbeat timeout), its
+  cached negotiation results are evicted, and the connection migrates to
+  a standby with the reliability chunnel's unacked window replayed —
+  every in-flight and buffered message delivered exactly once, in order;
+* with no standby the connection parks degraded and resumes in place
+  when the host comes back, again without loss or duplication;
+* at 20% link loss with *no* crashes the suspicion logic never fires —
+  steady inbound traffic and the Jacobson-style retransmission timeout
+  keep false positives at zero;
+* the unacked-window adoption that a changed reliability node performs
+  during migration advances the sequence counter past the inherited
+  window (a reused sequence number would be swallowed by the receiver's
+  dedup).
+"""
+
+import itertools
+import warnings
+
+import pytest
+
+from repro.chunnels import Reliable, ReliableFallback, Serialize, SerializeFallback
+from repro.chunnels.reliability import _ReliableStage
+from repro.core import Runtime
+from repro.core.dag import wrap
+from repro.core.failover import FailoverConfig
+from repro.core.negcache import NegotiationCache
+from repro.errors import (
+    ConnectionTimeoutError,
+    DeadlineExceeded,
+    DegradedEstablishmentWarning,
+)
+from repro.experiments._plane import DiscoveryPlane
+from repro.sim import ChaosController, FaultPlan, Network
+
+#: Liveness tuning sized to the test worlds' ~20us RTT: single-digit-ms
+#: crash detection, parked probes every millisecond.
+LIVENESS = FailoverConfig(
+    heartbeat_interval=250e-6,
+    miss_threshold=5,
+    min_rto=250e-6,
+    max_rto=1.5e-3,
+    migrate_timeout=1e-3,
+    migrate_retries=8,
+    connect_timeout=2e-3,
+    connect_retries=8,
+    migration_deadline=15e-3,
+    park_retry_interval=1e-3,
+)
+
+
+def dag():
+    # The retransmit budget must span the longest blackout a test stages
+    # (suspicion + migration, or a parked outage) so the reliability
+    # stage never abandons a message mid-failover.
+    return wrap(Serialize() >> Reliable(timeout=400e-6, max_retries=200))
+
+
+class RecordingServer:
+    """An echo server that records every request id it delivers, in
+    arrival order — the tests' exactly-once / in-order ground truth."""
+
+    def __init__(self, runtime, port=7400):
+        self.runtime = runtime
+        self.endpoint = runtime.new("flow", dag())
+        self.listener = self.endpoint.listen(port=port, service_name="flow")
+        self.arrived: list[bytes] = []
+        self.seen: dict[bytes, int] = {}
+        runtime.env.process(
+            self._accept(), name=f"{runtime.entity.name}.accept"
+        )
+
+    def _accept(self):
+        while True:
+            conn = yield self.listener.accept()
+            self.runtime.env.process(
+                self._serve(conn), name=f"{self.runtime.entity.name}.serve"
+            )
+
+    def _serve(self, conn):
+        while not conn.closed:
+            msg = yield conn.recv()
+            key = bytes(msg.payload)
+            self.arrived.append(key)
+            self.seen[key] = self.seen.get(key, 0) + 1
+            conn.send(msg.payload, size=msg.size, dst=msg.src)
+
+
+def build_world(servers=2, loss=0.0, seed=7, liveness=LIVENESS):
+    """``servers`` recording echo servers named "flow" plus one failover-
+    enabled client runtime; returns (net, [servers], client_rt)."""
+    net = Network()
+    for index in range(servers):
+        net.add_host(f"srv{index}")
+    net.add_host("cl")
+    plane = DiscoveryPlane(1, 1)
+    plane.add_hosts(net)
+    net.add_switch("tor")
+    for index in range(servers):
+        net.add_link(f"srv{index}", "tor", latency=5e-6)
+    net.add_link("cl", "tor", latency=5e-6)
+    plane.add_links(net, "tor", 5e-6)
+    if loss:
+        net.attach_faults_everywhere(FaultPlan(drop_rate=loss, seed=seed))
+    plane.build(net)
+
+    def _runtime(host, **kwargs):
+        runtime = Runtime(
+            host,
+            discovery=plane.client(host),
+            negotiation_cache_size=8,
+            **kwargs,
+        )
+        runtime.register_chunnel(SerializeFallback)
+        runtime.register_chunnel(ReliableFallback)
+        return runtime
+
+    recorders = [
+        RecordingServer(_runtime(net.hosts[f"srv{index}"]))
+        for index in range(servers)
+    ]
+    client_rt = _runtime(net.hosts["cl"], failover=liveness)
+    return net, recorders, client_rt
+
+
+def union_counts(recorders):
+    union: set = set()
+    duplicates = 0
+    for recorder in recorders:
+        union |= set(recorder.seen)
+        duplicates += sum(count - 1 for count in recorder.seen.values())
+    return union, duplicates
+
+
+def drive(net, generator, until):
+    done = {}
+
+    def _main():
+        done["value"] = yield from generator
+
+    net.env.process(_main(), name="test.main")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstablishmentWarning)
+        net.env.run(until=until)
+    assert "value" in done, "driver did not finish"
+    return done["value"]
+
+
+class TestMigration:
+    def test_crash_migrates_with_exactly_once_in_order_delivery(self):
+        net, recorders, client_rt = build_world(servers=2)
+        env = net.env
+        chaos = ChaosController(net, seed=7)
+        sent: list[bytes] = []
+
+        def driver():
+            yield env.timeout(1e-3)
+            endpoint = client_rt.new("mig", dag())
+            conn = yield from endpoint.connect("flow", deadline=10e-3)
+            # Steady sends straddle the crash: some land pre-crash, some
+            # sit unacked in the window, some buffer during the paused
+            # migration — all must come out exactly once, in order.
+            for index in range(120):
+                payload = f"id-{index:04d}".encode()
+                sent.append(payload)
+                conn.send(payload, size=64)
+                yield env.timeout(200e-6)
+            return conn
+
+        chaos.crash_host("srv0", at=5e-3)
+        conn = drive(net, driver(), until=80e-3)
+
+        union, duplicates = union_counts(recorders)
+        assert union == set(sent)
+        assert duplicates == 0
+        assert conn.migrations == 1
+        assert client_rt.failover.migrations_total == 1
+        assert client_rt.failover.suspicions_total >= 1
+        assert not conn.parked
+        assert conn.blackout > 0
+        # The standby saw the client's ids in send order: replayed window
+        # first, then the sends buffered while the migration was paused.
+        standby_ids = [p for p in recorders[1].arrived if p in set(sent)]
+        assert standby_ids == sorted(standby_ids)
+        # The crash evicted the primary's cached negotiation entries.
+        assert "srv0" in client_rt.failover._states[conn.conn_id].suspected
+
+    def test_suspicion_evicts_negcache_by_instance_tag(self):
+        cache = NegotiationCache(8)
+        cache.store(
+            "a", {"x": 1}, tags=(NegotiationCache.instance_tag("srv0"),)
+        )
+        cache.store(
+            "b", {"x": 2}, tags=(NegotiationCache.instance_tag("srv0"),)
+        )
+        cache.store(
+            "c", {"x": 3}, tags=(NegotiationCache.instance_tag("srv1"),)
+        )
+        assert NegotiationCache.instance_tag("srv0") == "instance:srv0"
+        assert cache.suspect_instance("srv0") == 2
+        assert "a" not in cache and "b" not in cache
+        assert "c" in cache
+        assert cache.suspect_instance("srv0") == 0
+
+
+class TestParking:
+    def test_total_outage_parks_then_resumes_without_loss(self):
+        net, recorders, client_rt = build_world(servers=1)
+        env = net.env
+        chaos = ChaosController(net, seed=7)
+        sent: list[bytes] = []
+        observed = {}
+
+        def driver():
+            yield env.timeout(1e-3)
+            endpoint = client_rt.new("park", dag())
+            conn = yield from endpoint.connect("flow", deadline=10e-3)
+            for index in range(150):
+                payload = f"park-{index:04d}".encode()
+                sent.append(payload)
+                conn.send(payload, size=64)
+                if index == 80:
+                    # Mid-outage: the connection must be parked degraded,
+                    # buffering sends rather than failing them.
+                    observed["parked_mid_outage"] = conn.parked
+                yield env.timeout(200e-6)
+            return conn
+
+        # No standby exists, so the crash parks the connection; the
+        # restart resumes it in place (sockets survive: the sim models a
+        # process supervisor, not a reboot).
+        chaos.host_outage("srv0", at=5e-3, duration=15e-3)
+        conn = drive(net, driver(), until=100e-3)
+
+        union, duplicates = union_counts(recorders)
+        assert union == set(sent)
+        assert duplicates == 0
+        assert observed["parked_mid_outage"]
+        assert not conn.parked
+        assert conn.migrations == 0
+        assert client_rt.failover.parked_total == 1
+        assert client_rt.failover.resumed_total == 1
+        assert conn.blackout > 0
+
+
+class TestFalsePositives:
+    def test_no_suspicion_at_twenty_percent_loss_without_crashes(self):
+        # The library-default liveness tuning is the one that carries the
+        # no-false-positives claim: eight *consecutive* silent probe
+        # windows are vanishingly unlikely from 20% loss alone.
+        net, recorders, client_rt = build_world(
+            servers=1, loss=0.2, seed=7, liveness=FailoverConfig()
+        )
+        env = net.env
+
+        def driver():
+            yield env.timeout(1e-3)
+            endpoint = client_rt.new("lossy", dag())
+            conn = yield from endpoint.connect("flow")
+            # Sparse traffic: long idle gaps force the heartbeat prober
+            # to carry liveness, with 20% of probes and acks eaten.
+            for index in range(10):
+                conn.send(f"lossy-{index}".encode(), size=64)
+                yield env.timeout(4e-3)
+            return conn
+
+        conn = drive(net, driver(), until=200e-3)
+        manager = client_rt.failover
+        assert manager.heartbeats_sent > 0
+        assert manager.suspicions_total == 0
+        assert manager.migrations_total == 0
+        assert manager.parked_total == 0
+        assert conn.migrations == 0 and not conn.parked
+
+
+class TestWindowAdoption:
+    class _Msg:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def copy(self):
+            return TestWindowAdoption._Msg(self.tag)
+
+    def _bare_stage(self, seq_start=1):
+        stage = object.__new__(_ReliableStage)
+        stage._unacked = {}
+        stage._seq = itertools.count(seq_start)
+        return stage
+
+    def test_adopts_frozen_window_and_advances_sequence(self):
+        stage = self._bare_stage()
+        frozen = {5: self._Msg("a"), 9: self._Msg("b")}
+        stage.adopt_window(frozen)
+        assert sorted(stage._unacked) == [5, 9]
+        # The next fresh sequence number must clear the inherited window:
+        # reusing 1..9 would collide with replayed numbers in the
+        # receiver's dedup set and silently swallow a new message.
+        assert next(stage._seq) == 10
+
+    def test_existing_entries_win_and_sequence_never_regresses(self):
+        stage = self._bare_stage(seq_start=20)
+        own = self._Msg("mine")
+        stage._unacked[3] = own
+        stage.adopt_window({3: self._Msg("theirs"), 4: self._Msg("x")})
+        assert stage._unacked[3] is own
+        assert next(stage._seq) == 20
+
+    def test_empty_frozen_window_is_a_no_op(self):
+        stage = self._bare_stage(seq_start=4)
+        stage.adopt_window({})
+        assert stage._unacked == {}
+        assert next(stage._seq) == 4
+
+
+class TestConnectDeadline:
+    def test_budgeted_connect_succeeds_on_a_healthy_plane(self):
+        net, recorders, client_rt = build_world(servers=1)
+        env = net.env
+
+        def driver():
+            yield env.timeout(1e-3)
+            endpoint = client_rt.new("budgeted-ok", dag())
+            start = env.now
+            conn = yield from endpoint.connect("flow", deadline=5e-3)
+            return conn, env.now - start
+
+        conn, elapsed = drive(net, driver(), until=60e-3)
+        assert not conn.degraded
+        assert elapsed < 5e-3
+
+    def test_connect_deadline_bounds_total_outage_failure(self):
+        net, recorders, client_rt = build_world(servers=1)
+        env = net.env
+
+        def driver():
+            yield env.timeout(1e-3)
+            address = recorders[0].listener.address
+            # Everything is down: discovery *and* the server.  Without a
+            # deadline the connect would walk the full query retry
+            # ladder and then the full negotiation ladder; with one, the
+            # nested loops share a single elapsed-time budget and the
+            # connect fails inside it.
+            net.hosts["dsc"].down = True
+            net.hosts["srv0"].down = True
+            start = env.now
+            endpoint = client_rt.new("budgeted", dag())
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                yield from endpoint.connect(address, deadline=4e-3)
+            return excinfo.value, env.now - start
+
+        error, elapsed = drive(net, driver(), until=60e-3)
+        # The budget bounds the whole attempt: one clamped final wait of
+        # slack at most, not a second retry ladder.
+        assert elapsed < 6e-3
+        assert error.elapsed >= 0.0
+        assert error.attempts >= 0
+        assert isinstance(error, ConnectionTimeoutError)

@@ -80,6 +80,10 @@ def samples():
         ),
         msgs.TransitionAck(conn_id="c1", epoch=2, ok=False, error="refused"),
         msgs.TransitionRequest(conn_id="c1", reason="latency"),
+        msgs.Heartbeat(conn_id="c1", seq=4),
+        msgs.HeartbeatAck(conn_id="c1", seq=4),
+        msgs.Migrate(conn_id="c1", epoch=2, client_entity="cl"),
+        msgs.MigrateAck(conn_id="c1", epoch=2, ok=False, error="no state"),
         msgs.Query(
             types=["reliable"], service_name="svc", req_id="r1", attempt=1
         ),

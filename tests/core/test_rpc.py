@@ -11,7 +11,7 @@ import random
 import pytest
 
 from repro.core import rpc
-from repro.errors import ConnectionTimeoutError
+from repro.errors import ConnectionTimeoutError, DeadlineExceeded
 from repro.sim import Address, Network, UdpSocket
 from repro.sim.eventloop import Event
 
@@ -261,6 +261,91 @@ class TestEventWaiter:
 
         with pytest.raises(ConnectionTimeoutError, match="ack wait"):
             run(env, scenario(env))
+
+
+class TestDeadline:
+    """End-to-end deadline budgets (PROTOCOL.md §9): the policy's
+    relative budget and the caller's absolute one merge into a single
+    elapsed-time limit across every retry."""
+
+    def setup_method(self):
+        self.env = Network().env
+        self.stats = rpc.RpcStats()
+
+    def never(self, attempt, timeout):
+        yield self.env.timeout(timeout)
+        return None
+
+    def test_policy_deadline_must_cover_one_attempt(self):
+        with pytest.raises(ValueError, match="deadline must cover"):
+            rpc.RetryPolicy(timeout=1e-3, retries=3, deadline=5e-4)
+        rpc.RetryPolicy(timeout=1e-3, retries=3, deadline=1e-3)
+
+    def test_relative_policy_deadline_stops_retries_early(self):
+        # Ten 1ms attempts would take 10ms; a 2.5ms budget allows three.
+        policy = rpc.RetryPolicy(timeout=1e-3, retries=10, deadline=2.5e-3)
+
+        def scenario(env):
+            yield from rpc.call(
+                env, policy, lambda attempt: None, self.never,
+                stats=self.stats, describe="budgeted",
+            )
+
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            run(self.env, scenario(self.env))
+        error = excinfo.value
+        assert isinstance(error, ConnectionTimeoutError)
+        assert error.attempts == 3
+        assert error.elapsed == pytest.approx(2.5e-3)
+        assert self.env.now == pytest.approx(2.5e-3)
+        assert self.stats.failures_total == 1
+
+    def test_absolute_deadline_clamps_the_final_wait(self):
+        policy = rpc.RetryPolicy(timeout=1e-3, retries=10)
+
+        def scenario(env):
+            yield env.timeout(1e-3)  # deadline is absolute, not relative
+            yield from rpc.call(
+                env, policy, lambda attempt: None, self.never,
+                stats=self.stats, deadline=env.now + 1.5e-3,
+            )
+
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            run(self.env, scenario(self.env))
+        assert excinfo.value.attempts == 2
+        assert self.env.now == pytest.approx(2.5e-3)
+
+    def test_tighter_of_policy_and_call_deadline_wins(self):
+        policy = rpc.RetryPolicy(timeout=1e-3, retries=10, deadline=8e-3)
+
+        def scenario(env):
+            yield from rpc.call(
+                env, policy, lambda attempt: None, self.never,
+                stats=self.stats, deadline=2e-3,
+            )
+
+        with pytest.raises(DeadlineExceeded):
+            run(self.env, scenario(self.env))
+        assert self.env.now == pytest.approx(2e-3)
+
+    def test_reply_inside_the_budget_is_unaffected(self):
+        policy = rpc.RetryPolicy(timeout=1e-3, retries=10, deadline=5e-3)
+
+        def answered(attempt, timeout):
+            yield self.env.timeout(min(timeout, 1e-5))
+            return "pong" if attempt >= 1 else None
+
+        def scenario(env):
+            return (
+                yield from rpc.call(
+                    env, policy, lambda attempt: None, answered,
+                    stats=self.stats, deadline=env.now + 5e-3,
+                )
+            )
+
+        assert run(self.env, scenario(self.env)) == "pong"
+        assert self.stats.failures_total == 0
+        assert self.stats.round_trips == 1
 
 
 class TestSocketWaiter:
