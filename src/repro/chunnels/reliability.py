@@ -31,7 +31,6 @@ from ..core.chunnel import (
 from ..core.registry import catalog
 from ..core.resources import NIC_SLOTS, ResourceVector
 from ..core.scope import Endpoints, Placement, Scope
-from ..sim.eventloop import Interrupt
 
 __all__ = ["Reliable", "ReliableFallback", "ReliableToe"]
 
@@ -39,6 +38,68 @@ _KIND = "rel_kind"
 _SEQ = "rel_seq"
 _DATA = "data"
 _ACK = "ack"
+
+
+class _RetxTimer:
+    """Process-free retransmit timer: one heap slot per attempt, none per ack.
+
+    The historical timer was a generator :class:`~repro.sim.eventloop.Process`
+    per in-flight message: a bootstrap event at send time, one ``Timeout``
+    per attempt, and an interruption event per ack — three heap entries and
+    a generator resume on the happy path of *every* reliable message.  Now
+    the first check is scheduled straight from the constructor (landing on
+    the bit-identical ``send_time + timeout`` instant the bootstrapped
+    process produced) and an ack kills the timer with a flag write: the
+    already-scheduled check fires into a dead timer and does nothing.
+    """
+
+    __slots__ = ("stage", "seq", "remaining", "dead")
+
+    def __init__(self, stage: "_ReliableStage", seq: int):
+        self.stage = stage
+        self.seq = seq
+        self.remaining = stage.max_retries
+        self.dead = False
+        if self.remaining == 0:
+            # max_retries == 0: the historical loop body never ran and the
+            # message was abandoned at bootstrap time (send time + 0).
+            stage.env.call_in(0.0, self._abandon_now)
+        else:
+            stage.env.call_in(stage.timeout, self._check)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.dead
+
+    def interrupt(self, cause: object = None) -> None:
+        """Stop the timer (ack / migration freeze / stack stop)."""
+        self.dead = True
+
+    def _abandon_now(self) -> None:
+        stage = self.stage
+        self.dead = True
+        if stage._unacked.pop(self.seq, None) is not None:
+            stage.abandoned += 1
+        stage._timers.pop(self.seq, None)
+
+    def _check(self) -> None:
+        if self.dead:
+            return
+        stage = self.stage
+        pending = stage._unacked.get(self.seq)
+        if pending is None or stage._stopped:
+            self.dead = True
+            return
+        stage.retransmissions += 1
+        stage.send_below(pending.copy())
+        self.remaining -= 1
+        if self.remaining:
+            stage.env.call_in(stage.timeout, self._check)
+            return
+        self.dead = True
+        if stage._unacked.pop(self.seq, None) is not None:
+            stage.abandoned += 1
+        stage._timers.pop(self.seq, None)
 
 
 @register_spec
@@ -88,25 +149,8 @@ class _ReliableStage(ChunnelStage):
         msg.headers[_SEQ] = seq
         self.charge(self.per_message_cost)
         self._unacked[seq] = msg.copy()
-        self._timers[seq] = self.env.process(
-            self._retransmit_loop(seq), name=f"rel.retx#{seq}"
-        )
+        self._timers[seq] = _RetxTimer(self, seq)
         return [msg]
-
-    def _retransmit_loop(self, seq: int):
-        for _attempt in range(self.max_retries):
-            try:
-                yield self.env.timeout(self.timeout)
-            except Interrupt:
-                return
-            pending = self._unacked.get(seq)
-            if pending is None or self._stopped:
-                return
-            self.retransmissions += 1
-            self.send_below(pending.copy())
-        if self._unacked.pop(seq, None) is not None:
-            self.abandoned += 1
-        self._timers.pop(seq, None)
 
     # -- receive side -------------------------------------------------------
     def on_recv(self, msg: Message) -> Iterable[Message]:
@@ -176,9 +220,7 @@ class _ReliableStage(ChunnelStage):
         replayed = 0
         for seq in sorted(self._unacked):
             self.send_below(self._unacked[seq].copy())
-            self._timers[seq] = self.env.process(
-                self._retransmit_loop(seq), name=f"rel.replay#{seq}"
-            )
+            self._timers[seq] = _RetxTimer(self, seq)
             replayed += 1
         self.replays += replayed
         return replayed

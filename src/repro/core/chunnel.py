@@ -68,7 +68,7 @@ class Role(enum.Enum):
         return Role.SERVER if self is Role.CLIENT else Role.CLIENT
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message traversing a Chunnel stack.
 

@@ -27,13 +27,13 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from ..errors import ConnectionClosedError, TransportError
 from ..sim.datagram import Address, Datagram
-from ..sim.eventloop import Event, Interrupt
+from ..sim.eventloop import Event
 from ..sim.resources import Store
 from . import messages as msgs
 from .chunnel import ChunnelImpl, ChunnelStage, Message, Offer, Role
 from .dag import ChunnelDag
 from .stack import ChunnelStack, SetupContext
-from .wire import CTL_HEADER, EPOCH_HEADER, WireError, message_size
+from .wire import CTL_HEADER, EPOCH_HEADER, WireError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.transport import SimSocket
@@ -54,6 +54,129 @@ def next_conn_id(entity) -> str:
     """
     entity._conn_counter = getattr(entity, "_conn_counter", itertools.count(1))
     return f"{entity.name}/conn-{next(entity._conn_counter)}"
+
+
+class _Pump:
+    """Process-free, slot-free receive pump.
+
+    The historical pump was a generator Process blocked on
+    ``socket.recv()``: every datagram cost a getter Event, a zero-delay
+    heap slot, and a Process resume.  This object sits directly in the
+    socket store's getter queue (it speaks the ``triggered``/``succeed``
+    protocol :meth:`Store.put` expects) and dispatches **synchronously**:
+    the receive stack runs inside the delivery instant itself, and buffered
+    datagrams drain in a loop rather than one wakeup slot apiece.  The only
+    heap slot left is the real one — a positive stage CPU charge defers
+    delivery (and the next receive) behind a timer, exactly as the
+    generator's ``yield`` did.
+
+    Interrupting it is a flag write; a datagram handed to a dead pump is
+    lost, just as it was when a stale getter resumed a dead generator.
+    """
+
+    __slots__ = ("conn", "socket", "dead", "triggered", "_held")
+
+    def __init__(self, conn: "Connection", socket: "SimSocket"):
+        self.conn = conn
+        self.socket = socket
+        self.dead = False
+        #: Store-getter protocol: a triggered getter is skipped by ``put``.
+        self.triggered = False
+        self._held: Optional[list] = None
+        self._request_next()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.dead
+
+    def interrupt(self, cause: object = None) -> None:
+        """Stop the pump (socket rebind / connection close)."""
+        self.dead = True
+
+    # -- store-getter protocol -------------------------------------------
+    def succeed(self, item: Datagram) -> None:
+        """Called by :meth:`Store.put` when this pump is the oldest waiter."""
+        if self.dead:
+            # Rebound or closed while queued as a getter: the datagram is
+            # lost, as it was with a stale getter and a dead generator.
+            return
+        if self._dispatch(item):
+            self._request_next()
+
+    # -- machinery --------------------------------------------------------
+    def _request_next(self) -> None:
+        conn = self.conn
+        while not self.dead and not conn.closed:
+            sock = self.socket
+            if sock.closed:
+                self.dead = True
+                return
+            store = sock.store
+            if not store._items:
+                store._getters.append(self)
+                return
+            store.gets += 1
+            if not self._dispatch(store._items.popleft()):
+                return
+
+    def _dispatch(self, dgram: Datagram) -> bool:
+        """Run one datagram up the stack; False if delivery was deferred."""
+        conn = self.conn
+        env = conn.runtime.env
+        conn.last_src = dgram.src
+        conn.last_inbound_at = env.now
+        headers = dict(dgram.headers)
+        ctl_kind = headers.get(CTL_HEADER)
+        if ctl_kind is not None:
+            # In-band control (TRANSITION and friends): handled by the
+            # reconfiguration engine, never enters the Chunnel stack.
+            try:
+                ctl_msg = msgs.decode_message(dgram.payload)
+            except WireError as error:
+                conn.ctl_malformed_total += 1
+                if ctl_kind not in conn._ctl_malformed_logged:
+                    conn._ctl_malformed_logged.add(ctl_kind)
+                    _log.warning(
+                        "%s: dropping malformed in-band control message "
+                        "kind=%r (%s)",
+                        conn.conn_id,
+                        ctl_kind,
+                        error,
+                    )
+            else:
+                conn.runtime.reconfig.handle_ctl(conn, ctl_msg, dgram.src)
+            return True
+        msg = Message(
+            payload=dgram.payload,
+            size=dgram.size,
+            headers=headers,
+            src=dgram.src,
+        )
+        stack = conn._stack_for(headers.get(EPOCH_HEADER, 0))
+        if stack.broken:
+            # Even the newest stack lost its device (the failure was just
+            # detected): hold the message until the replacement stack
+            # commits — zero loss, bounded delay.
+            conn._reroute_buffer.append(msg)
+            return True
+        delivered, charge = stack.receive(msg)
+        if charge > 0:
+            # Mirrors the busy-receive-thread timeout: delivery (and the
+            # next receive) waits out the stage CPU charge.
+            self._held = delivered
+            env.call_in(charge, self._release)
+            return False
+        for out in delivered:
+            conn._deliver(out)
+        return True
+
+    def _release(self) -> None:
+        held, self._held = self._held, None
+        if self.dead:
+            return
+        for out in held:
+            self.conn._deliver(out)
+        self._request_next()
 
 
 class Connection:
@@ -179,9 +302,7 @@ class Connection:
                 }.values()
             ),
         )
-        self._pump = runtime.env.process(
-            self._pump_loop(), name=f"{conn_id}.pump"
-        )
+        self._pump = _Pump(self, socket)
 
     # -- properties -----------------------------------------------------------
     @property
@@ -257,11 +378,11 @@ class Connection:
                 f"{self.conn_id}: no control destination (no peer and no "
                 "traffic source seen yet)"
             )
-        payload = msgs.encode_message(message)
+        payload, wire_size = msgs.encode_message_sized(message)
         self.socket.send(
             payload,
             dst,
-            size=message_size(payload) if size is None else size,
+            size=wire_size if size is None else size,
             headers={CTL_HEADER: message.KIND},
         )
 
@@ -377,9 +498,7 @@ class Connection:
         if self._pump.is_alive:
             self._pump.interrupt("socket rebound")
         old.close()
-        self._pump = self.runtime.env.process(
-            self._pump_loop(), name=f"{self.conn_id}.pump"
-        )
+        self._pump = _Pump(self, socket)
 
     def _stack_for(self, epoch: int) -> ChunnelStack:
         """The stack that should process a message stamped with ``epoch``.
@@ -476,56 +595,6 @@ class Connection:
             )
         self.messages_received += 1
         self.inbox.put(msg)
-
-    def _pump_loop(self):
-        """Move datagrams from the socket up the stack, modelling a busy
-        receive thread (stage CPU charges delay subsequent datagrams)."""
-        while not self.closed:
-            try:
-                dgram: Datagram = yield self.socket.recv()
-            except (Interrupt, ConnectionClosedError):
-                return
-            self.last_src = dgram.src
-            self.last_inbound_at = self.env.now
-            headers = dict(dgram.headers)
-            ctl_kind = headers.get(CTL_HEADER)
-            if ctl_kind is not None:
-                # In-band control (TRANSITION and friends): handled by the
-                # reconfiguration engine, never enters the Chunnel stack.
-                try:
-                    ctl_msg = msgs.decode_message(dgram.payload)
-                except WireError as error:
-                    self.ctl_malformed_total += 1
-                    if ctl_kind not in self._ctl_malformed_logged:
-                        self._ctl_malformed_logged.add(ctl_kind)
-                        _log.warning(
-                            "%s: dropping malformed in-band control message "
-                            "kind=%r (%s)",
-                            self.conn_id,
-                            ctl_kind,
-                            error,
-                        )
-                    continue
-                self.runtime.reconfig.handle_ctl(self, ctl_msg, dgram.src)
-                continue
-            msg = Message(
-                payload=dgram.payload,
-                size=dgram.size,
-                headers=headers,
-                src=dgram.src,
-            )
-            stack = self._stack_for(headers.get(EPOCH_HEADER, 0))
-            if stack.broken:
-                # Even the newest stack lost its device (the failure was
-                # just detected): hold the message until the replacement
-                # stack commits — zero loss, bounded delay.
-                self._reroute_buffer.append(msg)
-                continue
-            delivered, charge = stack.receive(msg)
-            if charge > 0:
-                yield self.env.timeout(charge)
-            for out in delivered:
-                self._deliver(out)
 
     # -- lifecycle -----------------------------------------------------------------
     def close(self) -> None:

@@ -65,7 +65,7 @@ from ..sim.datagram import Address
 from . import messages as msgs
 from . import rpc
 from .establish import build_binding, make_data_socket, teardown_nodes
-from .wire import WireError, message_size
+from .wire import WireError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .connection import Connection
@@ -528,8 +528,7 @@ class FailoverManager:
             client_entity=runtime.entity.name,
             policy_epoch=entry["server_epoch"],
         )
-        payload = msgs.encode_message(resume_msg)
-        size = message_size(payload)
+        payload, size = msgs.encode_message_sized(resume_msg)
         ctl = UdpSocket(runtime.entity)
 
         def send(_attempt: int) -> None:

@@ -42,7 +42,7 @@ from ..errors import (
 from ..sim.datagram import Address
 from .chunnel import Offer as ImplOffer
 from .dag import ChunnelDag
-from .wire import WireError, decode, encode, register_wire_type
+from .wire import WireError, decode, encode, encode_sized, register_wire_type
 
 __all__ = [
     "ControlMessage",
@@ -82,6 +82,7 @@ __all__ = [
     "PromoteReply",
     "decode_message",
     "encode_message",
+    "encode_message_sized",
     "protocol_appendix",
 ]
 
@@ -166,6 +167,26 @@ def encode_message(message: ControlMessage) -> dict:
     if not isinstance(message, ControlMessage):
         raise WireError(f"not a control message: {message!r}")
     return encode(message)
+
+
+def encode_message_sized(message: ControlMessage) -> tuple[dict, int]:
+    """Encode a control message and its wire size in one pass, memoized.
+
+    Control messages are frozen dataclasses, so an instance's wire form
+    never changes; retransmit loops and reply-cache replays re-send the
+    same instance, and the per-instance memo makes every send after the
+    first free.  The encoded dict is *shared* between those sends — the
+    zero-copy wire path — so receivers must treat decoded-from payloads as
+    immutable (they already do: :func:`decode_message` builds fresh
+    objects).
+    """
+    if not isinstance(message, ControlMessage):
+        raise WireError(f"not a control message: {message!r}")
+    cached = message.__dict__.get("_wire_sized")
+    if cached is None:
+        cached = encode_sized(message)
+        object.__setattr__(message, "_wire_sized", cached)
+    return cached
 
 
 def _choice_to_body(choice: Dict[int, ImplOffer]) -> dict:

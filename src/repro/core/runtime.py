@@ -59,7 +59,7 @@ from .negcache import NegotiationCache
 from .negotiation import decide_with_reservations
 from .policy import DefaultPolicy, Policy, PolicyContext
 from .registry import ChunnelRegistry, ImplCatalog, catalog as default_catalog
-from .wire import WireError, message_size, wire_kind
+from .wire import WireError, wire_kind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.host import NetEntity
@@ -630,8 +630,7 @@ class Endpoint:
             client_entity=runtime.entity.name,
             policy_epoch=entry["server_epoch"],
         )
-        payload = msgs.encode_message(resume_msg)
-        size = message_size(payload)
+        payload, size = msgs.encode_message_sized(resume_msg)
         ctl = UdpSocket(runtime.entity)
 
         def send(_attempt: int) -> None:
@@ -709,8 +708,7 @@ class Endpoint:
         reliable-RPC core; fixed timeout, no backoff — establishment's
         latency budget is the paper's two round trips)."""
         runtime = self.runtime
-        payload = msgs.encode_message(offer_msg)
-        size = message_size(payload)
+        payload, size = msgs.encode_message_sized(offer_msg)
 
         def send(_attempt: int) -> None:
             ctl.send(payload, server_addr, size=size)
@@ -874,8 +872,8 @@ class Listener:
             self._send_reply(reply, dgram.src)
 
     def _send_reply(self, message: "msgs.ControlMessage", dst: Address) -> None:
-        payload = msgs.encode_message(message)
-        self.ctl.send(payload, dst, size=message_size(payload))
+        payload, size = msgs.encode_message_sized(message)
+        self.ctl.send(payload, dst, size=size)
 
     def _count_malformed(self, payload, error) -> None:
         """Count (and log, once per kind) a rejected control datagram."""

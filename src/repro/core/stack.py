@@ -204,7 +204,8 @@ class ChunnelStack:
         acks and retransmissions below themselves.
         """
         outputs = [msg]
-        for stage in self.stages[index:]:
+        # ``index == 0`` (a fresh send) is the hot case; avoid slicing.
+        for stage in self.stages if index == 0 else self.stages[index:]:
             next_outputs: list[Message] = []
             for current in outputs:
                 next_outputs.extend(stage.on_send(current))
@@ -243,7 +244,12 @@ class ChunnelStack:
         deliveries such as reorder-buffer flushes.
         """
         outputs = [msg]
-        for stage in reversed(self.stages[:index]):
+        stages = self.stages
+        # ``index == len(stages)`` (a wire arrival) is the hot case.
+        bottom_up = (
+            reversed(stages) if index == len(stages) else reversed(stages[:index])
+        )
+        for stage in bottom_up:
             next_outputs: list[Message] = []
             for current in outputs:
                 next_outputs.extend(stage.on_recv(current))

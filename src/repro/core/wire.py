@@ -20,6 +20,7 @@ from ..errors import BerthaError
 
 __all__ = [
     "encode",
+    "encode_sized",
     "decode",
     "register_wire_type",
     "message_size",
@@ -94,13 +95,7 @@ def encode(value: Any) -> Any:
                 raise WireError(f"dict key {key!r} is reserved")
             out[key] = encode(item)
         return out
-    adapter = _encoders.get(type(value))
-    if adapter is None:
-        # Walk the MRO so subclasses of registered types encode too.
-        for cls, candidate in _encoders.items():
-            if isinstance(value, cls):
-                adapter = candidate
-                break
+    adapter = _adapter_for(value)
     if adapter is None:
         raise WireError(
             f"cannot encode {type(value).__name__} for the wire: {value!r}"
@@ -108,6 +103,130 @@ def encode(value: Any) -> Any:
     tag, encoder = adapter
     body = encoder(value)
     return {_KIND_KEY: tag, **{k: encode(v) for k, v in body.items()}}
+
+
+def _adapter_for(value: Any):
+    """The registered ``(tag, encoder)`` for ``value``'s type, or None.
+
+    A subclass hit found by walking the registry is memoized into
+    ``_encoders`` under the concrete type, so only the *first* encode of a
+    subclass pays the O(registry) scan (every later one is a dict hit).
+    """
+    cls = type(value)
+    adapter = _encoders.get(cls)
+    if adapter is None:
+        for base, candidate in _encoders.items():
+            if isinstance(value, base):
+                adapter = candidate
+                _encoders[cls] = candidate
+                break  # mutation is safe: the iteration stops here
+    return adapter
+
+
+#: ``len(repr(x))`` for the fixed pieces of the tagged-bytes encoding:
+#: ``{'__kind__': 'bytes', 'hex': ''}`` minus the hex digits themselves.
+_BYTES_OVERHEAD = len(repr({_KIND_KEY: "bytes", "hex": ""}))
+_KIND_KEY_REPR_LEN = len(repr(_KIND_KEY))
+
+
+def _encode_sized(value: Any) -> tuple[Any, int]:
+    """Encode ``value`` and return ``(encoded, len(repr(encoded)))``.
+
+    The length is computed arithmetically as the walk builds the encoded
+    form — the single pass that replaces ``len(str(encode(value)))``,
+    which re-stringified every payload on every send.  Exact-type checks
+    cover the hot cases; the ``isinstance`` fallbacks mirror
+    :func:`encode`'s dispatch order for subclasses.
+    """
+    if value is None:
+        return None, 4
+    cls = value.__class__
+    if cls is str:
+        return value, len(repr(value))
+    if cls is bool:
+        return value, 4 if value else 5
+    if cls is int or cls is float:
+        return value, len(repr(value))
+    if cls is dict:
+        out: dict = {}
+        total = 0
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"wire dict keys must be strings, got {key!r}")
+            if key == _KIND_KEY:
+                raise WireError(f"dict key {key!r} is reserved")
+            encoded, length = _encode_sized(item)
+            out[key] = encoded
+            total += len(repr(key)) + 2 + length
+        n = len(out)
+        return out, (total + 2 * n) if n else 2
+    if cls is list or cls is tuple:
+        items: list = []
+        total = 0
+        for item in value:
+            encoded, length = _encode_sized(item)
+            items.append(encoded)
+            total += length
+        n = len(items)
+        return items, (total + 2 * n) if n else 2
+    if cls is bytes:
+        hexed = value.hex()
+        return {_KIND_KEY: "bytes", "hex": hexed}, _BYTES_OVERHEAD + len(hexed)
+    # Slow path: subclasses, in encode()'s dispatch order, then adapters.
+    if isinstance(value, (bool, int, float, str)):
+        return value, len(repr(value))
+    if isinstance(value, bytes):
+        hexed = value.hex()
+        return {_KIND_KEY: "bytes", "hex": hexed}, _BYTES_OVERHEAD + len(hexed)
+    if isinstance(value, (list, tuple)):
+        items = []
+        total = 0
+        for item in value:
+            encoded, length = _encode_sized(item)
+            items.append(encoded)
+            total += length
+        n = len(items)
+        return items, (total + 2 * n) if n else 2
+    if isinstance(value, dict):
+        out = {}
+        total = 0
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"wire dict keys must be strings, got {key!r}")
+            if key == _KIND_KEY:
+                raise WireError(f"dict key {key!r} is reserved")
+            encoded, length = _encode_sized(item)
+            out[key] = encoded
+            total += len(repr(key)) + 2 + length
+        n = len(out)
+        return out, (total + 2 * n) if n else 2
+    adapter = _adapter_for(value)
+    if adapter is None:
+        raise WireError(
+            f"cannot encode {type(value).__name__} for the wire: {value!r}"
+        )
+    tag, encoder = adapter
+    out = {_KIND_KEY: tag}
+    total = _KIND_KEY_REPR_LEN + 2 + len(repr(tag))
+    for key, item in encoder(value).items():
+        encoded, length = _encode_sized(item)
+        out[key] = encoded
+        total += len(repr(key)) + 2 + length
+    return out, total + 2 * len(out)
+
+
+def encode_sized(value: Any) -> tuple[Any, int]:
+    """:func:`encode` and :func:`message_size` in one pass.
+
+    Returns ``(encoded, size)`` where ``size`` is exactly
+    ``message_size(encoded)`` — same floor, same content-derived count —
+    without ever materializing ``str(encoded)``.
+    """
+    encoded, length = _encode_sized(value)
+    if isinstance(encoded, str):
+        # Top level only: message_size() uses str(), which has no quotes.
+        length = len(str(encoded))
+    return encoded, length if length > MIN_MESSAGE_SIZE else MIN_MESSAGE_SIZE
 
 
 def decode(value: Any) -> Any:

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from ..core import messages as msgs
 from ..core import rpc
 from ..core.chunnel import Offer
-from ..core.wire import WireError, message_size
+from ..core.wire import WireError
 from ..sim.datagram import Address
 from ..sim.transport import UdpSocket
 
@@ -200,9 +200,11 @@ class RemoteDiscoveryClient(DiscoveryClientBase):
         socket = UdpSocket(self.entity)
 
         def send(attempt: int) -> None:
-            payload = msgs.encode_message(request.stamped(req_id, attempt))
+            payload, size = msgs.encode_message_sized(
+                request.stamped(req_id, attempt)
+            )
             socket.send(
-                payload, self.service_address, size=message_size(payload)
+                payload, self.service_address, size=size
             )
 
         def match(dgram, attempt: int):

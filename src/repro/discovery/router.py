@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core import messages as msgs
 from ..core import rpc
-from ..core.wire import WireError, message_size
+from ..core.wire import WireError
 from ..errors import ConnectionClosedError, ConnectionTimeoutError
 from ..sim.datagram import Address
 from ..sim.eventloop import Interrupt
@@ -129,8 +129,10 @@ class ShardRouter:
                 )
                 if req_id is not None:
                     self._replies.put(req_id, response)
-            payload = msgs.encode_message(response.stamped(req_id, attempt))
-            self.socket.send(payload, dgram.src, size=message_size(payload))
+            payload, size = msgs.encode_message_sized(
+                response.stamped(req_id, attempt)
+            )
+            self.socket.send(payload, dgram.src, size=size)
 
     # -- failure detection / failover ---------------------------------------
     def start_monitor(

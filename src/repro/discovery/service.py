@@ -33,7 +33,7 @@ from ..core.resources import (
     XDP_SHARE,
     ResourceVector,
 )
-from ..core.wire import WireError, message_size, wire_kind
+from ..core.wire import WireError, wire_kind
 from ..errors import DiscoveryError, RegistrationError
 from ..sim.datagram import Address
 from ..sim.transport import UdpSocket
@@ -203,9 +203,9 @@ class DiscoveryService:
         self, record_id: str, push: "msgs.ControlMessage"
     ) -> None:
         """Fire-and-forget push datagrams to a record's watchers."""
-        payload = msgs.encode_message(push)
+        payload, size = msgs.encode_message_sized(push)
         for address in sorted(self._watchers.get(record_id, ())):
-            self.socket.send(payload, address, size=message_size(payload))
+            self.socket.send(payload, address, size=size)
 
     def records_for(self, chunnel_types: Iterable[str]) -> list[ImplementationRecord]:
         """Enabled records matching any of ``chunnel_types``."""
@@ -486,8 +486,8 @@ class DiscoveryService:
             self._send(response.stamped(req_id, attempt), dgram.src)
 
     def _send(self, response: "msgs.DiscoveryMessage", dst: Address) -> None:
-        payload = msgs.encode_message(response)
-        self.socket.send(payload, dst, size=message_size(payload))
+        payload, size = msgs.encode_message_sized(response)
+        self.socket.send(payload, dst, size=size)
 
     def _reject_malformed(
         self, payload, error: WireError

@@ -13,9 +13,17 @@ Usage::
     python -m repro.experiments fleet [--smoke] [--shards N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
+    python -m repro.experiments bench engine [--smoke] [--tier NAME]
 
 Each command prints the rows/series the paper's corresponding figure
 reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
+
+``bench engine`` measures the simulator kernel itself — wall clock and
+simulated-events/sec per workload tier — and ``--baseline`` records it to
+``benchmarks/results/BENCH_engine.json``.  Every command also accepts
+``--profile`` (cProfile the run, print the hottest functions) and
+``--profile-out PATH`` (dump the raw pstats file for ``snakeviz``/
+``pstats`` digging).
 
 The ``chaos`` command exits non-zero when any robustness invariant is
 violated, so CI can run it as a smoke check
@@ -45,6 +53,7 @@ from .ablations import (
 )
 from .chaos import ChaosConfig, run_chaos
 from .churn import ChurnConfig, run_churn
+from .engine import EngineConfig, run_engine
 from .failover import FailoverConfig, run_failover
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
@@ -312,6 +321,42 @@ def cmd_fleet(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_engine(args) -> None:
+    if args.tier:
+        config = EngineConfig(tiers=tuple(args.tier), repeats=args.repeats or 3)
+    elif args.smoke:
+        config = EngineConfig.smoke()
+    else:
+        config = EngineConfig(repeats=args.repeats or 3)
+    label = f"Engine: kernel throughput, tiers {'/'.join(config.tiers)}"
+    result = _timed(label, lambda: run_engine(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        # The engine benchmark's deliverable is its own payload, not a
+        # world snapshot: the canonical digests inside already certify the
+        # per-tier metrics exports.
+        with open(args.metrics_out, "w") as fh:
+            import json as _json
+
+            _json.dump(result.payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
+def cmd_bench(args) -> None:
+    """``bench <target>``: kernel benchmarks (currently only ``engine``)."""
+    target = args.target or "engine"
+    if target != "engine":
+        raise SystemExit(f"unknown bench target {target!r} (expected 'engine')")
+    cmd_engine(args)
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
@@ -322,6 +367,8 @@ COMMANDS = {
     "failover": cmd_failover,
     "fleet": cmd_fleet,
     "ablations": cmd_ablations,
+    "engine": cmd_engine,
+    "bench": cmd_bench,
 }
 
 
@@ -332,9 +379,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment", choices=[*COMMANDS, "all"])
     parser.add_argument(
+        "target",
+        nargs="?",
+        help="bench target (only meaningful after 'bench'; default engine)",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="paper-scale parameters (minutes instead of seconds)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="with --profile: also dump the raw pstats data to PATH",
     )
     parser.add_argument(
         "--metrics-out",
@@ -428,12 +490,49 @@ def main(argv=None) -> int:
         metavar="N",
         help="fleet establishment count (default 100000; smoke 300)",
     )
+    engine_group = parser.add_argument_group("engine benchmark options")
+    engine_group.add_argument(
+        "--tier",
+        action="append",
+        choices=["smoke", "chaos_sweep", "scaled"],
+        help="engine tier to measure (repeatable; default: all three)",
+    )
+    engine_group.add_argument(
+        "--repeats",
+        type=int,
+        metavar="N",
+        help="engine: in-process repeats per tier, best wall clock kept",
+    )
     args = parser.parse_args(argv)
-    if args.experiment == "all":
-        for name, command in COMMANDS.items():
-            command(args)
+
+    def dispatch() -> None:
+        if args.experiment == "all":
+            for name, command in COMMANDS.items():
+                # The kernel benchmarks measure wall clock; running them
+                # inside the 'all' sweep would only record a loaded host.
+                if name in ("engine", "bench"):
+                    continue
+                command(args)
+        else:
+            COMMANDS[args.experiment](args)
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            dispatch()
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(30)
+            if args.profile_out:
+                stats.dump_stats(args.profile_out)
+                print(f"profile data written to {args.profile_out}")
     else:
-        COMMANDS[args.experiment](args)
+        dispatch()
     if args.metrics_out and not getattr(args, "_metrics_written", False):
         # Shared exporter: the most recently built world's registry (every
         # experiment builds its world(s) through Network, which installs

@@ -92,6 +92,12 @@ class Span:
         return f"<Span {self.phase} {self.conn_id} {window} {self.status}>"
 
 
+#: Shared sentinel returned once a capped log overflows: no :class:`Span`
+#: (or attrs dict) is built for a span that will not be kept, so tracing
+#: past the cap costs one length check.  ``finish`` on it is a no-op.
+_DROPPED_SPAN = Span("", "", 0.0, end=0.0, status="dropped")
+
+
 class TraceLog:
     """Append-only log of lifecycle spans for one simulated world."""
 
@@ -114,12 +120,17 @@ class TraceLog:
     # -- recording ----------------------------------------------------------
     def begin(self, phase: str, conn_id: str = "", **attrs: Any) -> Span:
         """Open an interval span at the current virtual time."""
+        if self.limit is not None and len(self.spans) >= self.limit:
+            self.dropped += 1
+            return _DROPPED_SPAN
         span = Span(phase, conn_id, start=self.env.now, attrs=attrs)
-        self._record(span)
+        self.spans.append(span)
         return span
 
     def finish(self, span: Span, status: str = "ok", **attrs: Any) -> Span:
         """Close ``span`` now; extra attrs merge into the span's."""
+        if span is _DROPPED_SPAN:
+            return span
         span.end = self.env.now
         span.status = status
         span.attrs.update(attrs)
@@ -127,9 +138,12 @@ class TraceLog:
 
     def event(self, phase: str, conn_id: str = "", **attrs: Any) -> Span:
         """Record an instant (a closed zero-duration span)."""
+        if self.limit is not None and len(self.spans) >= self.limit:
+            self.dropped += 1
+            return _DROPPED_SPAN
         now = self.env.now
         span = Span(phase, conn_id, start=now, end=now, status="ok", attrs=attrs)
-        self._record(span)
+        self.spans.append(span)
         return span
 
     # -- queries ------------------------------------------------------------

@@ -37,10 +37,16 @@ class Address:
             raise ValueError(f"port out of range: {self.port}")
 
     def __str__(self) -> str:
-        return f"{self.host}:{self.port}"
+        # Addresses are stringified on every socket delivery (visit labels,
+        # trace attrs); memoize on the instance since the fields are frozen.
+        text = self.__dict__.get("_str")
+        if text is None:
+            text = f"{self.host}:{self.port}"
+            object.__setattr__(self, "_str", text)
+        return text
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One message in flight.
 

@@ -28,6 +28,25 @@ Events scheduled for the same timestamp fire in scheduling order (a
 monotonically increasing sequence number breaks ties), so simulations are
 exactly reproducible run-to-run.
 
+Fast paths
+----------
+The kernel is the floor under every experiment's wall clock, so its hot
+paths are deliberately allocation-light:
+
+* Events store their first waiter in a single slot (``_cb``) and only
+  allocate an overflow list (``_cbs``) for the rare multi-waiter case —
+  most events in this repo have exactly one waiter (a process resume).
+* The heap accepts *any* object with a ``_fire()`` method.
+  :meth:`Environment.call_in` schedules a bare callable via the two-slot
+  ``_OneShot`` wrapper, skipping ``Event`` construction entirely, and the
+  network's delivery walkers schedule themselves the same way.
+* :meth:`Environment.run` drains the heap in a batched loop with the heap,
+  ``heappop``, and the deadline held in locals instead of re-entering
+  :meth:`step`'s attribute lookups per event.
+* :meth:`Process.interrupt` marks the superseded wait target stale in O(1)
+  (``_resume`` ignores events that are not the *current* wait target)
+  instead of scanning the old target's callback list.
+
 Example
 -------
 >>> env = Environment()
@@ -42,7 +61,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
+import gc
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -77,16 +97,22 @@ class Event:
 
     Events move through three states: *pending* (created), *triggered*
     (given a value or exception and placed on the heap), and *processed*
-    (callbacks have run).  Callbacks appended to :attr:`callbacks` before the
-    event is processed run when it fires; attaching a callback to an
-    already-processed event runs it immediately.
+    (callbacks have run).  Callbacks registered via :meth:`add_callback`
+    before the event is processed run when it fires; attaching a callback
+    to an already-processed event runs it immediately.
+
+    The first callback lives in the ``_cb`` slot; only a second waiter
+    allocates the ``_cbs`` overflow list.  The :attr:`callbacks` property
+    exposes a read-only snapshot for introspection — register through
+    :meth:`add_callback`, never by mutating the snapshot.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("env", "_cb", "_cbs", "_value", "_ok", "_triggered", "_processed")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
@@ -112,6 +138,15 @@ class Event:
     def value(self) -> Any:
         """The event's value (or the exception it failed with)."""
         return self._value
+
+    @property
+    def callbacks(self) -> list[Callable[["Event"], None]]:
+        """Snapshot of the pending callbacks (read-only; for introspection)."""
+        cb = self._cb
+        if cb is None:
+            return []
+        cbs = self._cbs
+        return [cb] if cbs is None else [cb, *cbs]
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
@@ -141,18 +176,30 @@ class Event:
         """Run ``callback(event)`` when this event fires (or now if fired)."""
         if self._processed:
             callback(self)
+        elif self._cb is None:
+            self._cb = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
 
     def _fire(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        if not self._ok and not callbacks:
-            # A failure nobody is waiting on would otherwise vanish silently;
-            # surface it so simulation bugs cannot hide (mirrors SimPy).
-            raise self._value
-        for callback in callbacks:
-            callback(self)
+        cb = self._cb
+        if cb is None:
+            if not self._ok:
+                # A failure nobody is waiting on would otherwise vanish
+                # silently; surface it so simulation bugs cannot hide
+                # (mirrors SimPy).
+                raise self._value
+            return
+        self._cb = None
+        cb(self)
+        cbs = self._cbs
+        if cbs is not None:
+            self._cbs = None
+            for callback in cbs:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else (
@@ -169,12 +216,37 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + succeed(): a timeout is born triggered,
+        # and this constructor is one of the two hottest code paths in the
+        # whole simulator.
+        self.env = env
+        self._cb = None
+        self._cbs = None
         self._value = value
+        self._ok = True
         self._triggered = True
-        env._schedule(self, delay)
+        self._processed = False
+        self.delay = delay
+        heappush(env._heap, (env._now + delay, env._sequence, self))
+        env._sequence += 1
+
+
+class _OneShot:
+    """The cheapest possible heap entry: a bare callable, fired once.
+
+    Duck-types the one method the dispatcher calls (``_fire``); carries no
+    value, no callbacks, no state machine.  Used by
+    :meth:`Environment.call_in` for one-shot "call at time T" scheduling
+    where a full :class:`Event` would be pure overhead.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        self._fn = fn
+
+    def _fire(self) -> None:
+        self._fn()
 
 
 class Process(Event):
@@ -186,9 +258,16 @@ class Process(Event):
     ``try/except`` failures of what they wait on).  The process event itself
     succeeds with the generator's return value or fails with its uncaught
     exception.
+
+    ``_waiting_on`` is the *current* wait target and ``_interruption``
+    holds any in-flight :meth:`interrupt` events; ``_resume`` ignores
+    everything else.  Those identity checks are what make
+    :meth:`interrupt` O(1): delivering an interrupt abandons the old wait
+    target without touching its callback storage, so the stale waiter
+    costs nothing regardless of how many co-waiters share that event.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_interruption")
 
     def __init__(
         self,
@@ -201,11 +280,15 @@ class Process(Event):
         super().__init__(env)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
+        self._interruption: Any = None
         # Kick off the generator at the current simulation time.
         bootstrap = Event(env)
-        bootstrap.succeed(None)
-        bootstrap.add_callback(self._resume)
+        bootstrap._ok = True
+        bootstrap._triggered = True
+        bootstrap._cb = self._resume
+        self._waiting_on: Optional[Event] = bootstrap
+        heappush(env._heap, (env._now, env._sequence, bootstrap))
+        env._sequence += 1
 
     @property
     def is_alive(self) -> bool:
@@ -215,30 +298,58 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
-        Interrupting a finished process is a no-op.
+        Interrupting a finished process is a no-op.  The event the process
+        was waiting on is *abandoned*, not mutated: when the interruption
+        is delivered, ``_resume`` starts dropping the old wait target, so
+        the stale waiter costs O(1) regardless of how many co-waiters
+        share that event's callback storage.
         """
-        if not self.is_alive:
+        if self._triggered:
             return
-        interruption = Event(self.env)
-        interruption.fail(Interrupt(cause))
-        # Detach from whatever the process was waiting on so the stale
-        # event's eventual firing does not resume the process twice.
-        waited = self._waiting_on
-        if waited is not None and self._resume in waited.callbacks:
-            waited.callbacks.remove(self._resume)
-        self._waiting_on = None
-        interruption.add_callback(self._resume)
+        env = self.env
+        interruption = Event(env)
+        interruption._ok = False
+        interruption._value = Interrupt(cause)
+        interruption._triggered = True
+        interruption._cb = self._resume
+        pending = self._interruption
+        if pending is None:
+            self._interruption = interruption
+        elif type(pending) is list:
+            pending.append(interruption)
+        else:
+            self._interruption = [pending, interruption]
+        heappush(env._heap, (env._now, env._sequence, interruption))
+        env._sequence += 1
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:  # pragma: no cover - defensive
-            return
-        self._waiting_on = None
-        self.env._active_process = self
-        try:
-            if event.ok:
-                target = self.generator.send(event.value)
+        if event is self._waiting_on:
+            self._waiting_on = None
+        else:
+            # Not the current wait target: either an in-flight
+            # interruption (deliver it, abandoning the superseded target)
+            # or a stale waiter (drop it in O(1)).
+            pending = self._interruption
+            if pending is None:
+                return
+            if pending is event:
+                self._interruption = None
+            elif type(pending) is list and event in pending:
+                pending.remove(event)
+                if not pending:
+                    self._interruption = None
             else:
-                target = self.generator.throw(event.value)
+                return
+            if self._triggered:
+                return  # finished while the interruption was in flight
+            self._waiting_on = None
+        env = self.env
+        env._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -246,12 +357,12 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.env._active_process = None
+            env._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
-        if target.env is not self.env:
+        if target.env is not env:
             raise SimulationError("cannot wait on an event from another Environment")
         self._waiting_on = target
         target.add_callback(self._resume)
@@ -316,13 +427,27 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """Owner of the virtual clock and the pending-event heap."""
+    """Owner of the virtual clock and the pending-event heap.
+
+    The heap holds ``(time, seq, entry)`` tuples where ``entry`` is any
+    object with a ``_fire()`` method — full :class:`Event`\\ s, bare
+    :class:`_OneShot` callables, or the network's delivery walkers.
+    ``dispatched`` counts every entry ever fired; the engine benchmark
+    reads it to report simulated-events/sec.
+    """
+
+    #: Process-wide total of entries fired across *all* environments.
+    #: Experiments like chaos build one world per sweep point; the engine
+    #: benchmark reads deltas of this aggregate around a tier to report
+    #: events/sec without reaching into each world's private environment.
+    dispatched_total = 0
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Any]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self.dispatched = 0
 
     @property
     def now(self) -> float:
@@ -361,7 +486,44 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Call ``fn()`` after ``delay`` virtual seconds.
+
+        The lightweight one-shot primitive: no :class:`Event` is built, no
+        callback list is managed, nothing can wait on the result.  Use it
+        for fire-and-forget work; use :meth:`timeout` when something must
+        ``yield`` on the occurrence.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heappush(self._heap, (self._now + delay, self._sequence, _OneShot(fn)))
+        self._sequence += 1
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Call ``fn()`` at absolute virtual time ``when`` (>= now)."""
+        self.call_in(when - self._now, fn)
+
+    def _push(self, delay: float, entry: Any) -> None:
+        """Schedule a pre-built heap entry (anything with ``_fire()``).
+
+        Internal fast path for the delivery engine's walkers; ``delay``
+        must already be validated non-negative by the caller.
+        """
+        heappush(self._heap, (self._now + delay, self._sequence, entry))
+        self._sequence += 1
+
+    def _push_at(self, at: float, entry: Any) -> None:
+        """Schedule a pre-built heap entry at absolute time ``at``.
+
+        The delivery walk fuses pure-delay hops by precomputing downstream
+        timestamps with exactly the floating-point operation sequence the
+        slot-per-hop engine performed; this entry point lets it land those
+        entries on bit-identical clock readings.
+        """
+        heappush(self._heap, (at, self._sequence, entry))
         self._sequence += 1
 
     def peek(self) -> float:
@@ -372,8 +534,10 @@ class Environment:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() with an empty event heap")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = heappop(self._heap)
         self._now = when
+        self.dispatched += 1
+        Environment.dispatched_total += 1
         event._fire()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -383,22 +547,61 @@ class Environment:
         clock to that time, leaving later events pending), or an
         :class:`Event` (run until it is processed, then return its value or
         raise its exception).
+
+        The dispatch loop is batched: the heap, ``heappop``, and the
+        deadline live in locals, so draining N same-timestamp events costs
+        N iterations of a tight loop rather than N ``step()`` re-entries.
+        Cyclic garbage collection is paused for the duration of the loop —
+        the dispatch path allocates heavily (events, datagrams, walkers)
+        and collector pauses otherwise account for a measurable slice of
+        wall clock; virtual-time behavior is unaffected.
         """
+        heap = self._heap
+        pop = heappop
+        fired = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "event heap drained before the awaited event fired "
-                        "(deadlock: nothing can trigger it)"
-                    )
-                self.step()
-            if target.ok:
-                return target.value
-            raise target.value
-        deadline = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
-        if until is not None and deadline > self._now:
-            self._now = deadline
+            try:
+                while not target._processed:
+                    if not heap:
+                        raise SimulationError(
+                            "event heap drained before the awaited event fired "
+                            "(deadlock: nothing can trigger it)"
+                        )
+                    entry = pop(heap)
+                    self._now = entry[0]
+                    entry[2]._fire()
+                    fired += 1
+            finally:
+                self.dispatched += fired
+                Environment.dispatched_total += fired
+                if gc_was_enabled:
+                    gc.enable()
+            if target._ok:
+                return target._value
+            raise target._value
+        try:
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    self._now = entry[0]
+                    entry[2]._fire()
+                    fired += 1
+            else:
+                deadline = float(until)
+                while heap and heap[0][0] <= deadline:
+                    entry = pop(heap)
+                    self._now = entry[0]
+                    entry[2]._fire()
+                    fired += 1
+                if deadline > self._now:
+                    self._now = deadline
+        finally:
+            self.dispatched += fired
+            Environment.dispatched_total += fired
+            if gc_was_enabled:
+                gc.enable()
         return None

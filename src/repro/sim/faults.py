@@ -51,6 +51,12 @@ class FaultDecision:
     extra_delay: float = 0.0
 
 
+#: The no-fault outcome, shared across all plans — callers treat decisions
+#: as read-only, so the overwhelmingly common "nothing happened" crossing
+#: never allocates.
+_NO_FAULTS = FaultDecision()
+
+
 @dataclass
 class FaultPlan:
     """Probabilistic per-link fault injection (seeded, deterministic).
@@ -95,16 +101,20 @@ class FaultPlan:
         if self.reorder_max_delay < 0:
             raise ValueError("reorder_max_delay must be non-negative")
         self._rng = random.Random(self.seed)
-
-    @property
-    def is_benign(self) -> bool:
-        """True when every fault rate is zero."""
-        return not (
+        # Rates never change after construction (mutating a live plan would
+        # desync its RNG stream from its counters), so benignity is computed
+        # once — the delivery engine checks it on every link crossing.
+        self._benign = not (
             self.drop_rate
             or self.duplicate_rate
             or self.reorder_rate
             or self.corrupt_rate
         )
+
+    @property
+    def is_benign(self) -> bool:
+        """True when every fault rate is zero."""
+        return self._benign
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """A copy of this plan with its own RNG stream."""
@@ -121,24 +131,32 @@ class FaultPlan:
         """One crossing's fate.  Draws are made in a fixed order so the
         decision stream depends only on the sequence of crossings."""
         self.evaluated += 1
-        decision = FaultDecision()
+        decision = None
         rng = self._rng
         if self.drop_rate and rng.random() < self.drop_rate:
             self.dropped += 1
+            decision = FaultDecision()
             decision.drop = True
             return decision
         if self.corrupt_rate and rng.random() < self.corrupt_rate:
             self.corrupted += 1
+            decision = FaultDecision()
             decision.corrupt = True
         if self.duplicate_rate and rng.random() < self.duplicate_rate:
             self.duplicated += 1
+            if decision is None:
+                decision = FaultDecision()
             decision.duplicate = True
         if self.reorder_rate and rng.random() < self.reorder_rate:
             self.reordered += 1
+            if decision is None:
+                decision = FaultDecision()
             decision.extra_delay = rng.uniform(0.0, self.reorder_max_delay) or (
                 self.reorder_max_delay / 2
             )
-        return decision
+        # Most crossings fault nothing: hand every one of those the same
+        # read-only decision instead of a fresh dataclass.
+        return decision if decision is not None else _NO_FAULTS
 
 
 #: Header set on datagrams whose payload was garbled in flight; the

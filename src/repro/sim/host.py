@@ -81,19 +81,22 @@ class CostModel:
 
     def stack_cost(self, size: int) -> float:
         """One network-stack traversal for a ``size``-byte message."""
-        return self._jittered(self.udp_per_msg + size * self.udp_per_byte)
+        cost = self.udp_per_msg + size * self.udp_per_byte
+        return cost if self.jitter == 0 else self._jittered(cost)
 
     def tcp_loopback_cost(self, size: int) -> float:
         """One loopback-TCP stack traversal for a ``size``-byte message."""
-        return self._jittered(
+        cost = (
             self.udp_per_msg
             + size * self.udp_per_byte
             + self.tcp_loopback_extra_per_msg
         )
+        return cost if self.jitter == 0 else self._jittered(cost)
 
     def ipc_cost(self, size: int) -> float:
         """One pipe/UNIX-socket message of ``size`` bytes."""
-        return self._jittered(self.ipc_per_msg + size * self.ipc_per_byte)
+        cost = self.ipc_per_msg + size * self.ipc_per_byte
+        return cost if self.jitter == 0 else self._jittered(cost)
 
 
 class NetEntity:

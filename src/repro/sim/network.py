@@ -45,6 +45,357 @@ __all__ = ["Network", "NameService", "ServiceRecord"]
 _MAX_REDIRECTS = 32
 
 
+# _Walk states.  DEPART/ARRIVE_*/DELIVER are heap-dispatch targets; the
+# remaining states are reached through event callbacks (NIC completion,
+# packet-program station completions) on the program-bearing slow path.
+_W_DEPART = 0
+_W_ARRIVE_SWITCH = 1
+_W_ARRIVE_HOST = 2
+_W_RX_STACK = 3
+_W_DELIVER = 4
+_W_HOST_RESUME = 5
+_W_PROG_SWITCH = 6
+_W_PROG_NIC = 7
+_W_PROG_KERNEL = 8
+
+
+class _Walk:
+    """One datagram's whole journey as a single flat heap entry.
+
+    Two earlier engines delivered datagrams with a kickoff ``Event`` plus a
+    generator ``Process`` (one ``Timeout`` per hop), then with a generator
+    driven straight off the heap.  This is the third form: no generator at
+    all.  The walk is a small state machine that reschedules *itself*, and
+    it fuses pure-delay slots — instead of waking at the link's far end and
+    again after the switch's forwarding latency, it computes the downstream
+    timestamps up front and sleeps straight through to the next instant at
+    which something order-sensitive happens.
+
+    Two disciplines make fused schedules reproduce the recorded same-seed
+    baselines:
+
+    *Timestamps* are computed with exactly the floating-point operation
+    sequence the slot-per-hop engine used — ``(t + d1) + d2``, never
+    ``t + (d1 + d2)`` — and pushed at absolute times via
+    :meth:`Environment._push_at`, so every observable event lands on a
+    bit-identical clock reading.
+
+    *Order-sensitive effects* stay at their historical instants: fault-plan
+    RNG draws happen at link-entry time (draw order on a shared link is
+    draw order of the competing walks), NIC station submissions happen at
+    host-arrival time (FIFO slot assignment), and socket delivery happens
+    after the receive-side stack traversal.  Only effect-free waits are
+    fused away.
+
+    Packet programs (switch rules, SmartNIC offloads, kernel fast-path
+    hooks) are the cold path: when a hop carries programs, the walk falls
+    back to driving the :meth:`Network._run_programs` generator through
+    real station-completion events, reproducing the unfused engine's
+    behaviour at those hops.
+    """
+
+    __slots__ = (
+        "net",
+        "env",
+        "dgram",
+        "state",
+        "current",
+        "crossed",
+        "hops",
+        "dst_entity",
+        "switch",
+        "host",
+        "pgen",
+    )
+
+    def __init__(
+        self, net: "Network", dgram: Datagram, current: str, crossed: bool = False
+    ):
+        self.net = net
+        self.env = net.env
+        self.dgram = dgram
+        self.state = _W_DEPART
+        self.current = current
+        self.crossed = crossed
+        self.hops = 0
+        self.dst_entity = net.entities.get(dgram.dst.host)
+        self.switch = None
+        self.host = None
+        self.pgen = None
+
+    # -- heap protocol -----------------------------------------------------
+    def _fire(self) -> None:
+        state = self.state
+        if state == _W_ARRIVE_SWITCH:
+            self._arrive_switch()
+        elif state == _W_ARRIVE_HOST:
+            self._arrive_host(True)
+        elif state == _W_DELIVER:
+            self._deliver()
+        elif state == _W_DEPART:
+            self._depart()
+        else:  # _W_RX_STACK: jittered stack-cost draw at its own instant
+            self._rx_stack()
+
+    # -- forward path ------------------------------------------------------
+    def _depart(self) -> None:
+        """Cross the next link toward the destination (or deliver locally).
+
+        Runs at the link-entry instant: the fault plan's RNG draw for this
+        crossing happens here, exactly when the unfused engine drew it.
+        """
+        net = self.net
+        dgram = self.dgram
+        dst_entity = self.dst_entity
+        if dst_entity is None:
+            net.dropped_no_entity += 1
+            return
+        dst_name = dst_entity.host.name
+        current = self.current
+        if current == dst_name:
+            self._arrive_host(self.crossed)
+            return
+        if self.hops >= _MAX_REDIRECTS:
+            raise AddressError(
+                f"datagram {dgram!r} exceeded {_MAX_REDIRECTS} redirects; "
+                "suspected forwarding loop"
+            )
+        self.hops += 1
+        hop = net._hop_cache.get((current, dst_name))
+        if hop is None:
+            next_node = net.route(current, dst_name)[1]
+            link = net.link_between(current, next_node)
+            net._hop_cache[(current, dst_name)] = (next_node, link)
+        else:
+            next_node, link = hop
+        if not link.up:
+            net.dropped_link_down += 1
+            return
+        if net._partition_state is not None and net._partition_blocks(
+            current, next_node, dgram
+        ):
+            net.dropped_partition += 1
+            return
+        env = self.env
+        extra_delay = 0.0
+        plan = link.fault_plan
+        if plan is not None and not plan._benign:
+            decision = plan.decide(dgram)
+            if decision.drop:
+                net.dropped_by_fault += 1
+                return
+            if decision.corrupt:
+                dgram.headers[CORRUPT_HEADER] = True
+            if decision.duplicate:
+                # The copy continues from the far end of this link after
+                # the normal crossing delay, so it is not re-duplicated
+                # on the same link.
+                copy = clone_datagram(dgram)
+                link.record(copy.size)
+                env._push(
+                    link.delay_for(copy.size), _Walk(net, copy, next_node, True)
+                )
+            extra_delay = decision.extra_delay
+        link.record(dgram.size)
+        t_arrive = env._now + (link.delay_for(dgram.size) + extra_delay)
+        self.current = next_node
+        self.crossed = True
+        if next_node == dst_name:
+            self.state = _W_ARRIVE_HOST
+            env._push_at(t_arrive, self)
+            return
+        switch = net.switches.get(next_node)
+        if switch is not None:
+            # Fused: sleep through the link *and* the switch's forwarding
+            # latency; forwarding is recorded (and the next link's fault
+            # decision drawn) when the datagram leaves the switch.
+            self.switch = switch
+            self.state = _W_ARRIVE_SWITCH
+            env._push_at(t_arrive + switch.forward_latency, self)
+            return
+        # A plain host en route (unusual topology): depart again on arrival.
+        self.state = _W_DEPART
+        env._push_at(t_arrive, self)
+
+    def _arrive_switch(self) -> None:
+        switch = self.switch
+        dgram = self.dgram
+        switch.record_forward(dgram)
+        if switch.programs:
+            programs = switch.matching_programs(dgram)
+            if programs:
+                self.pgen = self.net._run_programs(programs, dgram, at=self.current)
+                self.state = _W_PROG_SWITCH
+                self._drive_programs(None)
+                return
+        self._depart()
+
+    # -- receive side ------------------------------------------------------
+    def _arrive_host(self, via_nic: bool) -> None:
+        net = self.net
+        dgram = self.dgram
+        host = self.dst_entity.host
+        if host.down:
+            net.dropped_host_down += 1
+            return
+        if dgram.headers.pop(CORRUPT_HEADER, None):
+            # The NIC's frame checksum rejects garbled payloads before they
+            # reach any program or socket: corruption is loss, counted apart.
+            net.dropped_corrupt += 1
+            return
+        self.host = host
+        env = self.env
+        cost = host.cost
+        if not via_nic:
+            # Loopback: no NIC, no programs — fuse latency + stack cost.
+            if cost.jitter == 0:
+                transport_cost = dgram.headers.get("rx_stack_cost")
+                if transport_cost is None:
+                    transport_cost = cost.stack_cost(dgram.size)
+                self.state = _W_DELIVER
+                env._push_at(
+                    (env._now + cost.loopback_latency) + transport_cost, self
+                )
+            else:
+                # Jittered cost models draw from a shared RNG: the stack
+                # cost must be drawn at its historical instant.
+                self.state = _W_RX_STACK
+                env._push(cost.loopback_latency, self)
+            return
+        nic = host.nic
+        smartnic = host.smartnic
+        if (smartnic is not None and smartnic.programs) or host.kernel_programs:
+            # Slow path: programs run between NIC completion and the stack
+            # traversal, each at its historical instant.
+            completion = nic.rx_station.submit(dgram)
+            self.state = _W_HOST_RESUME
+            completion.add_callback(self._on_event)
+            return
+        done_at = nic.rx_station.submit_walk(dgram)
+        dgram.hops.append(nic.rx_visit_label)
+        if cost.jitter == 0:
+            transport_cost = dgram.headers.get("rx_stack_cost")
+            if transport_cost is None:
+                transport_cost = cost.stack_cost(dgram.size)
+            self.state = _W_DELIVER
+            env._push_at(done_at + transport_cost, self)
+        else:
+            self.state = _W_RX_STACK
+            env._push_at(done_at, self)
+
+    def _rx_stack(self) -> None:
+        """Stack traversal on a jittered host: the cost draw happens now."""
+        dgram = self.dgram
+        transport_cost = dgram.headers.get("rx_stack_cost")
+        if transport_cost is None:
+            transport_cost = self.host.cost.stack_cost(dgram.size)
+        self.state = _W_DELIVER
+        self.env._push(transport_cost, self)
+
+    def _deliver(self) -> None:
+        net = self.net
+        dgram = self.dgram
+        dst_entity = net.entities.get(dgram.dst.host)
+        if dst_entity is None or dst_entity.host is not self.host:
+            net.dropped_no_entity += 1
+            return
+        socket = dst_entity.ports.get(dgram.dst.port)
+        if socket is None:
+            net.dropped_unbound += 1
+            return
+        net.delivered += 1
+        dgram.hops.append("socket:" + str(dgram.dst))
+        socket.deliver(dgram)
+
+    # -- program-bearing slow path ----------------------------------------
+    def _on_event(self, event) -> None:
+        if self.state == _W_HOST_RESUME:
+            self._host_resume()
+        else:
+            self._drive_programs(event._value)
+
+    def _host_resume(self) -> None:
+        """NIC receive completed on a host with installed programs."""
+        dgram = self.dgram
+        host = self.host
+        dgram.hops.append(host.nic.rx_visit_label)
+        smartnic = host.smartnic
+        if smartnic is not None and smartnic.programs:
+            programs = smartnic.matching_programs(dgram)
+            if programs:
+                self.pgen = self.net._run_programs(programs, dgram, at=host.name)
+                self.state = _W_PROG_NIC
+                self._drive_programs(None)
+                return
+        self._kernel_stage()
+
+    def _kernel_stage(self) -> None:
+        host = self.host
+        dgram = self.dgram
+        if host.kernel_programs:
+            programs = [p for p in host.kernel_programs if p.match(dgram)]
+            if programs:
+                self.pgen = self.net._run_programs(programs, dgram, at=host.name)
+                self.state = _W_PROG_KERNEL
+                self._drive_programs(None)
+                return
+        self._transport_stage()
+
+    def _transport_stage(self) -> None:
+        dgram = self.dgram
+        transport_cost = dgram.headers.get("rx_stack_cost")
+        if transport_cost is None:
+            transport_cost = self.host.cost.stack_cost(dgram.size)
+        self.state = _W_DELIVER
+        self.env._push(transport_cost, self)
+
+    def _drive_programs(self, value) -> None:
+        """Advance the program generator until it blocks on a station."""
+        gen = self.pgen
+        while True:
+            try:
+                target = gen.send(value)
+            except StopIteration as stop:
+                self.pgen = None
+                self._programs_done(stop.value)
+                return
+            if target._processed:
+                value = target._value
+                continue
+            target.add_callback(self._on_event)
+            return
+
+    def _programs_done(self, verdict) -> None:
+        net = self.net
+        dgram = self.dgram
+        state = self.state
+        if verdict is PacketAction.DROP:
+            return
+        if state == _W_PROG_SWITCH:
+            # REDIRECT and PASS both fall through: recompute the route
+            # toward the (possibly rewritten) destination.
+            self.dst_entity = net.entities.get(dgram.dst.host)
+            self._depart()
+            return
+        host = self.host
+        if verdict is PacketAction.REDIRECT and not net._is_local(dgram, host):
+            # XDP_TX-style bounce back into the network.
+            self._restart_from(host.name)
+            return
+        if state == _W_PROG_NIC:
+            self._kernel_stage()
+        else:
+            self._transport_stage()
+
+    def _restart_from(self, node: str) -> None:
+        self.current = node
+        self.crossed = False
+        self.hops = 0
+        self.dst_entity = self.net.entities.get(self.dgram.dst.host)
+        self.state = _W_DEPART
+        self.env._push(0.0, self)
+
+
 def _up_weight(u: str, v: str, data: dict) -> Optional[float]:
     """Edge-weight callable for routing: ``None`` (= unusable) for down
     links, the configured latency weight otherwise."""
@@ -115,6 +466,11 @@ class Network:
         self.switches: dict[str, ProgrammableSwitch] = {}
         self.names = NameService(self)
         self._route_cache: dict[tuple[str, str], list[str]] = {}
+        #: (current node, destination host) → (next node, link): the one
+        #: lookup the delivery walk needs per hop, memoized past the path
+        #: cache so the hot path skips ``route()``/``link_between`` entirely.
+        #: Invalidated wherever ``_route_cache`` is.
+        self._hop_cache: dict[tuple[str, str], tuple[str, Link]] = {}
         #: Active partition: node name → group index (see
         #: ``ChaosController.partition``); None means fully connected.
         #: Assigned through the ``_partition`` property so that setting or
@@ -195,6 +551,7 @@ class Network:
         link.on_state_change = self._on_link_state_change
         self.graph.add_edge(a, b, link=link, weight=latency)
         self._route_cache.clear()
+        self._hop_cache.clear()
         self.obs.bind(f"link.{a}-{b}.bytes", link, "bytes_carried")
         self.obs.bind(f"link.{a}-{b}.datagrams", link, "datagrams_carried")
         return link
@@ -262,6 +619,7 @@ class Network:
         ``link_down``) even when an alternate up path existed.
         """
         self._route_cache.clear()
+        self._hop_cache.clear()
 
     @property
     def _partition(self) -> Optional[dict[str, int]]:
@@ -271,6 +629,7 @@ class Network:
     def _partition(self, membership: Optional[dict[str, int]]) -> None:
         self._partition_state = membership
         self._route_cache.clear()
+        self._hop_cache.clear()
 
     def link_between(self, a: str, b: str) -> Link:
         """The link connecting two adjacent vertices."""
@@ -352,8 +711,9 @@ class Network:
         """Inject ``dgram`` into the network ``after`` seconds from now.
 
         The caller (a transport) has already charged sender-side costs into
-        ``after``.  Delivery then proceeds asynchronously; undeliverable
-        datagrams are counted and dropped, mirroring UDP semantics.
+        ``after``.  Delivery then proceeds asynchronously — one :class:`_Walk`
+        heap entry carries the datagram end to end; undeliverable datagrams
+        are counted and dropped, mirroring UDP semantics.
         """
         src_entity = self.entities.get(dgram.src.host)
         if src_entity is None:
@@ -361,149 +721,27 @@ class Network:
         if src_entity.host.down:
             self.dropped_host_down += 1
             return
+        if after < 0:
+            raise AddressError(f"cannot transmit into the past (after={after})")
         dgram.sent_at = self.env.now
-        start_node = src_entity.host.name
-
-        def _start(_event) -> None:
-            self.env.process(
-                self._walk(dgram, start_node), name=f"deliver#{dgram.uid}"
-            )
-
-        kickoff = self.env.event()
-        kickoff.succeed(None, delay=after)
-        kickoff.add_callback(_start)
-
-    def _walk(self, dgram: Datagram, current: str, crossed_wire: bool = False):
-        """Delivery process: advance ``dgram`` from ``current`` to its dst."""
-        for _hop in range(_MAX_REDIRECTS):
-            dst_entity = self.entities.get(dgram.dst.host)
-            if dst_entity is None:
-                self.dropped_no_entity += 1
-                return
-            dst_host = dst_entity.host
-            if current == dst_host.name:
-                yield from self._host_rx(dgram, dst_host, via_nic=crossed_wire)
-                return
-            path = self.route(current, dst_host.name)
-            next_node = path[1]
-            link = self.link_between(current, next_node)
-            if not link.up:
-                self.dropped_link_down += 1
-                return
-            if self._partition_blocks(current, next_node, dgram):
-                self.dropped_partition += 1
-                return
-            extra_delay = 0.0
-            plan = link.fault_plan
-            if plan is not None and not plan.is_benign:
-                decision = plan.decide(dgram)
-                if decision.drop:
-                    self.dropped_by_fault += 1
-                    return
-                if decision.corrupt:
-                    dgram.headers[CORRUPT_HEADER] = True
-                if decision.duplicate:
-                    # The copy continues from the far end of this link after
-                    # the normal crossing delay, so it is not re-duplicated
-                    # on the same link.
-                    copy = clone_datagram(dgram)
-                    link.record(copy.size)
-
-                    def _launch(_event, copy=copy, at=next_node) -> None:
-                        self.env.process(
-                            self._walk(copy, at, crossed_wire=True),
-                            name=f"dup#{copy.uid}",
-                        )
-
-                    kickoff = self.env.event()
-                    kickoff.succeed(None, delay=link.delay_for(copy.size))
-                    kickoff.add_callback(_launch)
-                extra_delay = decision.extra_delay
-            link.record(dgram.size)
-            yield self.env.timeout(link.delay_for(dgram.size) + extra_delay)
-            crossed_wire = True
-            current = next_node
-            switch = self.switches.get(current)
-            if switch is not None:
-                switch.record_forward(dgram)
-                yield self.env.timeout(switch.forward_latency)
-                verdict = yield from self._run_programs(
-                    switch.matching_programs(dgram), dgram, at=current
-                )
-                if verdict is PacketAction.DROP:
-                    return
-                # REDIRECT and PASS both fall through: the loop recomputes
-                # the route toward the (possibly rewritten) destination.
-        raise AddressError(
-            f"datagram {dgram!r} exceeded {_MAX_REDIRECTS} redirects; "
-            "suspected forwarding loop"
-        )
-
-    def _host_rx(self, dgram: Datagram, host: Host, via_nic: bool):
-        """Receive-side processing at the destination host."""
-        if host.down:
-            self.dropped_host_down += 1
-            return
-        if dgram.headers.pop(CORRUPT_HEADER, None):
-            # The NIC's frame checksum rejects garbled payloads before they
-            # reach any program or socket: corruption is loss, counted apart.
-            self.dropped_corrupt += 1
-            return
-        if via_nic:
-            yield host.nic.rx_station.submit(dgram)
-            dgram.visit(f"nic:{host.nic.name}")
-            nic_programs = (
-                host.smartnic.matching_programs(dgram) if host.smartnic else []
-            )
-            verdict = yield from self._run_programs(
-                nic_programs, dgram, at=host.name
-            )
-            if verdict is PacketAction.DROP:
-                return
-            if verdict is PacketAction.REDIRECT and not self._is_local(dgram, host):
-                self.env.process(self._walk(dgram, host.name))
-                return
-            verdict = yield from self._run_programs(
-                [p for p in host.kernel_programs if p.match(dgram)],
-                dgram,
-                at=host.name,
-            )
-            if verdict is PacketAction.DROP:
-                return
-            if verdict is PacketAction.REDIRECT and not self._is_local(dgram, host):
-                # XDP_TX-style bounce back into the network.
-                self.env.process(self._walk(dgram, host.name))
-                return
-        else:
-            yield self.env.timeout(host.cost.loopback_latency)
-        # Up the stack into the bound socket.
-        transport_cost = dgram.headers.get("rx_stack_cost")
-        if transport_cost is None:
-            transport_cost = host.cost.stack_cost(dgram.size)
-        yield self.env.timeout(transport_cost)
-        dst_entity = self.entities.get(dgram.dst.host)
-        if dst_entity is None or dst_entity.host is not host:
-            self.dropped_no_entity += 1
-            return
-        socket = dst_entity.ports.get(dgram.dst.port)
-        if socket is None:
-            self.dropped_unbound += 1
-            return
-        self.delivered += 1
-        dgram.visit(f"socket:{dgram.dst}")
-        socket.deliver(dgram)
+        self.env._push(after, _Walk(self, dgram, src_entity.host.name))
 
     def _run_programs(
         self, programs: Iterable[PacketProgram], dgram: Datagram, at: str
     ):
-        """Run matching packet programs; returns the final PacketAction."""
+        """Run matching packet programs; returns the final PacketAction.
+
+        A generator driven by :meth:`_Walk._drive_programs`: it yields
+        station-completion events while each program's processing time is
+        charged, and clones it emits start fresh walks of their own.
+        """
         for program in programs:
             if program.station is not None:
                 yield program.station.submit(dgram)
             result = program.run(dgram)
             dgram.visit(f"program:{program.name}@{at}")
             for clone in result.clones:
-                self.env.process(self._walk(clone, at))
+                self.env._push(0.0, _Walk(self, clone, at))
             action = result.action
             if action is PacketAction.CLONE:
                 action = result.action_after

@@ -43,6 +43,9 @@ class Nic:
     ):
         self.env = env
         self.name = name
+        #: Precomputed ``Datagram.visit`` label — built per delivery before,
+        #: which showed up in profiles at fleet scale.
+        self.rx_visit_label = f"nic:{name}"
         self.rx_station = Station(
             env,
             service_time=lambda dgram: rx_per_packet

@@ -1,0 +1,134 @@
+"""Wire fast-path contracts: adapter memoization and single-pass sizing."""
+
+import pytest
+
+from repro.core import wire
+from repro.core.wire import (
+    MIN_MESSAGE_SIZE,
+    WireError,
+    decode,
+    encode,
+    encode_sized,
+    message_size,
+    register_wire_type,
+)
+from repro.sim import Address
+
+
+class _MemoBase:
+    def __init__(self, x):
+        self.x = x
+
+    def __eq__(self, other):
+        return isinstance(other, _MemoBase) and self.x == other.x
+
+
+class _MemoSub(_MemoBase):
+    pass
+
+
+class _AfterBase:
+    pass
+
+
+register_wire_type(
+    "test.memo_base",
+    _MemoBase,
+    lambda v: {"x": v.x},
+    lambda d: _MemoBase(d["x"]),
+)
+# Registered *after* the base on purpose: the registry scan for _MemoSub
+# then matches mid-iteration rather than on the final entry, which is the
+# case that would blow up if the memoizing write kept iterating.
+register_wire_type("test.after_base", _AfterBase, lambda v: {}, lambda d: _AfterBase())
+
+
+class TestAdapterMemoization:
+    def test_subclass_resolves_to_base_adapter(self):
+        assert decode(encode(_MemoSub(3))) == _MemoBase(3)
+
+    def test_subclass_hit_is_memoized_under_the_concrete_type(self):
+        wire._encoders.pop(_MemoSub, None)
+        encode(_MemoSub(1))
+        # Second encode is a plain dict hit: the concrete type now maps to
+        # the very same (tag, encoder) pair as the registered base.
+        assert wire._encoders[_MemoSub] is wire._encoders[_MemoBase]
+
+    def test_memoizing_during_the_registry_scan_is_safe(self):
+        # Regression: the memo write happens *inside* the scan over
+        # ``_encoders``.  If the loop kept iterating after the write, the
+        # first subclass encode would die with "dictionary changed size
+        # during iteration".  _AfterBase sits after _MemoBase in insertion
+        # order, so this encode exercises exactly that mid-scan write.
+        wire._encoders.pop(_MemoSub, None)
+        encoded = encode([_MemoSub(i) for i in range(3)])
+        assert [decode(item).x for item in encoded] == [0, 1, 2]
+
+    def test_base_registration_survives_subclass_memoization(self):
+        encode(_MemoSub(5))
+        assert decode(encode(_MemoBase(9))) == _MemoBase(9)
+
+    def test_unregistered_type_still_rejected(self):
+        class Stranger:
+            pass
+
+        with pytest.raises(WireError):
+            encode(Stranger())
+
+
+class TestEncodeSizedEquivalence:
+    """``encode_sized`` must equal the two-pass ``encode`` + ``message_size``
+    — same encoded form, same byte count — for every shape that travels."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            1e-9,
+            "hello",
+            "",
+            b"",
+            b"\x00\xff",
+            bytes(range(64)),
+            [],
+            {},
+            (1, 2),
+            [1, [2, "x"], {"k": b"z"}],
+            {"a": {"b": [1, 2.5, None]}, "c": True},
+            Address("host-a", 9),
+            {"peers": [Address("a", 1), Address("b", 2)]},
+            _MemoSub(7),
+        ],
+    )
+    def test_matches_two_pass_encoding(self, value):
+        reference = encode(value)
+        encoded, size = encode_sized(value)
+        assert encoded == reference
+        assert size == message_size(reference)
+
+    def test_primitive_subclasses_take_the_isinstance_fallback(self):
+        class MyInt(int):
+            pass
+
+        class MyStr(str):
+            pass
+
+        for value in (MyInt(42), MyStr("abc"), [MyInt(1), MyStr("s")], (MyInt(3),)):
+            encoded, size = encode_sized(value)
+            assert encoded == encode(value)
+            assert size == message_size(encode(value))
+
+    def test_floor_applies_to_tiny_payloads(self):
+        encoded, size = encode_sized(None)
+        assert size == MIN_MESSAGE_SIZE == message_size(encoded)
+
+    def test_reserved_and_non_string_keys_still_rejected(self):
+        with pytest.raises(WireError):
+            encode_sized({"__kind__": 1})
+        with pytest.raises(WireError):
+            encode_sized({1: "x"})

@@ -212,3 +212,21 @@ class TestRecordedBaselineWithinNoise:
                 assert 0.1 <= ratio <= 10.0, (
                     f"{metric} at loss {point['loss']} off by {ratio:.1f}x"
                 )
+
+
+class TestSameSeedByteIdentity:
+    """Two same-seed runs must export byte-for-byte identical metrics.
+
+    CI diffs two subprocess exports already; this is the in-process
+    version, so a nondeterminism regression (iteration-order leak, id()
+    in a sort key, wall-clock in a metric) fails the suite directly.
+    """
+
+    def test_two_smoke_runs_export_identical_metrics(self):
+        def canonical():
+            result = run_chaos(ChaosConfig.smoke(seed=7))
+            return json.dumps(
+                result.metrics_payload(), sort_keys=True, separators=(",", ":")
+            )
+
+        assert canonical() == canonical()

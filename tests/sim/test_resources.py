@@ -238,3 +238,41 @@ class TestStore:
         store.put(1)
         store.put(2)
         assert len(store) == 2
+
+
+class TestSubmitWalk:
+    """``submit_walk`` is ``submit`` for the delivery walk: identical
+    bookkeeping and completion instants, but the caller gets the absolute
+    completion time instead of an Event."""
+
+    def test_matches_submit_completion_times_and_stats(self):
+        env = Environment()
+        eventful = Station(env, service_time=2.0, name="eventful")
+        walked = Station(env, service_time=2.0, name="walked")
+        completions = []
+        walk_times = []
+        for job in range(5):
+            done = eventful.submit(job)
+            done.add_callback(lambda _e: completions.append(env.now))
+            walk_times.append(walked.submit_walk(job))
+        env.run()
+        assert walk_times == completions == [2.0, 4.0, 6.0, 8.0, 10.0]
+        assert walked.jobs_served == eventful.jobs_served == 5
+        assert walked.total_wait == eventful.total_wait
+        assert walked.total_service == eventful.total_service
+        # The completion slot still fires on the heap, so queue-depth
+        # accounting drains exactly as with submit().
+        assert walked.jobs_in_system == eventful.jobs_in_system == 0
+
+    def test_multi_server_assignment_matches(self):
+        env = Environment()
+        eventful = Station(env, service_time=3.0, servers=2)
+        walked = Station(env, service_time=3.0, servers=2)
+        completions = []
+        walk_times = []
+        for job in range(4):
+            done = eventful.submit(job)
+            done.add_callback(lambda _e: completions.append(env.now))
+            walk_times.append(walked.submit_walk(job))
+        env.run()
+        assert walk_times == completions == [3.0, 3.0, 6.0, 6.0]
