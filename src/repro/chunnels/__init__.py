@@ -22,6 +22,7 @@ Chunnel types provided (paper section in parentheses):
 ``ordered_mcast``    sequencer-ordered group delivery (Listing 2)
 ``anycast``          best-instance selection (§3.2)
 ``loadbalance``      backend spreading, client or proxy side (§3.2)
+``multipath``        weighted per-packet spreading over disjoint tunnels
 ``batch``            send coalescing
 ``ratelimit``        token-bucket send pacing (PicNIC-class shaping)
 =================  =====================================================
@@ -45,6 +46,11 @@ from .multicast import (
     OrderedMcast,
     SequencerProgram,
     sequencer_service_name,
+)
+from .multipath import (
+    MULTIPATH_TUNNEL_HEADER,
+    MultipathWeighted,
+    WeightedMultipath,
 )
 from .ordering import Ordered, OrderedFallback
 from .ratelimit import RateLimit, RateLimitFallback, RateLimitNicPacer
@@ -101,8 +107,10 @@ __all__ = [
     "LoadBalanceProxy",
     "LocalOrRemote",
     "LocalOrRemoteFallback",
+    "MULTIPATH_TUNNEL_HEADER",
     "McastSequencerFallback",
     "McastSwitchSequencer",
+    "MultipathWeighted",
     "Ordered",
     "OrderedFallback",
     "OrderedMcast",
@@ -130,6 +138,7 @@ __all__ = [
     "Tls",
     "TlsFallback",
     "TlsSmartNic",
+    "WeightedMultipath",
     "XdpShardProgram",
     "get_codec",
     "keystream_cipher",

@@ -66,18 +66,28 @@ class _BalanceState:
         self.spec = spec
         self._next = 0
 
-    def pick(self, source: Optional[Address]) -> Address:
+    def pick(self, source: Optional[Address]) -> tuple[Address, bool]:
+        """Choose a backend; the flag reports whether source affinity
+        actually applied (``hash_source`` with a known source)."""
         backends = self.spec.backends
         if self.spec.args["strategy"] == "hash_source" and source is not None:
             index = zlib.crc32(str(source).encode()) % len(backends)
-            return backends[index]
+            return backends[index], True
         index = self._next % len(backends)
         self._next += 1
-        return backends[index]
+        return backends[index], False
 
 
 class _ClientBalanceStage(ChunnelStage):
-    """Client-side balancing: address each request directly."""
+    """Client-side balancing: address each request directly.
+
+    Under ``hash_source`` the hash key is the connection's own source
+    address — every request from one connection lands on the same backend
+    (the docstring's affinity promise).  ``affinity_picks`` counts the
+    requests that used the hash; the remainder of ``requests_balanced``
+    fell back to round-robin (round-robin strategy, or a source that is
+    genuinely unknown because the stack has no socket yet).
+    """
 
     PER_REQUEST_COST = 0.2e-6
 
@@ -85,11 +95,19 @@ class _ClientBalanceStage(ChunnelStage):
         super().__init__(impl, role)
         self.state = _BalanceState(impl.spec)
         self.requests_balanced = 0
+        self.affinity_picks = 0
+
+    def _source_address(self) -> Optional[Address]:
+        conn = self._stack.connection if self._stack is not None else None
+        socket = conn.socket if conn is not None else None
+        return socket.address if socket is not None else None
 
     def on_send(self, msg: Message) -> Iterable[Message]:
-        msg.dst = self.state.pick(None)
+        msg.dst, affine = self.state.pick(self._source_address())
         self.charge(self.PER_REQUEST_COST)
         self.requests_balanced += 1
+        if affine:
+            self.affinity_picks += 1
         return [msg]
 
 
@@ -102,16 +120,30 @@ class _ProxyBalanceStage(ChunnelStage):
         super().__init__(impl, role)
         self.state = _BalanceState(impl.spec)
         self.requests_proxied = 0
+        self.proxied_without_source = 0
 
     def on_recv(self, msg: Message) -> Iterable[Message]:
         if msg.headers.get("lb_forwarded"):
             return [msg]
         self.charge(self.PER_REQUEST_COST)
         forward = msg.copy()
-        forward.dst = self.state.pick(msg.src)
+        forward.dst, _affine = self.state.pick(msg.src)
         forward.headers["lb_forwarded"] = True
         if msg.src is not None:
             forward.headers[REPLY_TO_HEADER] = [msg.src.host, msg.src.port]
+        else:
+            # No source address: the backend has nowhere to send the reply.
+            # The request is still forwarded (one-way traffic is legal) but
+            # the dead reply path is recorded instead of silently produced.
+            self.proxied_without_source += 1
+            conn = self._stack.connection if self._stack is not None else None
+            if conn is not None:
+                conn.runtime.network.trace.event(
+                    "loadbalance",
+                    conn.conn_id,
+                    action="forward-without-source",
+                    backend=str(forward.dst),
+                )
         self.send_below(forward)
         self.requests_proxied += 1
         return []

@@ -25,6 +25,7 @@ from .chunnel import (
 )
 from .connection import Connection
 from .dag import ChunnelDag, wrap
+from .establish import SplitProxy
 from .negotiation import decide, feasible_offers
 from .optimizer import (
     ChunnelTraits,
@@ -104,6 +105,7 @@ __all__ = [
     "SWITCH_STAGES",
     "Scope",
     "SetupContext",
+    "SplitProxy",
     "XDP_SHARE",
     "catalog",
     "count_device_crossings",

@@ -202,6 +202,44 @@ class ChunnelDag:
             return client
         return server
 
+    @staticmethod
+    def merge_arg_updates(
+        current: "ChunnelDag", incoming: "ChunnelDag"
+    ) -> Optional[tuple["ChunnelDag", set[int]]]:
+        """Merge a same-structure DAG whose specs differ only in *args*.
+
+        The reconfiguration engine uses this to apply arg-bearing
+        transitions — e.g. a multipath weight update — without rebuilding
+        the whole stack: the returned DAG keeps ``current``'s spec
+        *objects* for unchanged nodes (preserving the identity matching
+        that carries setup contexts and live stages across an epoch) and
+        adopts ``incoming``'s specs only where the wire encoding differs.
+        Returns ``(merged, changed_node_ids)``; ``changed_node_ids`` empty
+        means the update was arg-identical (``merged is current``).
+
+        Returns ``None`` when the DAGs differ structurally — different
+        node ids, edges, or per-node compat keys — in which case the
+        caller must fall back to a full rebuild.
+        """
+        if (
+            set(current.nodes) != set(incoming.nodes)
+            or current.edges != incoming.edges
+        ):
+            return None
+        changed: set[int] = set()
+        for node_id, spec in current.nodes.items():
+            new_spec = incoming.nodes[node_id]
+            if spec.compat_key() != new_spec.compat_key():
+                return None
+            if spec is not new_spec and encode(spec) != encode(new_spec):
+                changed.add(node_id)
+        if not changed:
+            return current, set()
+        merged = current.copy()
+        for node_id in changed:
+            merged.nodes[node_id] = incoming.nodes[node_id]
+        return merged, changed
+
     # -- serialization ------------------------------------------------------------
     def to_wire(self) -> dict:
         """Wire form: nodes (id + spec) and edges."""

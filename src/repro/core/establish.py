@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-from ..errors import BerthaError, NegotiationError
+from ..errors import BerthaError, ConnectionClosedError, NegotiationError
 from ..sim.datagram import Address
+from ..sim.eventloop import Interrupt
 from ..sim.transport import PipeSocket, SimSocket, UdpSocket
 from . import messages as msgs
 from .chunnel import ChunnelImpl, Offer, Role
@@ -38,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runtime import Runtime
 
 __all__ = [
+    "SplitProxy",
     "build_binding",
     "establish_connection",
     "make_data_socket",
@@ -237,3 +239,174 @@ def establish_connection(
         raise
     trace.finish(span, transport=connection.transport, nodes=len(impls))
     return connection
+
+
+class SplitProxy:
+    """A mid-path Bertha node that stitches two independently negotiated
+    connections into one end-to-end flow (connection splitting).
+
+    The proxy listens for downstream connections with ``downstream_dag``
+    and, per accepted connection, re-originates an upstream connection to
+    ``target`` with ``upstream_dag``, then relays application messages in
+    both directions.  Each segment runs its *own* negotiation and its own
+    Chunnel stack — a Reliable node recovers losses over its segment's
+    RTT, not the end-to-end RTT, which is the whole point: splitting wins
+    when one segment is lossy and the other long (loss recovery stays
+    local to the bad segment), and loses on clean paths (two stack
+    traversals and a store-and-forward hop for nothing).
+
+    ``upstream_dag`` defaults to a structural clone of ``downstream_dag``
+    (fresh spec objects via the wire codec), so the two segments never
+    share negotiation state even when their shapes match.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        target: Address,
+        downstream_dag: ChunnelDag,
+        *,
+        port: Optional[int] = None,
+        upstream_dag: Optional[ChunnelDag] = None,
+    ):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.name = name
+        self.target = target
+        self.upstream_dag = (
+            upstream_dag
+            if upstream_dag is not None
+            else ChunnelDag.from_wire(downstream_dag.to_wire())
+        )
+        self.listener = runtime.new(name, downstream_dag).listen(port=port)
+        self.bridges: list[tuple[Connection, Connection]] = []
+        self.splits = 0
+        self.relayed_upstream = 0
+        self.relayed_downstream = 0
+        self.upstream_failures = 0
+        #: Messages that arrived before the other segment had revealed a
+        #: reply address (dropped: nowhere to send them).
+        self.relay_no_destination = 0
+        #: Per-connection reply address, learned from the source address
+        #: of the traffic flowing the *other* way (a server-side segment
+        #: has no default peer until its client has sent something).
+        self._reply_to: dict[int, Address] = {}
+        obs = runtime.network.obs
+        prefix = f"splitproxy.{runtime.entity.name}.{name}"
+        obs.bind(f"{prefix}.splits", self, "splits", replace=True)
+        obs.bind(
+            f"{prefix}.relayed_upstream", self, "relayed_upstream", replace=True
+        )
+        obs.bind(
+            f"{prefix}.relayed_downstream",
+            self,
+            "relayed_downstream",
+            replace=True,
+        )
+        obs.bind(
+            f"{prefix}.upstream_failures",
+            self,
+            "upstream_failures",
+            replace=True,
+        )
+        obs.bind(
+            f"{prefix}.relay_no_destination",
+            self,
+            "relay_no_destination",
+            replace=True,
+        )
+        self._relays: list = []
+        self._acceptor = self.env.process(
+            self._serve(), name=f"{name}.split-proxy"
+        )
+
+    @property
+    def address(self) -> Address:
+        """The control address downstream clients connect to."""
+        return self.listener.address
+
+    def _serve(self):
+        while True:
+            try:
+                down = yield self.listener.accept()
+            except (Interrupt, ConnectionClosedError):
+                return
+            self.env.process(
+                self._bridge(down),
+                name=f"{self.name}.bridge-{self.splits}",
+            )
+
+    def _bridge(self, down: Connection):
+        """Originate the upstream segment, then pump both directions."""
+        endpoint = self.runtime.new(
+            f"{self.name}-up{self.splits}",
+            ChunnelDag.from_wire(self.upstream_dag.to_wire()),
+        )
+        try:
+            up = yield from endpoint.connect(self.target)
+        except (BerthaError, Interrupt):
+            # The stitch failed half-way: the downstream client holds an
+            # established connection that leads nowhere — close it so the
+            # client sees teardown rather than a black hole.
+            self.upstream_failures += 1
+            down.close()
+            return
+        self.splits += 1
+        self.bridges.append((down, up))
+        self.runtime.network.trace.event(
+            "splitproxy",
+            down.conn_id,
+            action="stitched",
+            upstream=up.conn_id,
+        )
+        self._relays.append(
+            self.env.process(
+                self._relay(down, up, "relayed_upstream"),
+                name=f"{down.conn_id}.relay-up",
+            )
+        )
+        self._relays.append(
+            self.env.process(
+                self._relay(up, down, "relayed_downstream"),
+                name=f"{up.conn_id}.relay-down",
+            )
+        )
+
+    def _relay(self, source: Connection, sink: Connection, counter: str):
+        """Pump application messages from one segment into the other."""
+        while True:
+            try:
+                message = yield source.recv()
+            except (Interrupt, ConnectionClosedError):
+                return
+            if sink.closed:
+                return
+            if message.src is not None:
+                self._reply_to[id(source)] = message.src
+            dst = None if sink.peer is not None else self._reply_to.get(id(sink))
+            if sink.peer is None and dst is None:
+                self.relay_no_destination += 1
+                continue
+            try:
+                sink.send(
+                    message.payload,
+                    size=message.size or None,
+                    dst=dst,
+                    headers=message.headers,
+                )
+            except ConnectionClosedError:
+                return
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def stop(self) -> None:
+        """Stop accepting and tear down every stitched pair."""
+        self.listener.close()
+        if self._acceptor.is_alive:
+            self._acceptor.interrupt("split proxy stopped")
+        for relay in self._relays:
+            if relay.is_alive:
+                relay.interrupt("split proxy stopped")
+        for down, up in self.bridges:
+            down.close()
+            up.close()

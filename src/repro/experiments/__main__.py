@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments churn [--smoke] [--sessions N]
     python -m repro.experiments failover [--smoke] [--seed N]
     python -m repro.experiments fleet [--smoke] [--shards N]
+    python -m repro.experiments multipath [--smoke] [--seed N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
     python -m repro.experiments bench engine [--smoke] [--tier NAME]
@@ -59,6 +60,7 @@ from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
 from .fleet import FleetConfig, run_fleet
+from .multipath import MultipathConfig, run_multipath
 from .reconfig import ReconfigConfig, run_epoch_overhead, run_reconfig
 
 
@@ -321,6 +323,30 @@ def cmd_fleet(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_multipath(args) -> None:
+    config = (
+        MultipathConfig.smoke(seed=args.seed)
+        if args.smoke
+        else MultipathConfig(seed=args.seed)
+    )
+    label = (
+        f"Multipath: split-connection crossover over "
+        f"{len(config.asymmetry)} asymmetry points + live weight "
+        f"rebalance (seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_multipath(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def cmd_engine(args) -> None:
     if args.tier:
         config = EngineConfig(tiers=tuple(args.tier), repeats=args.repeats or 3)
@@ -366,6 +392,7 @@ COMMANDS = {
     "churn": cmd_churn,
     "failover": cmd_failover,
     "fleet": cmd_fleet,
+    "multipath": cmd_multipath,
     "ablations": cmd_ablations,
     "engine": cmd_engine,
     "bench": cmd_bench,

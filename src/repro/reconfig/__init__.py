@@ -20,7 +20,12 @@ connection automatically.  Wire format: PROTOCOL.md §"Live reconfiguration".
 """
 
 from .engine import ReconfigManager, TransitionRecord
-from .triggers import DeviceFailureDetector, DiscoveryWatcher, LoadMonitor
+from .triggers import (
+    DeviceFailureDetector,
+    DiscoveryWatcher,
+    LoadMonitor,
+    PathQualityMonitor,
+)
 
 __all__ = [
     "ReconfigManager",
@@ -28,4 +33,5 @@ __all__ = [
     "DeviceFailureDetector",
     "DiscoveryWatcher",
     "LoadMonitor",
+    "PathQualityMonitor",
 ]

@@ -336,6 +336,19 @@ class ReconfigManager:
         message, ctx, owner = ns["message"], ns["ctx"], ns["owner"]
         old_shape = conn.dag.canonical_shape()
         dag = target_dag if target_dag is not None else conn.dag
+        arg_changed: set[int] = set()
+        merged_args = False
+        if dag is not conn.dag:
+            # A same-structure target whose specs differ only in args (a
+            # multipath weight update, a retuned timeout) merges into the
+            # live DAG: unchanged nodes keep their spec objects — and so
+            # their contexts and stages — and only arg-changed nodes
+            # rebuild.  ``None`` means a genuinely different structure:
+            # fall through to the historical full rebuild.
+            merge = ChunnelDag.merge_arg_updates(conn.dag, dag)
+            if merge is not None:
+                dag, arg_changed = merge
+                merged_args = True
 
         # Re-decide against fresh offers: the client's stored offers, our
         # registry, and a *new* discovery query (the client's establishment-
@@ -356,7 +369,7 @@ class ReconfigManager:
             node_id
             for node_id in dag.topological_order()
             if not _same_offer(conn.choice.get(node_id), choice[node_id])
-        }
+        } | arg_changed
         if dag is conn.dag and not changed:
             for record_id, node_owner in confirmed:
                 yield from self._safe_release(record_id, node_owner)
@@ -368,7 +381,7 @@ class ReconfigManager:
         state.next_epoch += 1
         self._log(conn, "prepare", f"epoch {epoch}: {reason}")
 
-        if dag is not conn.dag:
+        if dag is not conn.dag and not merged_args:
             changed = set(dag.topological_order())
         impls, ctx_map, stage_map = self._build_side(
             conn, dag, choice, changed, confirmed, conn.role
@@ -607,21 +620,29 @@ class ReconfigManager:
             conn.send_ctl(ack, dst=src)
             return
         try:
-            # Same shape ⇒ keep our DAG object so node identities (and the
-            # setup contexts keyed on them) survive the transition.
+            # Same structure ⇒ keep our spec objects for unchanged nodes so
+            # node identities (and the setup contexts keyed on them)
+            # survive the transition, adopting the announced args only
+            # where they differ (e.g. a multipath weight update).  A
+            # same-shape DAG that won't merge (relabeled node ids) keeps
+            # our DAG wholesale, as before; a different shape is a full
+            # rebuild from the announcement.
             old_shape = conn.dag.canonical_shape()
-            dag = (
-                conn.dag
-                if message.dag.canonical_shape() == conn.dag.canonical_shape()
-                else message.dag
-            )
+            merge = ChunnelDag.merge_arg_updates(conn.dag, message.dag)
+            arg_changed: set[int] = set()
+            if merge is not None:
+                dag, arg_changed = merge
+            elif message.dag.canonical_shape() == old_shape:
+                dag = conn.dag
+            else:
+                dag = message.dag
             choice = message.choice
             changed = {
                 node_id
                 for node_id in dag.topological_order()
                 if not _same_offer(conn.choice.get(node_id), choice.get(node_id))
-            }
-            if dag is not conn.dag:
+            } | arg_changed
+            if dag is not conn.dag and merge is None:
                 changed = set(dag.topological_order())
             impls, ctx_map, stage_map = self._build_side(
                 conn, dag, choice, changed, [], conn.role

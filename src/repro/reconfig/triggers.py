@@ -16,6 +16,12 @@ Three independent signal sources feed the transition engine:
     Performance degradation.  Polls simulated service-station queue depths
     and fires a callback when a threshold is crossed (with hysteresis:
     re-arms only after the queue drains below half the threshold).
+
+``PathQualityMonitor``
+    Path degradation.  Polls the fault-plan loss counters of the links
+    along a pinned path and fires when the windowed loss rate crosses a
+    threshold — the signal that drives live multipath weight rebalancing
+    (PROTOCOL.md §10).
 """
 
 from __future__ import annotations
@@ -34,7 +40,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.runtime import Runtime
     from ..sim.network import Network
 
-__all__ = ["DeviceFailureDetector", "DiscoveryWatcher", "LoadMonitor"]
+__all__ = [
+    "DeviceFailureDetector",
+    "DiscoveryWatcher",
+    "LoadMonitor",
+    "PathQualityMonitor",
+]
 
 _log = logging.getLogger("repro.ctl")
 
@@ -308,3 +319,117 @@ class LoadMonitor:
         self._stopped = True
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("load monitor stopped")
+
+
+class PathQualityMonitor:
+    """Threshold alarms over the loss rate of a pinned network path.
+
+    ``watch_path`` resolves the links along ``path`` (consecutive node
+    pairs) and polls their fault-plan counters; each poll computes the
+    loss rate of the *window since the previous poll* — lost over
+    evaluated crossings, where lost counts both outright drops and
+    corruptions (discarded by the destination NIC's checksum).  A link
+    that is administratively down reads as rate 1.0 regardless of
+    counters.  The callback fires when the windowed rate reaches
+    ``threshold`` and re-arms once it falls back to half the threshold
+    (hysteresis), matching :class:`LoadMonitor`.
+
+    Windows with fewer than ``min_samples`` evaluated crossings are
+    skipped: an idle path has no quality signal, and a one-packet window
+    would read as rate 0.0 or 1.0 with nothing in between.
+
+    This is the trigger that feeds multipath weight rebalancing: wire the
+    callback to ``request_transition`` with a reweighted
+    ``WeightedMultipath`` spec and traffic shifts off the degrading link
+    mid-connection (PROTOCOL.md §10).
+    """
+
+    def __init__(self, network: "Network", interval: float = 5e-3):
+        self.network = network
+        self.env = network.env
+        self.interval = interval
+        self._watches: list[dict] = []
+        self._proc = None
+        self._stopped = False
+        self.samples = 0
+        self.alarms = 0
+
+    def _links(self, path: list[str]):
+        return [
+            self.network.link_between(a, b) for a, b in zip(path, path[1:])
+        ]
+
+    @staticmethod
+    def _totals(links) -> tuple[int, int]:
+        """(evaluated, lost) summed over the path's fault plans."""
+        evaluated = 0
+        lost = 0
+        for link in links:
+            plan = link.fault_plan
+            if plan is None:
+                continue
+            evaluated += plan.evaluated
+            lost += plan.dropped + plan.corrupted
+        return evaluated, lost
+
+    def watch_path(
+        self,
+        name: str,
+        path: list[str],
+        threshold: float,
+        callback: Callable[[str, list[str], float], None],
+        min_samples: int = 8,
+    ) -> None:
+        """``callback(name, path, rate)`` when a poll window's loss rate
+        reaches ``threshold``.  ``path`` is a node-name sequence as
+        returned by ``Network.k_routes`` (adjacent pairs must be linked).
+        """
+        links = self._links(list(path))
+        evaluated, lost = self._totals(links)
+        self._watches.append(
+            {
+                "name": name,
+                "path": list(path),
+                "links": links,
+                "threshold": threshold,
+                "callback": callback,
+                "min_samples": min_samples,
+                "evaluated": evaluated,
+                "lost": lost,
+                "armed": True,
+            }
+        )
+        if self._proc is None:
+            self._proc = self.env.process(self._run(), name="path-monitor")
+
+    def _run(self):
+        while not self._stopped:
+            try:
+                yield self.env.timeout(self.interval)
+            except Interrupt:
+                return
+            self.samples += 1
+            for watch in self._watches:
+                evaluated, lost = self._totals(watch["links"])
+                window = evaluated - watch["evaluated"]
+                lost_in_window = lost - watch["lost"]
+                watch["evaluated"] = evaluated
+                watch["lost"] = lost
+                if any(not link.up for link in watch["links"]):
+                    rate = 1.0
+                elif window < watch["min_samples"]:
+                    continue
+                else:
+                    rate = lost_in_window / window
+                if watch["armed"] and rate >= watch["threshold"]:
+                    watch["armed"] = False
+                    self.alarms += 1
+                    watch["callback"](watch["name"], watch["path"], rate)
+                elif not watch["armed"] and rate <= watch["threshold"] / 2:
+                    watch["armed"] = True
+
+    def stop(self) -> None:
+        """Stop polling (the loop otherwise keeps the event heap alive)."""
+        self._stopped = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("path monitor stopped")

@@ -31,7 +31,7 @@ from .eventloop import (
 from .faults import ChaosController, ChaosEvent, FaultDecision, FaultPlan
 from .host import Container, CostModel, Host, NetEntity
 from .link import GBPS, MBPS, MS, US, Link
-from .network import NameService, Network, ServiceRecord
+from .network import SRCROUTE_HEADER, NameService, Network, ServiceRecord
 from .nic import Nic, SmartNic
 from .pcie import PcieBus
 from .programs import LossProgram, PacketAction, PacketProgram, ProgramResult
@@ -75,6 +75,7 @@ __all__ = [
     "ServiceRecord",
     "SimSocket",
     "SimulationError",
+    "SRCROUTE_HEADER",
     "SmartNic",
     "Station",
     "Store",

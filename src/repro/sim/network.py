@@ -40,9 +40,18 @@ from .nic import Nic
 from .programs import PacketAction, PacketProgram
 from .switch import ProgrammableSwitch
 
-__all__ = ["Network", "NameService", "ServiceRecord"]
+__all__ = ["Network", "NameService", "ServiceRecord", "SRCROUTE_HEADER"]
 
 _MAX_REDIRECTS = 32
+
+#: Datagram header carrying a pinned source route: a tuple of node names
+#: from the sending host to the destination host.  The delivery walk
+#: follows the pin hop by hop instead of consulting the routing tables —
+#: this is how the multipath Chunnel keeps traffic on the tunnel it chose
+#: rather than whatever ``route()`` currently prefers.  A pin that no
+#: longer matches the topology (node off-path after a redirect, edge
+#: removed) falls back to normal routing and counts ``srcroute_fallbacks``.
+SRCROUTE_HEADER = "srcroute_path"
 
 
 # _Walk states.  DEPART/ARRIVE_*/DELIVER are heap-dispatch targets; the
@@ -161,13 +170,37 @@ class _Walk:
                 "suspected forwarding loop"
             )
         self.hops += 1
-        hop = net._hop_cache.get((current, dst_name))
-        if hop is None:
-            next_node = net.route(current, dst_name)[1]
-            link = net.link_between(current, next_node)
-            net._hop_cache[(current, dst_name)] = (next_node, link)
-        else:
-            next_node, link = hop
+        pin = dgram.headers.get(SRCROUTE_HEADER)
+        if pin is not None:
+            # Pinned source route: take the pin's next hop when the walk is
+            # on the pinned path and the edge still exists; otherwise fall
+            # back to normal routing (counted, never silently dropped).
+            # Pinned hops deliberately bypass — and never populate — the
+            # hop cache, which only memoizes the routing tables' answers.
+            link = None
+            for index in range(len(pin) - 1):
+                if pin[index] == current:
+                    neighbours = net.graph.adj.get(current)
+                    data = (
+                        neighbours.get(pin[index + 1])
+                        if neighbours is not None
+                        else None
+                    )
+                    if data is not None:
+                        next_node = pin[index + 1]
+                        link = data["link"]
+                    break
+            if link is None:
+                net.srcroute_fallbacks += 1
+                pin = None
+        if pin is None:
+            hop = net._hop_cache.get((current, dst_name))
+            if hop is None:
+                next_node = net.route(current, dst_name)[1]
+                link = net.link_between(current, next_node)
+                net._hop_cache[(current, dst_name)] = (next_node, link)
+            else:
+                next_node, link = hop
         if not link.up:
             net.dropped_link_down += 1
             return
@@ -471,6 +504,9 @@ class Network:
         #: cache so the hot path skips ``route()``/``link_between`` entirely.
         #: Invalidated wherever ``_route_cache`` is.
         self._hop_cache: dict[tuple[str, str], tuple[str, Link]] = {}
+        #: (src, dst, k) → up to ``k`` edge-disjoint paths (see
+        #: :meth:`k_routes`).  Invalidated wherever ``_route_cache`` is.
+        self._k_route_cache: dict[tuple[str, str, int], list[list[str]]] = {}
         #: Active partition: node name → group index (see
         #: ``ChaosController.partition``); None means fully connected.
         #: Assigned through the ``_partition`` property so that setting or
@@ -486,6 +522,9 @@ class Network:
         self.dropped_link_down = 0
         self.dropped_partition = 0
         self.dropped_host_down = 0
+        #: Datagrams whose pinned source route no longer matched the
+        #: topology, rerouted via the normal tables instead of dropped.
+        self.srcroute_fallbacks = 0
         #: One metrics registry and one trace log per world; everything
         #: constructed against this network registers its counters here.
         #: The registry also becomes the process-global handle
@@ -506,6 +545,7 @@ class Network:
             ("host_down", "dropped_host_down"),
         ):
             self.obs.bind(f"net.dropped.{cause}", self, attr)
+        self.obs.bind("net.srcroute_fallbacks", self, "srcroute_fallbacks")
         self.obs.gauge("net.fault_drops", lambda: self.fault_drops)
 
     # -- topology construction ------------------------------------------------
@@ -552,6 +592,7 @@ class Network:
         self.graph.add_edge(a, b, link=link, weight=latency)
         self._route_cache.clear()
         self._hop_cache.clear()
+        self._k_route_cache.clear()
         self.obs.bind(f"link.{a}-{b}.bytes", link, "bytes_carried")
         self.obs.bind(f"link.{a}-{b}.datagrams", link, "datagrams_carried")
         return link
@@ -603,6 +644,48 @@ class Network:
     #: fleet-scale topologies get the roughly-halved search frontier.
     ROUTE_BIDIRECTIONAL_OVER = 256
 
+    def k_routes(self, src: str, dst: str, k: int) -> list[list[str]]:
+        """Up to ``k`` edge-disjoint latency-weighted paths from ``src`` to
+        ``dst``, cheapest first.
+
+        Greedy disjoint-path search: the shortest up path is taken, its
+        edges are banned, and the search repeats until ``k`` paths exist or
+        no up path remains.  Fewer than ``k`` paths may come back on sparse
+        topologies; when *no* up path exists at all the result degenerates
+        to ``[route(src, dst)]``, preserving :meth:`route`'s severed-network
+        semantics (the walk drops at the dead link and counts
+        ``link_down``).  Results are cached in ``_k_route_cache`` and
+        invalidated exactly where ``_route_cache`` is: on ``add_link``, on
+        every link state change, and on partition set/clear.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        key = (src, dst, k)
+        cached = self._k_route_cache.get(key)
+        if cached is not None:
+            return cached
+        banned: set[frozenset] = set()
+
+        def disjoint_up_weight(u: str, v: str, data: dict) -> Optional[float]:
+            if frozenset((u, v)) in banned:
+                return None
+            return _up_weight(u, v, data)
+
+        paths: list[list[str]] = []
+        for _ in range(k):
+            try:
+                path = self._shortest_path(src, dst, disjoint_up_weight)
+            except nx.NetworkXNoPath:
+                break
+            except nx.NodeNotFound:
+                raise AddressError(f"no route from {src!r} to {dst!r}") from None
+            paths.append(path)
+            banned.update(frozenset(pair) for pair in zip(path, path[1:]))
+        if not paths:
+            paths = [self.route(src, dst)]
+        self._k_route_cache[key] = paths
+        return paths
+
     def _shortest_path(self, src: str, dst: str, weight) -> list[str]:
         if self.graph.number_of_nodes() > self.ROUTE_BIDIRECTIONAL_OVER:
             _length, path = nx.bidirectional_dijkstra(
@@ -620,6 +703,7 @@ class Network:
         """
         self._route_cache.clear()
         self._hop_cache.clear()
+        self._k_route_cache.clear()
 
     @property
     def _partition(self) -> Optional[dict[str, int]]:
@@ -630,6 +714,7 @@ class Network:
         self._partition_state = membership
         self._route_cache.clear()
         self._hop_cache.clear()
+        self._k_route_cache.clear()
 
     def link_between(self, a: str, b: str) -> Link:
         """The link connecting two adjacent vertices."""

@@ -250,6 +250,58 @@ class TestLoadBalance:
         with pytest.raises(ChunnelArgumentError):
             LoadBalance(backends=[Address("x", 1)], strategy="magic")
 
+    def test_client_side_hash_source_pins_one_backend(self):
+        from repro.chunnels.loadbalance import _ClientBalanceStage
+
+        pair, served = self.make(strategy="hash_source")
+        impl = self.request_n(pair, 6)
+        assert impl == "LoadBalanceClient"
+        # Source affinity: every request from this connection lands on the
+        # same backend (regression: the hash used to degenerate to
+        # round-robin because the source was read before the socket bound).
+        assert len(set(served)) == 1
+        assert len(served) == 6
+        stage = next(
+            s
+            for s in pair.client_conn.stack.stages
+            if isinstance(s, _ClientBalanceStage)
+        )
+        assert stage.affinity_picks == 6
+        assert stage.requests_balanced == 6
+
+    def test_proxy_side_hash_source_pins_one_backend(self):
+        from repro.chunnels.loadbalance import _ProxyBalanceStage
+
+        pair, served = self.make(strategy="hash_source", client_side=False)
+        impl = self.request_n(pair, 6)
+        assert impl == "LoadBalanceProxy"
+        assert len(set(served)) == 1
+        assert len(served) == 6
+        stage = next(
+            s
+            for s in pair.server_conn.stack.stages
+            if isinstance(s, _ProxyBalanceStage)
+        )
+        # Every proxied request carried a source, so no dead reply paths.
+        assert stage.proxied_without_source == 0
+        assert stage.requests_proxied == 6
+
+    def test_hash_source_without_source_falls_back_to_round_robin(self):
+        from repro.chunnels.loadbalance import _BalanceState
+
+        backends = [Address("srv", 7201), Address("srv", 7202)]
+        state = _BalanceState(
+            LoadBalance(backends=backends, strategy="hash_source")
+        )
+        first, affine_first = state.pick(None)
+        second, affine_second = state.pick(None)
+        assert not affine_first and not affine_second
+        assert {first, second} == set(backends)
+        # A known source flips it back to affine picks.
+        pinned, affine = state.pick(Address("cl", 9000))
+        assert affine
+        assert state.pick(Address("cl", 9000)) == (pinned, True)
+
 
 class TestInstanceSelection:
     def test_local_or_remote_prefers_local_instance(self):

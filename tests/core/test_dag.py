@@ -200,3 +200,51 @@ class TestCompatibility:
     def test_unify_incompatible_raises(self):
         with pytest.raises(IncompatibleDagError):
             ChunnelDag.unify(wrap(Serialize()), wrap(Reliable()))
+
+
+class TestMergeArgUpdates:
+    """Arg-only DAG merges (the reconfig fast path for weight updates)."""
+
+    def _pair(self, retries_a=2, retries_b=2):
+        a = wrap(Serialize() >> Reliable(max_retries=retries_a))
+        b = wrap(Serialize() >> Reliable(max_retries=retries_b))
+        return a, b
+
+    def test_arg_identical_returns_current_unchanged(self):
+        a, b = self._pair()
+        merged, changed = ChunnelDag.merge_arg_updates(a, b)
+        assert merged is a
+        assert changed == set()
+
+    def test_wire_roundtrip_is_arg_identical(self):
+        a = wrap(Serialize() >> Reliable(max_retries=4))
+        merged, changed = ChunnelDag.merge_arg_updates(
+            a, ChunnelDag.from_wire(a.to_wire())
+        )
+        assert merged is a
+        assert changed == set()
+
+    def test_arg_change_flags_only_that_node(self):
+        a, b = self._pair(retries_a=2, retries_b=9)
+        rel_id = next(
+            i for i, s in a.nodes.items() if s.type_name == "reliable"
+        )
+        ser_id = next(
+            i for i, s in a.nodes.items() if s.type_name == "serialize"
+        )
+        merged, changed = ChunnelDag.merge_arg_updates(a, b)
+        assert changed == {rel_id}
+        assert merged.nodes[rel_id] is b.nodes[rel_id]
+        # Unchanged nodes keep *current*'s spec objects (identity matters:
+        # it carries live stages across the reconfig epoch).
+        assert merged.nodes[ser_id] is a.nodes[ser_id]
+
+    def test_structural_difference_refuses_to_merge(self):
+        a = wrap(Serialize() >> Reliable())
+        b = wrap(Serialize() >> Reliable() >> Ordered())
+        assert ChunnelDag.merge_arg_updates(a, b) is None
+
+    def test_type_difference_refuses_to_merge(self):
+        a = wrap(Serialize() >> Reliable())
+        b = wrap(Serialize() >> Ordered())
+        assert ChunnelDag.merge_arg_updates(a, b) is None

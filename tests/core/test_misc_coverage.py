@@ -152,7 +152,9 @@ class TestLoadBalanceHashSource:
         a = Address("client-a", 40000)
         b = Address("client-b", 40000)
         assert state.pick(a) == state.pick(a)  # sticky per source
-        picks = {state.pick(addr).port for addr in (a, b)}
+        assert state.pick(a)[1] is True  # the hash actually applied
+        assert state.pick(None)[1] is False  # unknown source: round-robin
+        picks = {state.pick(addr)[0].port for addr in (a, b)}
         assert picks  # well-defined; may or may not collide
 
     def test_round_robin_cycles(self):
@@ -160,7 +162,7 @@ class TestLoadBalanceHashSource:
 
         backends = [Address("srv", 1), Address("srv", 2)]
         state = _BalanceState(LoadBalance(backends=backends))
-        ports = [state.pick(None).port for _ in range(4)]
+        ports = [state.pick(None)[0].port for _ in range(4)]
         assert ports == [1, 2, 1, 2]
 
 

@@ -53,3 +53,12 @@ class TestReconfigCli:
         assert "zero loss" in out
         assert "server-fallback" in out
         assert "latency samples identical: True" in out
+
+
+class TestMultipathCli:
+    def test_multipath_command(self):
+        out = run_cli("multipath", "--smoke")
+        assert "Multipath" in out
+        assert "winner" in out
+        assert "rebalance" in out
+        assert "VIOLATED" not in out

@@ -1,8 +1,13 @@
-"""Unit tests for the three reconfiguration trigger sources."""
+"""Unit tests for the reconfiguration trigger sources."""
 
 from repro.chunnels import SerializeFallback, ShardXdp
-from repro.reconfig import DeviceFailureDetector, DiscoveryWatcher, LoadMonitor
-from repro.sim import Network
+from repro.reconfig import (
+    DeviceFailureDetector,
+    DiscoveryWatcher,
+    LoadMonitor,
+    PathQualityMonitor,
+)
+from repro.sim import FaultPlan, Network
 
 from ..conftest import run
 
@@ -198,4 +203,105 @@ class TestLoadMonitor:
 
         run(net.env, scenario(net.env))
         net.env.run()  # heap must drain — would spin forever otherwise
+        assert not monitor._proc.is_alive
+
+
+class TestPathQualityMonitor:
+    def _world(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("sw")
+        net.add_link("a", "sw")
+        net.add_link("sw", "b")
+        plan = FaultPlan(drop_rate=0.0, seed=1)
+        net.attach_faults("a", "sw", plan)
+        return net, plan
+
+    def test_lossy_window_alarms_once_then_rearms(self):
+        net, plan = self._world()
+        monitor = PathQualityMonitor(net, interval=1e-3)
+        alarms = []
+        monitor.watch_path(
+            "p",
+            ["a", "sw", "b"],
+            threshold=0.2,
+            callback=lambda name, path, rate: alarms.append(rate),
+        )
+
+        def scenario(env):
+            plan.evaluated += 20
+            plan.dropped += 10  # 50% loss in this window
+            yield env.timeout(2e-3)
+            first = len(alarms)
+            yield env.timeout(3e-3)  # no new traffic: windows skipped
+            held = len(alarms)
+            plan.evaluated += 40  # clean window: rate 0 <= threshold/2
+            yield env.timeout(2e-3)
+            plan.evaluated += 20
+            plan.corrupted += 10  # corruption counts as loss too
+            yield env.timeout(2e-3)
+            monitor.stop()
+            return first, held, len(alarms)
+
+        first, held, final = run(net.env, scenario(net.env))
+        assert (first, held, final) == (1, 1, 2)
+        assert alarms == [0.5, 0.5]
+        assert monitor.alarms == 2
+
+    def test_down_link_reads_as_total_loss(self):
+        net, _plan = self._world()
+        monitor = PathQualityMonitor(net, interval=1e-3)
+        alarms = []
+        monitor.watch_path(
+            "p",
+            ["a", "sw", "b"],
+            threshold=0.5,
+            callback=lambda name, path, rate: alarms.append(rate),
+        )
+
+        def scenario(env):
+            yield env.timeout(2e-3)
+            quiet = len(alarms)  # no traffic, link up: nothing fires
+            net.link_between("a", "sw").up = False
+            yield env.timeout(2e-3)
+            monitor.stop()
+            return quiet
+
+        quiet = run(net.env, scenario(net.env))
+        assert quiet == 0
+        assert alarms == [1.0]
+
+    def test_windows_below_min_samples_are_skipped(self):
+        net, plan = self._world()
+        monitor = PathQualityMonitor(net, interval=1e-3)
+        alarms = []
+        monitor.watch_path(
+            "p",
+            ["a", "sw", "b"],
+            threshold=0.2,
+            callback=lambda name, path, rate: alarms.append(rate),
+            min_samples=8,
+        )
+
+        def scenario(env):
+            plan.evaluated += 4
+            plan.dropped += 4  # 100% loss but only 4 samples
+            yield env.timeout(2e-3)
+            monitor.stop()
+
+        run(net.env, scenario(net.env))
+        assert alarms == []
+
+    def test_stop_drains_the_poll_loop(self):
+        net, _plan = self._world()
+        monitor = PathQualityMonitor(net, interval=1e-3)
+        monitor.watch_path("p", ["a", "sw", "b"], 0.5, lambda *a: None)
+
+        def scenario(env):
+            yield env.timeout(5e-3)
+            monitor.stop()
+
+        run(net.env, scenario(net.env))
+        net.env.run()
         assert not monitor._proc.is_alive

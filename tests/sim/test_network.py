@@ -418,3 +418,118 @@ class TestNameService:
     def test_resolve_unknown_name_is_empty(self):
         net = star(1)
         assert net.names.resolve("ghost") == []
+
+
+class TestKRoutes:
+    """Edge-disjoint path queries and their cache discipline."""
+
+    def test_edge_disjoint_paths_in_cost_order(self):
+        net = two_path_net()
+        assert net.k_routes("a", "b", 2) == [
+            ["a", "fast", "b"],
+            ["a", "slow", "b"],
+        ]
+
+    def test_k_beyond_diversity_returns_what_exists(self):
+        net = two_path_net()
+        assert len(net.k_routes("a", "b", 4)) == 2
+
+    def test_result_is_cached(self):
+        net = two_path_net()
+        assert net.k_routes("a", "b", 2) is net.k_routes("a", "b", 2)
+
+    def test_invalid_k_rejected(self):
+        net = two_path_net()
+        with pytest.raises(ValueError):
+            net.k_routes("a", "b", 0)
+
+    def test_unknown_destination_raises_address_error(self):
+        net = two_path_net()
+        with pytest.raises(AddressError):
+            net.k_routes("a", "ghost", 2)
+
+    def test_link_state_change_invalidates(self):
+        net = two_path_net()
+        assert net.k_routes("a", "b", 2)[0] == ["a", "fast", "b"]
+        link = net.link_between("a", "fast")
+        link.up = False
+        assert net.k_routes("a", "b", 2) == [["a", "slow", "b"]]
+        link.up = True
+        assert net.k_routes("a", "b", 2)[0] == ["a", "fast", "b"]
+
+    def test_partition_set_and_clear_invalidate(self):
+        net = two_path_net()
+        net.k_routes("a", "b", 2)
+        assert net._k_route_cache
+        net._partition = {"a": 0, "b": 1}
+        assert not net._k_route_cache
+        net.k_routes("a", "b", 2)
+        assert net._k_route_cache
+        net._partition = None
+        assert not net._k_route_cache
+
+    def test_new_link_invalidates(self):
+        net = two_path_net()
+        assert len(net.k_routes("a", "b", 3)) == 2
+        net.add_switch("mid")
+        net.add_link("a", "mid", latency=10e-6)
+        net.add_link("mid", "b", latency=10e-6)
+        assert len(net.k_routes("a", "b", 3)) == 3
+
+    def test_severed_network_degenerates_to_route(self):
+        # No up path at all: fall back to the full-topology route so the
+        # walk keeps its link_down drop semantics (mirrors route()).
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s1")
+        net.add_link("a", "s1", latency=1e-6)
+        net.add_link("s1", "b", latency=1e-6)
+        net.link_between("a", "s1").up = False
+        assert net.k_routes("a", "b", 2) == [["a", "s1", "b"]]
+
+
+class TestSourceRoutePin:
+    """Datagrams carrying a pinned path override the routing tables."""
+
+    def _one_way(self, net, headers):
+        from repro.sim import SRCROUTE_HEADER  # noqa: F401  (doc pointer)
+
+        env = net.env
+        result = {}
+
+        def server(env):
+            sock = UdpSocket(net.entity("b"), 5000)
+            result["dgram"] = yield sock.recv()
+
+        def client(env):
+            sock = UdpSocket(net.entity("a"))
+            sock.send(b"x", Address("b", 5000), size=8, headers=headers)
+            yield env.timeout(0)
+
+        env.process(server(env))
+        env.process(client(env))
+        env.run(until=1e-2)
+        return result.get("dgram")
+
+    def test_pin_steers_off_the_preferred_path(self):
+        from repro.sim import SRCROUTE_HEADER
+
+        net = two_path_net()
+        dgram = self._one_way(
+            net, {SRCROUTE_HEADER: ("a", "slow", "b")}
+        )
+        assert dgram is not None
+        assert "switch:slow" in dgram.hops
+        assert net.srcroute_fallbacks == 0
+
+    def test_stale_pin_falls_back_to_routing(self):
+        from repro.sim import SRCROUTE_HEADER
+
+        net = two_path_net()
+        dgram = self._one_way(
+            net, {SRCROUTE_HEADER: ("a", "ghost", "b")}
+        )
+        assert dgram is not None  # rerouted, not dropped
+        assert "switch:fast" in dgram.hops
+        assert net.srcroute_fallbacks > 0

@@ -1,0 +1,49 @@
+"""Lint: no module-level ``random.*`` calls on the data path.
+
+Chunnel stages and experiments must draw randomness from seeded
+``random.Random(...)`` instances keyed by ``(seed, conn_id, role)`` — the
+module-level functions share hidden global state, which breaks the
+same-seed byte-identity guarantee the benchmarks and CI smoke steps rely
+on.  This test greps the data-path packages and fails on any use of the
+``random`` module other than constructing a ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: ``random.<anything>`` except ``random.Random`` (the seeded constructor).
+FORBIDDEN = re.compile(r"\brandom\.(?!Random\b)\w+")
+
+#: Packages whose determinism the benchmarks depend on.
+SCANNED = ("chunnels", "experiments")
+
+
+def scan(package: str) -> list[str]:
+    violations = []
+    for path in sorted((SRC / package).rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            match = FORBIDDEN.search(line)
+            if match:
+                violations.append(
+                    f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
+                    f"{match.group(0)} ({line.strip()})"
+                )
+    return violations
+
+
+def test_data_path_uses_only_seeded_rngs():
+    violations = [v for package in SCANNED for v in scan(package)]
+    assert not violations, (
+        "module-level random.* calls break same-seed reproducibility; "
+        "use a seeded random.Random instead:\n" + "\n".join(violations)
+    )
+
+
+def test_scanner_sees_the_data_path_packages():
+    # Guard against the lint silently passing because a rename emptied it.
+    for package in SCANNED:
+        assert list((SRC / package).rglob("*.py")), package
