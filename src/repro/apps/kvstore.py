@@ -122,18 +122,58 @@ class KvCodec(Codec):
             raise ChunnelArgumentError("kv codec: empty input")
         tag = data[0]
         if tag == _REQUEST_TAG:
-            _hash, op_code, key_len = struct.unpack_from(">IBH", data, 1)
+            if len(data) < 8:
+                raise ChunnelArgumentError(
+                    f"kv codec: truncated request header ({len(data)} bytes)"
+                )
+            wire_hash, op_code, key_len = struct.unpack_from(">IBH", data, 1)
+            if op_code not in _OP_NAMES:
+                raise ChunnelArgumentError(
+                    f"kv codec: unknown op code {op_code:#x}"
+                )
             key_start = 8
+            if len(data) < key_start + key_len:
+                # A short buffer would otherwise slice to a shorter key and
+                # "succeed" with the wrong key — chaos-corrupted datagrams
+                # must fail decode, not become silent wrong-key operations.
+                raise ChunnelArgumentError(
+                    f"kv codec: truncated key (need {key_len} bytes, "
+                    f"have {len(data) - key_start})"
+                )
             raw_key = data[key_start : key_start + key_len]
+            try:
+                key = raw_key.decode()
+            except UnicodeDecodeError as error:
+                raise ChunnelArgumentError(
+                    f"kv codec: undecodable key bytes ({error})"
+                ) from None
+            if key_hash(key) != wire_hash:
+                raise ChunnelArgumentError(
+                    f"kv codec: key hash mismatch (wire {wire_hash:#010x}, "
+                    f"computed {key_hash(key):#010x})"
+                )
             value = data[key_start + key_len :]
             return {
                 "type": "request",
                 "op": _OP_NAMES[op_code],
-                "key": raw_key.decode(),
+                "key": key,
                 "value": bytes(value),
             }
         if tag == _RESPONSE_TAG:
+            if len(data) < 6:
+                raise ChunnelArgumentError(
+                    f"kv codec: truncated response header ({len(data)} bytes)"
+                )
             status_code, value_len = struct.unpack_from(">BI", data, 1)
+            if status_code not in _STATUS_NAMES:
+                raise ChunnelArgumentError(
+                    f"kv codec: unknown status code {status_code:#x}"
+                )
+            if len(data) < 6 + value_len:
+                raise ChunnelArgumentError(
+                    f"kv codec: truncated value (need {value_len} bytes, "
+                    f"have {len(data) - 6})"
+                )
             value = data[6 : 6 + value_len]
             return {
                 "type": "response",
@@ -222,7 +262,7 @@ class ShardWorker:
             # length rides in the request value (4 bytes, big endian).
             # (A shard sees only its own keys — cross-shard scans are the
             # client's to assemble, as in range-sharded stores.)
-            length = int.from_bytes(request["value"][:4] or b"\x00", "big") or 1
+            length = int.from_bytes(request["value"][:4] or b"\x00", "big")
             selected = [k for k in sorted(self.store) if k >= key][:length]
             blob = b"\x00".join(k.encode() for k in selected)
             return kv_response("ok", blob)
@@ -328,7 +368,13 @@ class KvClient:
 
     def scan(self, start_key: str, length: int = 10):
         """Generator → response dict for a SCAN (keys >= start_key, one
-        shard's view; YCSB workload E)."""
+        shard's view; YCSB workload E).  ``length`` 0 is a valid empty
+        scan; lengths that don't fit the 4-byte wire field are rejected
+        here rather than crashing in ``int.to_bytes``."""
+        if not isinstance(length, int) or length < 0 or length > 0xFFFFFFFF:
+            raise ChunnelArgumentError(
+                f"scan length must be a 32-bit unsigned int, got {length!r}"
+            )
         return (
             yield from self.request(
                 kv_request("scan", start_key, length.to_bytes(4, "big"))

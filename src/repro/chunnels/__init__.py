@@ -23,6 +23,8 @@ Chunnel types provided (paper section in parentheses):
 ``anycast``          best-instance selection (§3.2)
 ``loadbalance``      backend spreading, client or proxy side (§3.2)
 ``multipath``        weighted per-packet spreading over disjoint tunnels
+``kvcache``          in-switch KV read cache with write-through (§6 offload)
+``fanin``            scatter/gather RPC with in-switch reply aggregation
 ``batch``            send coalescing
 ``ratelimit``        token-bucket send pacing (PicNIC-class shaping)
 =================  =====================================================
@@ -51,6 +53,19 @@ from .multipath import (
     MULTIPATH_TUNNEL_HEADER,
     MultipathWeighted,
     WeightedMultipath,
+)
+from .offload import (
+    FanIn,
+    FanInHost,
+    FanInSwitch,
+    KvCache,
+    KvCacheHostPath,
+    KvCacheSwitch,
+    SwitchFanInProgram,
+    SwitchKvCacheReader,
+    SwitchKvCacheWriter,
+    combine_replies,
+    split_combined_value,
 )
 from .ordering import Ordered, OrderedFallback
 from .ratelimit import RateLimit, RateLimitFallback, RateLimitNicPacer
@@ -94,6 +109,9 @@ __all__ = [
     "EncryptFallback",
     "EncryptSmartNic",
     "FRAME_HEADER_SIZE",
+    "FanIn",
+    "FanInHost",
+    "FanInSwitch",
     "GAP_HEADER",
     "GROUP_HEADER",
     "GroupSequencer",
@@ -102,6 +120,9 @@ __all__ = [
     "Http2",
     "Http2Fallback",
     "JsonCodec",
+    "KvCache",
+    "KvCacheHostPath",
+    "KvCacheSwitch",
     "LoadBalance",
     "LoadBalanceClient",
     "LoadBalanceProxy",
@@ -132,6 +153,9 @@ __all__ = [
     "ShardServerFallback",
     "ShardSwitch",
     "ShardXdp",
+    "SwitchFanInProgram",
+    "SwitchKvCacheReader",
+    "SwitchKvCacheWriter",
     "Tcp",
     "TcpFallback",
     "TcpToe",
@@ -140,11 +164,13 @@ __all__ = [
     "TlsSmartNic",
     "WeightedMultipath",
     "XdpShardProgram",
+    "combine_replies",
     "get_codec",
     "keystream_cipher",
     "nearest_instance",
     "register_codec",
     "sequencer_service_name",
+    "split_combined_value",
 ]
 
 

@@ -189,9 +189,13 @@ class DrfScheduler(OffloadScheduler):
         self, requests: list[OffloadRequest], capacity: ResourceVector
     ) -> Allocation:
         allocation = Allocation()
-        pending: dict[str, list[OffloadRequest]] = {}
-        for request in requests:
-            pending.setdefault(request.tenant, []).append(request)
+        # Queue entries keep their arrival index so the denied list can be
+        # emitted in arrival order rather than tenant-dict insertion order
+        # (plan output must be a pure function of the request batch — the
+        # bit-identical CI discipline).
+        pending: dict[str, list[tuple[int, OffloadRequest]]] = {}
+        for index, request in enumerate(requests):
+            pending.setdefault(request.tenant, []).append((index, request))
         shares: dict[str, ResourceVector] = {
             tenant: ResourceVector() for tenant in pending
         }
@@ -208,7 +212,7 @@ class DrfScheduler(OffloadScheduler):
                 candidates,
                 key=lambda t: (shares[t].dominant_share(capacity), t),
             )
-            request = pending[tenant][0]
+            request = pending[tenant][0][1]
             fits = (allocation.in_use + request.need).fits_within(capacity)
             within_cap = True
             if self.fairness_cap is not None:
@@ -223,8 +227,11 @@ class DrfScheduler(OffloadScheduler):
                 shares[tenant] = shares[tenant] + request.need
             else:
                 frozen.add(tenant)
-        for tenant, queue in pending.items():
-            allocation.denied.extend(queue)
+        leftovers = sorted(
+            (pair for queue in pending.values() for pair in queue),
+            key=lambda pair: pair[0],
+        )
+        allocation.denied.extend(request for _index, request in leftovers)
         return allocation
 
     def admit(self, record, owner, need, capacity, in_use) -> bool:

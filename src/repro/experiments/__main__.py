@@ -12,9 +12,11 @@ Usage::
     python -m repro.experiments failover [--smoke] [--seed N]
     python -m repro.experiments fleet [--smoke] [--shards N]
     python -m repro.experiments multipath [--smoke] [--seed N]
+    python -m repro.experiments offload [--smoke] [--seed N]
     python -m repro.experiments ablations
     python -m repro.experiments all [--full]
     python -m repro.experiments bench engine [--smoke] [--tier NAME]
+    python -m repro.experiments bench offload [--smoke] [--seed N]
 
 Each command prints the rows/series the paper's corresponding figure
 reports (see EXPERIMENTS.md for the mapping and the recorded outputs).
@@ -61,6 +63,7 @@ from .fig4 import Fig4Config, run_fig4
 from .fig5 import Fig5Config, run_fig5
 from .fleet import FleetConfig, run_fleet
 from .multipath import MultipathConfig, run_multipath
+from .offload import OffloadConfig, run_offload
 from .reconfig import ReconfigConfig, run_epoch_overhead, run_reconfig
 
 
@@ -347,6 +350,30 @@ def cmd_multipath(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_offload(args) -> None:
+    config = (
+        OffloadConfig.smoke(seed=args.seed)
+        if args.smoke
+        else OffloadConfig(seed=args.seed)
+    )
+    label = (
+        f"Offload: in-switch KV cache over {len(config.skew_points)} skew "
+        f"and {len(config.mix_points)} write-mix points + fan-in "
+        f"aggregation (seed {config.seed})"
+    )
+    result = _timed(label, lambda: run_offload(config))
+    print(result.render())
+    if args.baseline:
+        result.write_baseline(args.baseline)
+        print(f"\nbaseline written to {args.baseline}")
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+        args._metrics_written = True
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def cmd_engine(args) -> None:
     if args.tier:
         config = EngineConfig(tiers=tuple(args.tier), repeats=args.repeats or 3)
@@ -376,11 +403,16 @@ def cmd_engine(args) -> None:
 
 
 def cmd_bench(args) -> None:
-    """``bench <target>``: kernel benchmarks (currently only ``engine``)."""
+    """``bench <target>``: the kernel benchmark or the offload sweep."""
     target = args.target or "engine"
-    if target != "engine":
-        raise SystemExit(f"unknown bench target {target!r} (expected 'engine')")
-    cmd_engine(args)
+    if target == "engine":
+        cmd_engine(args)
+    elif target == "offload":
+        cmd_offload(args)
+    else:
+        raise SystemExit(
+            f"unknown bench target {target!r} (expected 'engine' or 'offload')"
+        )
 
 
 COMMANDS = {
@@ -393,6 +425,7 @@ COMMANDS = {
     "failover": cmd_failover,
     "fleet": cmd_fleet,
     "multipath": cmd_multipath,
+    "offload": cmd_offload,
     "ablations": cmd_ablations,
     "engine": cmd_engine,
     "bench": cmd_bench,

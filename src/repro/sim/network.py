@@ -257,8 +257,16 @@ class _Walk:
         if switch.programs:
             programs = switch.matching_programs(dgram)
             if programs:
-                self.pgen = self.net._run_programs(programs, dgram, at=self.current)
+                net = self.net
                 self.state = _W_PROG_SWITCH
+                if all(p.station is None for p in programs):
+                    # Line-rate programs stay on the fused fast path: no
+                    # station means no blocking, so they run inline here.
+                    self._programs_done(
+                        net._run_programs_inline(programs, dgram, self.current)
+                    )
+                    return
+                self.pgen = net._run_programs(programs, dgram, at=self.current)
                 self._drive_programs(None)
                 return
         self._depart()
@@ -356,8 +364,14 @@ class _Walk:
         if smartnic is not None and smartnic.programs:
             programs = smartnic.matching_programs(dgram)
             if programs:
-                self.pgen = self.net._run_programs(programs, dgram, at=host.name)
+                net = self.net
                 self.state = _W_PROG_NIC
+                if all(p.station is None for p in programs):
+                    self._programs_done(
+                        net._run_programs_inline(programs, dgram, host.name)
+                    )
+                    return
+                self.pgen = net._run_programs(programs, dgram, at=host.name)
                 self._drive_programs(None)
                 return
         self._kernel_stage()
@@ -368,8 +382,14 @@ class _Walk:
         if host.kernel_programs:
             programs = [p for p in host.kernel_programs if p.match(dgram)]
             if programs:
-                self.pgen = self.net._run_programs(programs, dgram, at=host.name)
+                net = self.net
                 self.state = _W_PROG_KERNEL
+                if all(p.station is None for p in programs):
+                    self._programs_done(
+                        net._run_programs_inline(programs, dgram, host.name)
+                    )
+                    return
+                self.pgen = net._run_programs(programs, dgram, at=host.name)
                 self._drive_programs(None)
                 return
         self._transport_stage()
@@ -823,6 +843,32 @@ class Network:
         for program in programs:
             if program.station is not None:
                 yield program.station.submit(dgram)
+            result = program.run(dgram)
+            dgram.visit(f"program:{program.name}@{at}")
+            for clone in result.clones:
+                self.env._push(0.0, _Walk(self, clone, at))
+            action = result.action
+            if action is PacketAction.CLONE:
+                action = result.action_after
+            if action is PacketAction.DROP:
+                self.dropped_by_program += 1
+                return PacketAction.DROP
+            if action is PacketAction.REDIRECT:
+                return PacketAction.REDIRECT
+        return PacketAction.PASS
+
+    def _run_programs_inline(
+        self, programs: Iterable[PacketProgram], dgram: Datagram, at: str
+    ) -> PacketAction:
+        """Station-less variant of :meth:`_run_programs`, run inline.
+
+        Programs without a queueing station never block, so the generator
+        machinery is pure overhead for them; this plain loop performs the
+        identical sequence of operations (same clone pushes, same visit
+        labels, same counters) and returns the verdict synchronously.
+        Callers must ensure no program in ``programs`` has a station.
+        """
+        for program in programs:
             result = program.run(dgram)
             dgram.visit(f"program:{program.name}@{at}")
             for clone in result.clones:

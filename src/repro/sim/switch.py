@@ -105,11 +105,20 @@ class ProgrammableSwitch:
 
         Raises
         ------
+        repro.errors.ChunnelArgumentError
+            If ``program`` is already installed.  Re-installing would
+            overwrite the recorded footprint, leaking the first
+            footprint's stage/SRAM tokens forever after ``uninstall``.
         repro.errors.ResourceExhaustedError
             If stages or SRAM are insufficient.
         """
-        from ..errors import ResourceExhaustedError
+        from ..errors import ChunnelArgumentError, ResourceExhaustedError
 
+        if program in self._footprints:
+            raise ChunnelArgumentError(
+                f"{self.name}: program {program.name!r} is already installed; "
+                "uninstall it before re-installing"
+            )
         if not self.can_fit(footprint):
             raise ResourceExhaustedError(
                 f"{self.name}: cannot fit {program.name!r} "
@@ -122,7 +131,19 @@ class ProgrammableSwitch:
         self._footprints[program] = footprint
 
     def uninstall(self, program: PacketProgram) -> None:
-        """Remove ``program`` and return its resources."""
+        """Remove ``program`` and return its resources.
+
+        Raises
+        ------
+        repro.errors.ChunnelArgumentError
+            If ``program`` is not installed on this switch.
+        """
+        if program not in self._footprints:
+            from ..errors import ChunnelArgumentError
+
+            raise ChunnelArgumentError(
+                f"{self.name}: program {program.name!r} is not installed"
+            )
         footprint = self._footprints.pop(program)
         self.programs.remove(program)
         self.stage_pool.release(footprint.stages)

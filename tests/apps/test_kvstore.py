@@ -235,3 +235,104 @@ class TestScanAndRmw:
 
         reply = run(two_hosts.env, scenario(two_hosts.env))
         assert (reply["status"], reply["value"]) == ("ok", b"xyz")
+
+
+class TestKvCodecValidation:
+    """Regression: truncated/corrupt buffers must raise, not decode to a
+    silently wrong key (chaos-corrupted datagrams became wrong-key ops)."""
+
+    def _encoded(self, op="put", key="user42", value=b"payload"):
+        return KvCodec().encode(kv_request(op, key, value))
+
+    def test_truncated_request_header_raises(self):
+        codec = KvCodec()
+        with pytest.raises(ChunnelArgumentError, match="truncated request"):
+            codec.decode(b"\x10\x00\x00")
+
+    def test_truncated_key_raises(self):
+        codec = KvCodec()
+        encoded = self._encoded(key="a-long-key-name")
+        # Cut mid-key: the old decoder sliced a shorter key and "succeeded".
+        with pytest.raises(ChunnelArgumentError, match="truncated key"):
+            codec.decode(encoded[:12])
+
+    def test_key_hash_mismatch_raises(self):
+        import struct
+
+        codec = KvCodec()
+        encoded = bytearray(self._encoded(key="victim"))
+        struct.pack_into(">I", encoded, 1, 0xDEADBEEF)  # corrupt the hash
+        with pytest.raises(ChunnelArgumentError, match="hash mismatch"):
+            codec.decode(bytes(encoded))
+
+    def test_corrupted_key_bytes_caught_by_hash(self):
+        codec = KvCodec()
+        encoded = bytearray(self._encoded(key="abcdef"))
+        encoded[9] ^= 0xFF  # flip a key byte; hash no longer matches
+        with pytest.raises(ChunnelArgumentError):
+            codec.decode(bytes(encoded))
+
+    def test_unknown_op_code_raises(self):
+        codec = KvCodec()
+        encoded = bytearray(self._encoded())
+        encoded[5] = 0x7F
+        with pytest.raises(ChunnelArgumentError, match="unknown op"):
+            codec.decode(bytes(encoded))
+
+    def test_truncated_response_value_raises(self):
+        codec = KvCodec()
+        encoded = codec.encode(kv_response("ok", b"0123456789"))
+        with pytest.raises(ChunnelArgumentError, match="truncated value"):
+            codec.decode(encoded[:10])
+
+    def test_unknown_status_code_raises(self):
+        codec = KvCodec()
+        encoded = bytearray(codec.encode(kv_response("ok", b"v")))
+        encoded[1] = 0x7F
+        with pytest.raises(ChunnelArgumentError, match="unknown status"):
+            codec.decode(bytes(encoded))
+
+    def test_worker_counts_corrupt_request_as_error(self, two_hosts):
+        from repro.apps.kvstore import ShardWorker
+
+        server_rt = two_hosts.runtime("srv")
+        worker = ShardWorker(server_rt.entity, 7199)
+        corrupt = bytearray(KvCodec().encode(kv_request("put", "key", b"v")))
+        corrupt[9] ^= 0xFF
+        dgram_like = type(
+            "D", (), {"payload": bytes(corrupt), "headers": {}, "src": None}
+        )()
+        response = worker._apply(dgram_like)
+        assert response["status"] == "error"
+        assert worker.errors == 1
+        assert worker.requests_served == 0
+        worker.stop()
+
+
+class TestScanLengthValidation:
+    """Regression: an explicit scan length of 0 was coerced to 1."""
+
+    def test_scan_length_zero_returns_empty(self, two_hosts):
+        server, client_rt = kv_world(two_hosts, shards=1)
+
+        def scenario(env):
+            yield env.timeout(1e-4)
+            client = KvClient(client_rt)
+            yield from client.connect(Address("srv", 7100))
+            yield from client.put("k1", b"v")
+            reply = yield from client.scan("k0", length=0)
+            return reply
+
+        reply = run(two_hosts.env, scenario(two_hosts.env))
+        assert reply["status"] == "ok"
+        assert reply["value"] == b""
+
+    def test_client_rejects_out_of_range_lengths(self, two_hosts):
+        client_rt = two_hosts.runtime("cl")
+        client = KvClient(client_rt)
+        for bad in (-1, 1 << 32, "ten", 2.5):
+            with pytest.raises(ChunnelArgumentError):
+                # .scan is a generator; validation must fire eagerly on
+                # construction-time argument checking via next().
+                gen = client.scan("k", bad)
+                next(gen)

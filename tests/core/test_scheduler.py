@@ -170,3 +170,151 @@ class TestInvariants:
         drf = DrfScheduler().plan(list(requests), CAPACITY)
         first_fit = FirstFitScheduler().plan(list(requests), CAPACITY)
         assert len(drf.tenants_served()) >= len(first_fit.tenants_served())
+
+
+class _FakeMeta:
+    def __init__(self, priority, stages=2):
+        self.priority = priority
+        self.resources = ResourceVector(stages=stages)
+
+
+class _FakeRecord:
+    def __init__(self, priority, stages=2):
+        self.meta = _FakeMeta(priority, stages)
+
+
+class _FakeLease:
+    def __init__(self, granted_at):
+        self.granted_at = granted_at
+
+
+def lease_pair(priority, stages=2, granted_at=0.0):
+    return (_FakeLease(granted_at), _FakeRecord(priority, stages))
+
+
+class TestDrfDeniedOrdering:
+    """Regression: denied must come back in arrival order, not in
+    tenant-dict insertion order (a determinism hazard for bit-identical
+    CI exports)."""
+
+    def test_denied_in_arrival_order_across_tenants(self):
+        # Interleaved arrivals from two tenants, none of which fit after
+        # the first two grants; the tail must preserve arrival order.
+        requests = [
+            req("B", "b1", 6),
+            req("A", "a1", 6),
+            req("B", "b2", 6),
+            req("A", "a2", 6),
+            req("B", "b3", 6),
+        ]
+        allocation = DrfScheduler().plan(requests, CAPACITY)
+        assert [r.name for r in allocation.denied] == ["b2", "a2", "b3"]
+
+    def test_denied_order_independent_of_tenant_first_seen(self):
+        # Same multiset of requests, different tenant-dict insertion
+        # history: the denied list must order by arrival in both.
+        base = [
+            req("A", "a1", 6),
+            req("B", "b1", 6),
+            req("A", "a2", 6),
+            req("B", "b2", 6),
+        ]
+        flipped = [base[1], base[0], base[3], base[2]]
+        denied_base = [
+            r.name for r in DrfScheduler().plan(base, CAPACITY).denied
+        ]
+        denied_flipped = [
+            r.name for r in DrfScheduler().plan(flipped, CAPACITY).denied
+        ]
+        assert denied_base == ["a2", "b2"]
+        assert denied_flipped == ["b2", "a2"]
+
+    def test_same_input_same_output(self):
+        requests = [
+            req("C", "c1", 4),
+            req("A", "a1", 4),
+            req("B", "b1", 4),
+            req("C", "c2", 4),
+            req("A", "a2", 4),
+            req("B", "b2", 4),
+        ]
+        first = DrfScheduler().plan(list(requests), CAPACITY)
+        second = DrfScheduler().plan(list(requests), CAPACITY)
+        assert [r.name for r in first.granted] == [
+            r.name for r in second.granted
+        ]
+        assert [r.name for r in first.denied] == [
+            r.name for r in second.denied
+        ]
+
+
+class TestSelectVictims:
+    """Edge cases of priority-based preemption (§6)."""
+
+    CAP = ResourceVector(stages=4)
+
+    def test_preempts_lower_priority_when_it_frees_enough(self):
+        scheduler = PriorityScheduler()
+        requester = _FakeRecord(priority=90, stages=2)
+        leases = [lease_pair(priority=10, stages=2, granted_at=1.0)]
+        victims = scheduler.select_victims(
+            requester,
+            "tenant-b",
+            ResourceVector(stages=2),
+            self.CAP,
+            ResourceVector(stages=4),
+            leases,
+        )
+        assert victims == [leases[0][0]]
+
+    def test_no_victims_when_eviction_still_insufficient(self):
+        # Freeing every lower-priority lease still would not fit the
+        # request: nobody should be evicted for nothing.
+        scheduler = PriorityScheduler()
+        requester = _FakeRecord(priority=90, stages=4)
+        leases = [
+            lease_pair(priority=10, stages=1, granted_at=1.0),
+            lease_pair(priority=20, stages=1, granted_at=2.0),
+        ]
+        victims = scheduler.select_victims(
+            requester,
+            "tenant-b",
+            ResourceVector(stages=6),
+            self.CAP,
+            ResourceVector(stages=4),
+            leases,
+        )
+        assert victims == []
+
+    def test_equal_priority_never_evicted(self):
+        scheduler = PriorityScheduler()
+        requester = _FakeRecord(priority=50, stages=2)
+        leases = [
+            lease_pair(priority=50, stages=2, granted_at=1.0),
+            lease_pair(priority=50, stages=2, granted_at=2.0),
+        ]
+        victims = scheduler.select_victims(
+            requester,
+            "tenant-b",
+            ResourceVector(stages=2),
+            self.CAP,
+            ResourceVector(stages=4),
+            leases,
+        )
+        assert victims == []
+
+    def test_evicts_least_important_first(self):
+        scheduler = PriorityScheduler()
+        requester = _FakeRecord(priority=90, stages=2)
+        low = lease_pair(priority=10, stages=2, granted_at=5.0)
+        mid = lease_pair(priority=40, stages=2, granted_at=1.0)
+        victims = scheduler.select_victims(
+            requester,
+            "tenant-b",
+            ResourceVector(stages=2),
+            self.CAP,
+            ResourceVector(stages=4),
+            [mid, low],
+        )
+        # The priority-10 lease goes first and already frees enough.
+        assert victims == [low[0]]

@@ -62,3 +62,27 @@ class TestMultipathCli:
         assert "winner" in out
         assert "rebalance" in out
         assert "VIOLATED" not in out
+
+
+class TestOffloadCli:
+    def test_offload_command(self):
+        out = run_cli("offload", "--smoke")
+        assert "Offload" in out
+        assert "winner" in out
+        assert "fan-in" in out
+        assert "contention" in out
+        assert "VIOLATED" not in out
+
+    def test_bench_offload_target(self):
+        out = run_cli("bench", "offload", "--smoke")
+        assert "Offload" in out
+        assert "VIOLATED" not in out
+
+    def test_bench_rejects_unknown_target(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "bench", "nope"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+        assert "unknown bench target" in result.stderr

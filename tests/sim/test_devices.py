@@ -246,3 +246,60 @@ class TestDatagram:
 
     def test_address_string_form(self):
         assert str(Address("host", 8080)) == "host:8080"
+
+
+class TestSwitchInstallGuards:
+    """Regression: double-install used to overwrite the footprint entry,
+    leaking the first footprint's tokens forever after uninstall."""
+
+    def test_double_install_rejected(self):
+        from repro.errors import ChunnelArgumentError
+
+        env = Environment()
+        switch = ProgrammableSwitch(env, "sw", stages=8, sram_kb=512)
+        program = _MarkProgram()
+        switch.install(program, SwitchProgramFootprint(stages=2, sram_kb=128))
+        with pytest.raises(ChunnelArgumentError):
+            switch.install(
+                program, SwitchProgramFootprint(stages=1, sram_kb=64)
+            )
+        # The failed re-install consumed nothing; uninstall returns all.
+        switch.uninstall(program)
+        assert switch.stage_pool.available == 8
+        assert switch.sram_pool.available == 512
+
+    def test_uninstall_unknown_program_raises_clear_error(self):
+        from repro.errors import ChunnelArgumentError
+
+        env = Environment()
+        switch = ProgrammableSwitch(env, "sw")
+        with pytest.raises(ChunnelArgumentError, match="not installed"):
+            switch.uninstall(_MarkProgram())
+
+
+class TestSwitchFailRecoverMidTraffic:
+    def test_programs_skipped_while_failed_and_resume_after(self):
+        env = Environment()
+        switch = ProgrammableSwitch(env, "sw", stages=4, sram_kb=256)
+        program = _MarkProgram()
+        switch.install(program, SwitchProgramFootprint(stages=1, sram_kb=64))
+        dgram = make_dgram()
+        assert switch.matching_programs(dgram) == [program]
+        switch.fail("test")
+        assert switch.matching_programs(dgram) == []
+        assert switch.programs == [program]  # stays installed for teardown
+        switch.recover("test")
+        assert switch.matching_programs(dgram) == [program]
+        assert switch.failures == 1
+
+    def test_state_watchers_fire_on_both_edges(self):
+        env = Environment()
+        switch = ProgrammableSwitch(env, "sw")
+        events = []
+        switch.on_state_change(
+            lambda device, failed, reason: events.append((failed, reason))
+        )
+        switch.fail("injected")
+        switch.fail("injected-again")  # idempotent: no second event
+        switch.recover("fixed")
+        assert events == [(True, "injected"), (False, "fixed")]
